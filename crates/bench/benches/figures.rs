@@ -1,0 +1,42 @@
+//! Criterion version of the figure workloads: single data points (small run
+//! lengths) per queue variant, so `cargo bench` exercises the same code paths the
+//! figure binaries sweep. For the full thread sweeps and paper-shaped tables use
+//! the `fig5`/`fig6`/`fig7` binaries.
+
+use bench::{run_workload, Variant, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn queue_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_throughput");
+    group.sample_size(10);
+    let cfg = WorkloadConfig {
+        threads: 2,
+        pairs_per_thread: 2_000,
+        prefill: 500,
+    };
+    for variant in [
+        Variant::Msq,
+        Variant::IzraelevitzMsq,
+        Variant::GeneralIzraelevitz,
+        Variant::NormalizedIzraelevitz,
+        Variant::GeneralManual,
+        Variant::GeneralOptManual,
+        Variant::NormalizedManual,
+        Variant::NormalizedOptManual,
+        Variant::LogQueue,
+        Variant::Romulus,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| black_box(run_workload(variant, &cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(figures, queue_variants);
+criterion_main!(figures);

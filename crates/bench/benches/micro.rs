@@ -1,0 +1,152 @@
+//! Micro/ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * recoverable CAS: the paper's Algorithm 1 (packed word) vs the Attiya-style
+//!   O(P²) variant vs the indirection-based encoding vs a plain CAS,
+//! * capsule boundaries: general (double-buffered + mask) vs compact (one line),
+//! * writable CAS objects (Algorithm 8) vs plain persistent words.
+
+use capsules::{BoundaryStyle, CapsuleRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem::PMem;
+use rcas::{AttiyaRcas, IndirectRcas, RcasSpace, WritableCasArray};
+use std::hint::black_box;
+
+fn bench_recoverable_cas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recoverable_cas");
+    group.sample_size(30);
+
+    group.bench_function("plain_cas", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let x = t.alloc(1);
+        let mut v = 0u64;
+        b.iter(|| {
+            assert!(t.cas(x, v, v + 1));
+            v += 1;
+            black_box(v)
+        });
+    });
+
+    group.bench_function("algorithm1_packed", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 1);
+        let x = space.create(&t, 0).addr();
+        let mut v = 0u64;
+        let mut seq = 0u64;
+        b.iter(|| {
+            // Keep the sequence number inside the packed field's width; single
+            // threaded, so wrapping cannot introduce ABA.
+            seq = if seq >= (1 << 26) - 2 { 1 } else { seq + 1 };
+            assert!(space.cas(&t, x, v, v + 1, seq));
+            v += 1;
+            black_box(v)
+        });
+    });
+
+    group.bench_function("attiya_style", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let obj = AttiyaRcas::new(&t, 1, 0);
+        let mut v = 0u64;
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq = if seq >= (1 << 26) - 2 { 1 } else { seq + 1 };
+            assert!(obj.cas(&t, v, v + 1, seq));
+            v += 1;
+            black_box(v)
+        });
+    });
+
+    group.bench_function("indirect_descriptor", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let fam = IndirectRcas::new(&t, 1, false);
+        let x = fam.create(&t, 0);
+        let mut v = 0u64;
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            assert!(fam.cas(&t, x, v, v + 1, seq));
+            v += 1;
+            black_box(v)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_capsule_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capsule_boundary");
+    group.sample_size(30);
+
+    for (name, style) in [
+        ("general_two_fences", BoundaryStyle::General),
+        ("compact_one_fence", BoundaryStyle::Compact),
+    ] {
+        group.bench_function(name, |b| {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let mut rt = CapsuleRuntime::new(&t, style, 3);
+            rt.set_war_check(false);
+            let mut i = 0u64;
+            b.iter(|| {
+                rt.set_local(0, i);
+                rt.set_local(1, i + 1);
+                rt.boundary((i % 1000) as u32);
+                i += 1;
+                black_box(i)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_writable_cas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("writable_cas");
+    group.sample_size(30);
+
+    group.bench_function("plain_word_write", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let x = t.alloc(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            t.write(x, i);
+            i += 1;
+            black_box(i)
+        });
+    });
+
+    group.bench_function("algorithm8_write", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let arr = WritableCasArray::new(&t, 1, 1);
+        let mut h = arr.handle(&t);
+        let mut i = 0u64;
+        b.iter(|| {
+            h.write(&t, 0, i);
+            i += 1;
+            black_box(i)
+        });
+    });
+
+    group.bench_function("algorithm8_cas", |b| {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let arr = WritableCasArray::new(&t, 1, 1);
+        let h = arr.handle(&t);
+        let mut v = 0u64;
+        b.iter(|| {
+            assert!(h.cas(&t, 0, v, v + 1));
+            v += 1;
+            black_box(v)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recoverable_cas, bench_capsule_boundary, bench_writable_cas);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Supplementary table S1: flushes and fences per operation for every queue
+//! variant. §10 repeatedly explains throughput differences by flush counts
+//! ("queues that contain less flushes perform better"); this table makes the counts
+//! explicit.
+//!
+//! ```text
+//! cargo run -p bench --release --bin flush_table
+//! ```
+
+use bench::{run_workload, Variant, WorkloadConfig};
+
+fn main() {
+    let cfg = WorkloadConfig {
+        threads: 1,
+        pairs_per_thread: bench::env_u64("DF_PAIRS", 20_000),
+        prefill: bench::env_u64("DF_PREFILL", 1_000),
+    };
+    println!("# Table S1 — persistence instructions per operation (single thread)");
+    println!("{:<28} {:>12} {:>12}", "variant", "flushes/op", "fences/op");
+    for variant in [
+        Variant::Msq,
+        Variant::IzraelevitzMsq,
+        Variant::GeneralIzraelevitz,
+        Variant::NormalizedIzraelevitz,
+        Variant::GeneralManual,
+        Variant::GeneralOptManual,
+        Variant::NormalizedManual,
+        Variant::NormalizedOptManual,
+        Variant::LogQueue,
+        Variant::Romulus,
+    ] {
+        let m = run_workload(variant, &cfg);
+        println!(
+            "{:<28} {:>12.2} {:>12.2}",
+            variant.label(),
+            m.flushes_per_op,
+            m.fences_per_op
+        );
+    }
+}

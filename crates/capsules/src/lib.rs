@@ -1,0 +1,38 @@
+//! # `capsules` — capsule boundaries and the per-process capsule runtime
+//!
+//! The paper's transformations (§2.3, §5, §6) split a program into *capsules*:
+//! contiguous chunks of code separated by *capsule boundaries* at which the process
+//! persists everything the rest of the execution needs — the program counter, the
+//! live stack-allocated locals and the per-process sequence number. After a crash
+//! the process restarts from the previous boundary and re-executes the interrupted
+//! capsule; correctness (Definition 2.2) requires that the repetitions be invisible,
+//! which the CAS-Read capsule discipline plus the recoverable CAS guarantee.
+//!
+//! This crate provides the machinery the paper assumes a compiler would emit:
+//!
+//! * [`Frame`] — the persistent stack frame: two copies of every persisted local
+//!   plus a validity mask and the program counter packed into one atomically
+//!   writable control word ([`BoundaryStyle::General`]), or the hand-optimised
+//!   single-cache-line layout that needs only one flush and one fence per boundary
+//!   ([`BoundaryStyle::Compact`], the §9 "all locals on one cache line" trick used by
+//!   the `-Opt` queue variants),
+//! * [`CapsuleRuntime`] — volatile mirrors of the persisted locals, sequence-number
+//!   management, the `crashed()` protocol, boundary emission, recovery (reload the
+//!   frame), and [`CapsuleRuntime::run_op`] — the driver loop that catches simulated
+//!   crashes and restarts the interrupted capsule, standing in for the restart
+//!   pointer + context reload of §2.1,
+//! * [`cas_read`] — Algorithm 3: the recoverable CAS at the head of a CAS-Read
+//!   capsule, wrapped so it is executed exactly once even across crashes.
+//!
+//! Everything is expressed against the simulated machine of the [`pmem`] crate, so
+//! boundaries cost real (simulated) flushes and fences that show up in [`pmem::Stats`].
+
+#![warn(missing_docs)]
+
+pub mod cas_read;
+pub mod frame;
+pub mod runtime;
+
+pub use cas_read::recoverable_cas;
+pub use frame::{BoundaryStyle, Frame};
+pub use runtime::{CapsuleMetrics, CapsuleRuntime, CapsuleStep};

@@ -1,0 +1,545 @@
+//! The per-process capsule runtime.
+//!
+//! [`CapsuleRuntime`] owns the volatile mirrors of the persisted state (program
+//! counter, sequence number, locals), emits capsule boundaries, and — through
+//! [`CapsuleRuntime::run_op`] — drives an encapsulated operation to completion
+//! across any number of simulated crashes: every crash unwinds the operation body
+//! (losing its Rust locals, i.e. the volatile memory of the model), the runtime
+//! reloads the persistent frame, raises the `crashed()` flag, and re-enters the body
+//! at the persisted program counter.
+//!
+//! Encapsulated operations are written as explicit state machines over the program
+//! counter, which is exactly the code shape the paper's source-to-source
+//! transformation would produce; see the `queues` crate for full examples and the
+//! `delayfree` crate for the simulator-level wrappers.
+
+use pmem::{catch_crash, PAddr, PThread};
+
+use crate::frame::{BoundaryStyle, Frame, SEQ_SLOT};
+
+/// What an encapsulated operation body tells the driver after executing a capsule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapsuleStep<R> {
+    /// The operation is not finished; run the next capsule (at the pc the body
+    /// established with its last boundary).
+    Continue,
+    /// The operation finished with this result.
+    Done(R),
+}
+
+/// Counters describing how much capsule machinery ran (complementing
+/// [`pmem::Stats`], which counts the underlying memory instructions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CapsuleMetrics {
+    /// Encapsulated operations started.
+    pub operations: u64,
+    /// Capsule executions (including repetitions after crashes).
+    pub capsules: u64,
+    /// Capsule boundaries written.
+    pub boundaries: u64,
+    /// Recoveries performed (frame reloads after a crash).
+    pub recoveries: u64,
+}
+
+/// Per-process capsule state: a persistent [`Frame`] plus its volatile mirrors.
+pub struct CapsuleRuntime<'t, 'm> {
+    thread: &'t PThread<'m>,
+    frame: Frame,
+    /// Volatile mirror of the persisted slots (slot 0 = sequence number).
+    locals: Vec<u64>,
+    pc: u32,
+    /// Bitmask of slots changed since the last boundary.
+    dirty: u64,
+    /// Bitmask of slots read since the last boundary (compact-frame hazard check).
+    read_mask: u64,
+    crashed: bool,
+    /// Whether `run_op` persists a boundary at operation entry (see
+    /// [`set_entry_boundary`](Self::set_entry_boundary)).
+    entry_boundary: bool,
+    /// Whether the operation-final boundary is emitted (see
+    /// [`set_final_boundary`](Self::set_final_boundary)).
+    final_boundary: bool,
+    /// Whether compact-frame boundaries assert the absence of write-after-read
+    /// hazards (enabled by default; benchmarks may disable it).
+    war_check: bool,
+    metrics: CapsuleMetrics,
+}
+
+impl<'t, 'm> CapsuleRuntime<'t, 'm> {
+    /// Create a runtime with a freshly allocated frame for `nvars` user locals, and
+    /// publish the frame in the process's restart pointer.
+    pub fn new(thread: &'t PThread<'m>, style: BoundaryStyle, nvars: usize) -> Self {
+        let frame = Frame::alloc(thread, style, nvars);
+        // Publish the frame as this process's restart context (§2.1).
+        thread.write(thread.restart_word(), frame.base().to_raw());
+        thread.persist(thread.restart_word());
+        CapsuleRuntime {
+            thread,
+            frame,
+            locals: vec![0; nvars + 1],
+            pc: 0,
+            dirty: 0,
+            read_mask: 0,
+            crashed: false,
+            entry_boundary: true,
+            final_boundary: true,
+            war_check: true,
+            metrics: CapsuleMetrics::default(),
+        }
+    }
+
+    /// Re-attach to the frame published in the process's restart pointer — what a
+    /// process does when it restarts after a crash. The runtime comes up in the
+    /// recovered state (persisted locals loaded, `crashed()` raised).
+    pub fn attach_from_restart_pointer(
+        thread: &'t PThread<'m>,
+        style: BoundaryStyle,
+        nvars: usize,
+    ) -> Self {
+        let base = PAddr::from_raw(thread.read(thread.restart_word()));
+        let frame = Frame::attach(base, style, nvars);
+        let mut rt = CapsuleRuntime {
+            thread,
+            frame,
+            locals: vec![0; nvars + 1],
+            pc: 0,
+            dirty: 0,
+            read_mask: 0,
+            crashed: false,
+            entry_boundary: true,
+            final_boundary: true,
+            war_check: true,
+            metrics: CapsuleMetrics::default(),
+        };
+        rt.recover();
+        rt
+    }
+
+    /// The thread this runtime issues instructions through.
+    pub fn thread(&self) -> &'t PThread<'m> {
+        self.thread
+    }
+
+    /// The persistent frame backing this runtime.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Capsule-level counters.
+    pub fn metrics(&self) -> CapsuleMetrics {
+        self.metrics
+    }
+
+    /// Control whether [`run_op`](Self::run_op) persists a boundary when the
+    /// operation starts. The paper's experiments omit this per-operation boundary
+    /// because it is common to every variant under test (§10); crash-recovery tests
+    /// keep it on (the default) so that restarting an operation from its entry is
+    /// always well defined.
+    pub fn set_entry_boundary(&mut self, enabled: bool) {
+        self.entry_boundary = enabled;
+    }
+
+    /// Control whether [`finish_boundary`](Self::finish_boundary) actually persists
+    /// the operation-final boundary. Like the entry boundary, the final boundary is
+    /// the same for every variant (it doubles as the next operation's entry), so the
+    /// paper's measurements elide it; disabling it trades away detectability of the
+    /// very last operation's return value, which is exactly the trade-off §10
+    /// discusses for the comparative experiments.
+    pub fn set_final_boundary(&mut self, enabled: bool) {
+        self.final_boundary = enabled;
+    }
+
+    /// Emit the boundary that ends an operation (persisting its return value),
+    /// unless final boundaries are disabled for measurement parity.
+    pub fn finish_boundary(&mut self, next_pc: u32) {
+        if self.final_boundary {
+            self.boundary(next_pc);
+        } else {
+            self.pc = next_pc;
+            self.dirty = 0;
+            self.read_mask = 0;
+            self.crashed = false;
+        }
+    }
+
+    /// Enable or disable the compact-frame write-after-read hazard assertion.
+    pub fn set_war_check(&mut self, enabled: bool) {
+        self.war_check = enabled;
+    }
+
+    // ----- persisted locals ----------------------------------------------------
+
+    /// Read user local `i` (its value as of the last boundary or the last
+    /// `set_local` in this capsule).
+    pub fn local(&mut self, i: usize) -> u64 {
+        let slot = i + 1;
+        assert!(slot <= self.frame.nvars(), "local {i} out of range");
+        self.read_mask |= 1 << slot;
+        self.locals[slot]
+    }
+
+    /// Set user local `i`; it will be persisted at the next boundary.
+    pub fn set_local(&mut self, i: usize, value: u64) {
+        let slot = i + 1;
+        assert!(slot <= self.frame.nvars(), "local {i} out of range");
+        self.locals[slot] = value;
+        self.dirty |= 1 << slot;
+    }
+
+    /// Convenience: store a [`PAddr`] in a local.
+    pub fn set_local_addr(&mut self, i: usize, addr: PAddr) {
+        self.set_local(i, addr.to_raw());
+    }
+
+    /// Convenience: read a local as a [`PAddr`].
+    pub fn local_addr(&mut self, i: usize) -> PAddr {
+        PAddr::from_raw(self.local(i))
+    }
+
+    /// The current capsule's view of the per-process sequence number.
+    pub fn seq(&self) -> u64 {
+        self.locals[SEQ_SLOT]
+    }
+
+    /// Advance the sequence number (once per recoverable CAS). Repetitions of the
+    /// same capsule see the same values because the counter is reset to its
+    /// persisted value on recovery and re-advanced deterministically.
+    pub fn advance_seq(&mut self) -> u64 {
+        self.locals[SEQ_SLOT] += 1;
+        self.dirty |= 1 << SEQ_SLOT;
+        self.locals[SEQ_SLOT]
+    }
+
+    /// The `crashed()` flag of Algorithm 3: true iff the current capsule is being
+    /// re-executed because of a crash. Cleared by the next boundary.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The current program counter (the pc of the capsule being executed).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    // ----- boundaries and recovery ----------------------------------------------
+
+    /// Emit a capsule boundary: persist every slot changed since the previous
+    /// boundary together with the next program counter, atomically.
+    pub fn boundary(&mut self, next_pc: u32) {
+        let changed: Vec<(usize, u64)> = (0..self.frame.slots())
+            .filter(|slot| (self.dirty >> slot) & 1 == 1)
+            .map(|slot| (slot, self.locals[slot]))
+            .collect();
+        if self.war_check
+            && self.frame.style() == BoundaryStyle::Compact
+            && self
+                .frame
+                .check_compact_war(self.thread, self.read_mask, &changed)
+        {
+            panic!(
+                "compact-frame write-after-read hazard: capsule at pc {} overwrites a local it depended on",
+                self.pc
+            );
+        }
+        self.frame.write_boundary(self.thread, next_pc, &changed);
+        self.pc = next_pc;
+        self.dirty = 0;
+        self.read_mask = 0;
+        self.crashed = false;
+        self.metrics.boundaries += 1;
+    }
+
+    /// Reload the persisted frame into the volatile mirrors (what the process does
+    /// on restart). Raises the `crashed()` flag and counts the (constant) number of
+    /// recovery instructions in [`pmem::Stats::recovery_steps`].
+    pub fn recover(&mut self) {
+        self.thread.begin_recovery();
+        let (pc, values) = self.frame.recover(self.thread);
+        self.thread.end_recovery();
+        self.pc = pc;
+        self.locals = values;
+        self.dirty = 0;
+        self.read_mask = 0;
+        self.crashed = true;
+        // Consume the system-level crashed flag, mirroring the model's crashed().
+        let _ = self.thread.mem().take_crashed(self.thread.pid());
+        self.metrics.recoveries += 1;
+    }
+
+    // ----- operation driver ------------------------------------------------------
+
+    /// Run an encapsulated operation to completion, surviving any number of
+    /// simulated crashes.
+    ///
+    /// `entry_pc` is the program counter of the operation's first capsule. `body`
+    /// executes exactly one capsule per invocation: it dispatches on
+    /// [`pc()`](Self::pc), performs the capsule's instructions, emits a
+    /// [`boundary`](Self::boundary) (except possibly before returning `Done`), and
+    /// returns whether the operation continues or finished.
+    ///
+    /// Operation arguments that the first capsule needs across a crash must be
+    /// stored with [`set_local`](Self::set_local) *before* calling `run_op`, so the
+    /// entry boundary persists them.
+    pub fn run_op<R>(
+        &mut self,
+        entry_pc: u32,
+        mut body: impl FnMut(&mut Self) -> CapsuleStep<R>,
+    ) -> R {
+        self.metrics.operations += 1;
+        self.pc = entry_pc;
+        if self.entry_boundary {
+            // A crash during the entry boundary itself is retried directly: the
+            // operation arguments still live in the caller (this runtime's volatile
+            // mirrors), and a partially written boundary is harmless because the
+            // control word is only published as its final step.
+            loop {
+                match catch_crash(|| self.boundary(entry_pc)) {
+                    Ok(()) => break,
+                    Err(_) => {
+                        self.thread.note_crash();
+                        self.thread.mem().crash_thread(self.thread.pid());
+                        self.pc = entry_pc;
+                    }
+                }
+            }
+        } else {
+            self.dirty = 0;
+            self.read_mask = 0;
+            self.crashed = false;
+        }
+        loop {
+            self.metrics.capsules += 1;
+            match catch_crash(|| body(self)) {
+                Ok(CapsuleStep::Done(result)) => return result,
+                Ok(CapsuleStep::Continue) => continue,
+                Err(_) => {
+                    // The thread's volatile state is gone (the closure unwound);
+                    // simulate the restart: mark the crash, reload the frame. The
+                    // recovery itself may be interrupted by a further crash — the
+                    // model allows crashes at any instruction — so retry it until
+                    // it completes (recovery is idempotent: it only reads).
+                    self.thread.note_crash();
+                    self.thread.mem().crash_thread(self.thread.pid());
+                    while catch_crash(|| self.recover()).is_err() {
+                        self.thread.note_crash();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CapsuleRuntime<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CapsuleRuntime")
+            .field("pid", &self.thread.pid())
+            .field("pc", &self.pc)
+            .field("seq", &self.locals[SEQ_SLOT])
+            .field("crashed", &self.crashed)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{install_quiet_crash_hook, CrashPolicy, PMem};
+
+    #[test]
+    fn locals_persist_across_boundary_and_recovery() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 3);
+        rt.set_local(0, 5);
+        rt.set_local(2, 7);
+        rt.boundary(1);
+        // Volatile scribble that is *not* followed by a boundary.
+        rt.set_local(0, 999);
+        rt.recover();
+        assert_eq!(rt.local(0), 5);
+        assert_eq!(rt.local(1), 0);
+        assert_eq!(rt.local(2), 7);
+        assert_eq!(rt.pc(), 1);
+        assert!(rt.crashed());
+        rt.boundary(2);
+        assert!(!rt.crashed(), "boundary clears the crashed flag");
+    }
+
+    #[test]
+    fn seq_is_stable_across_capsule_repetition() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 1);
+        rt.boundary(0);
+        let s1 = rt.advance_seq();
+        // Crash before the boundary: the advance is lost...
+        rt.recover();
+        let s2 = rt.advance_seq();
+        assert_eq!(s1, s2, "a repeated capsule must reuse the same sequence number");
+        rt.boundary(1);
+        let s3 = rt.advance_seq();
+        assert_eq!(s3, s2 + 1, "a new capsule gets a fresh sequence number");
+    }
+
+    #[test]
+    fn run_op_completes_simple_state_machine() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+        // Compute sum of 1..=10 with one addend per capsule, persisted as it goes.
+        let total = rt.run_op(0, |rt| {
+            let i = rt.pc() as u64;
+            if i == 10 {
+                return CapsuleStep::Done(rt.local(0));
+            }
+            let acc = rt.local(0) + (i + 1);
+            rt.set_local(0, acc);
+            rt.boundary(rt.pc() + 1);
+            CapsuleStep::Continue
+        });
+        assert_eq!(total, 55);
+        let metrics = rt.metrics();
+        assert_eq!(metrics.operations, 1);
+        assert_eq!(metrics.capsules, 11);
+        assert!(metrics.boundaries >= 11);
+        assert_eq!(metrics.recoveries, 0);
+    }
+
+    #[test]
+    fn run_op_survives_random_crashes_with_exact_result() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+        t.set_crash_policy(CrashPolicy::Random {
+            prob: 0.05,
+            seed: 42,
+        });
+        let total = rt.run_op(0, |rt| {
+            let i = rt.pc() as u64;
+            if i == 50 {
+                return CapsuleStep::Done(rt.local(0));
+            }
+            let acc = rt.local(0) + (i + 1);
+            rt.set_local(0, acc);
+            rt.boundary(rt.pc() + 1);
+            CapsuleStep::Continue
+        });
+        t.disarm_crashes();
+        assert_eq!(total, (1..=50).sum::<u64>());
+        assert!(
+            rt.metrics().recoveries > 0,
+            "the crash policy should have interrupted at least one capsule"
+        );
+        assert!(t.stats().crashes >= rt.metrics().recoveries);
+    }
+
+    #[test]
+    fn entry_boundary_persists_operation_arguments() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+        rt.set_local(1, 123); // the operation "argument"
+        // The entry boundary costs 7 instructions (read control, write copy, flush,
+        // fence, write control, flush, fence); fire the crash inside the body.
+        t.set_crash_policy(CrashPolicy::Countdown(8));
+        let arg_seen = rt.run_op(7, |rt| {
+            // Burn a few instructions so the crash fires inside this capsule.
+            let probe = rt.thread().alloc(1);
+            for _ in 0..3 {
+                let _ = rt.thread().read(probe);
+            }
+            CapsuleStep::Done(rt.local(1))
+        });
+        t.disarm_crashes();
+        assert_eq!(arg_seen, 123, "argument must survive the crash via the entry boundary");
+        assert!(rt.metrics().recoveries > 0);
+        assert_eq!(rt.pc(), 7);
+    }
+
+    #[test]
+    fn attach_from_restart_pointer_resumes_published_frame() {
+        let mem = PMem::with_threads(1);
+        let frame_pc;
+        {
+            let t = mem.thread(0);
+            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+            rt.set_local(1, 88);
+            rt.boundary(4);
+            frame_pc = rt.pc();
+            // Simulate losing the whole process (drop rt and the thread handle).
+        }
+        mem.crash_all();
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::attach_from_restart_pointer(&t, BoundaryStyle::General, 2);
+        assert!(rt.crashed());
+        assert_eq!(rt.pc(), frame_pc);
+        assert_eq!(rt.local(1), 88);
+    }
+
+    #[test]
+    fn compact_runtime_round_trips() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::Compact, 3);
+        rt.set_local(0, 10);
+        rt.set_local(1, 20);
+        rt.boundary(2);
+        rt.set_local(2, 30);
+        rt.boundary(3);
+        rt.recover();
+        assert_eq!((rt.local(0), rt.local(1), rt.local(2)), (10, 20, 30));
+        assert_eq!(rt.pc(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-after-read hazard")]
+    fn compact_war_hazard_is_detected() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::Compact, 2);
+        rt.set_local(0, 1);
+        rt.boundary(1);
+        // This capsule reads local 0 and then tries to persist a different value
+        // into it: with a single-copy frame that is unsafe.
+        let v = rt.local(0);
+        rt.set_local(0, v + 1);
+        rt.boundary(2);
+    }
+
+    #[test]
+    fn war_check_can_be_disabled() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::Compact, 2);
+        rt.set_war_check(false);
+        rt.set_local(0, 1);
+        rt.boundary(1);
+        let v = rt.local(0);
+        rt.set_local(0, v + 1);
+        rt.boundary(2); // does not panic
+        assert_eq!(rt.local(0), 2);
+    }
+
+    #[test]
+    fn skipping_entry_boundary_reduces_persistence_cost() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 1);
+        let run = |rt: &mut CapsuleRuntime, _label: &str| {
+            let before = rt.thread().stats();
+            let _ = rt.run_op(0, |rt| {
+                rt.boundary(1);
+                CapsuleStep::Done(())
+            });
+            rt.thread().stats().since(&before)
+        };
+        rt.set_entry_boundary(true);
+        let with_entry = run(&mut rt, "with");
+        rt.set_entry_boundary(false);
+        let without_entry = run(&mut rt, "without");
+        assert!(without_entry.fences < with_entry.fences);
+    }
+}

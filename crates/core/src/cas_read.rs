@@ -1,0 +1,181 @@
+//! §6: the Low-Computation-Delay Simulator (CAS-Read and Read-Only capsules).
+//!
+//! Instead of a boundary after *every* instruction, boundaries are placed only where
+//! the CAS-Read discipline requires one:
+//!
+//! * a capsule contains **at most one CAS** to shared memory, and it must be the
+//!   capsule's first shared-memory effect,
+//! * any number of shared **reads** and local operations may follow,
+//! * a capsule that begins with a persistent write of a private heap location may
+//!   freely read and rewrite that location (there is no write-after-read hazard:
+//!   restarting the capsule overwrites it again),
+//! * otherwise, a read of a heap location followed by a write to it needs a boundary
+//!   in between (§6 / the Blelloch-et-al. idempotence rule).
+//!
+//! Fewer boundaries mean less computation delay but a longer re-execution after a
+//! crash — exactly the trade-off of the paper's "General" queue variant.
+//!
+//! The simulator is a thin layer: the CAS entry point is
+//! [`capsules::recoverable_cas`]; this type adds the read helpers and records how
+//! many boundaries a transformed operation actually used so tests can verify the
+//! boundary-count claims (e.g. that the General queue uses more boundaries per
+//! operation than the Normalized one).
+
+use capsules::{recoverable_cas, CapsuleRuntime};
+use pmem::PAddr;
+use rcas::RcasSpace;
+
+/// The Low-Computation-Delay (CAS-Read) simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct CasReadSimulator {
+    space: RcasSpace,
+}
+
+impl CasReadSimulator {
+    /// Build a simulator that uses `space` for its recoverable CASes.
+    pub fn new(space: RcasSpace) -> CasReadSimulator {
+        CasReadSimulator { space }
+    }
+
+    /// The recoverable-CAS space used by this simulator.
+    pub fn space(&self) -> &RcasSpace {
+        &self.space
+    }
+
+    /// The CAS that opens a CAS-Read capsule (Algorithm 3). Must be the capsule's
+    /// first shared-memory effect; `expected`/`new` must come from state persisted
+    /// at the previous boundary.
+    pub fn capsule_cas(
+        &self,
+        rt: &mut CapsuleRuntime<'_, '_>,
+        addr: PAddr,
+        expected: u64,
+        new: u64,
+    ) -> bool {
+        recoverable_cas(rt, &self.space, addr, expected, new)
+    }
+
+    /// A shared read of a recoverable-CAS-formatted word. Reads are invisible and
+    /// may appear anywhere in a capsule.
+    pub fn read(&self, rt: &mut CapsuleRuntime<'_, '_>, addr: PAddr) -> u64 {
+        self.space.read(rt.thread(), addr)
+    }
+
+    /// A shared read of a plain persistent word.
+    pub fn read_plain(&self, rt: &mut CapsuleRuntime<'_, '_>, addr: PAddr) -> u64 {
+        rt.thread().read(addr)
+    }
+
+    /// A persistent write to a *private* heap location (e.g. initialising a freshly
+    /// allocated node before it is published). Safe anywhere in a capsule because a
+    /// restart simply performs the write again.
+    pub fn write_private(&self, rt: &mut CapsuleRuntime<'_, '_>, addr: PAddr, value: u64) {
+        rt.thread().write(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsules::{BoundaryStyle, CapsuleStep};
+    use pmem::{install_quiet_crash_hook, CrashPolicy, PMem};
+
+    /// The canonical CAS-Read encapsulation of a fetch-and-increment: capsule 0
+    /// (read-only) reads and persists the expected value, capsule 1 (CAS-Read) does
+    /// the CAS. Compare with the constant-delay test: same machine, half the
+    /// boundaries for the read part.
+    fn increment(
+        mem: &PMem,
+        pid: usize,
+        space: &RcasSpace,
+        x: PAddr,
+        n: u64,
+        policy: CrashPolicy,
+    ) -> capsules::CapsuleMetrics {
+        let t = mem.thread(pid);
+        let sim = CasReadSimulator::new(*space);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+        // Arm crash injection only after the runtime's frame exists.
+        t.set_crash_policy(policy);
+        for _ in 0..n {
+            rt.run_op(0, |rt| match rt.pc() {
+                0 => {
+                    let v = sim.read(rt, x);
+                    rt.set_local(0, v);
+                    rt.boundary(1);
+                    CapsuleStep::Continue
+                }
+                1 => {
+                    let v = rt.local(0);
+                    if sim.capsule_cas(rt, x, v, v + 1) {
+                        rt.boundary(2);
+                        CapsuleStep::Done(())
+                    } else {
+                        rt.boundary(0);
+                        CapsuleStep::Continue
+                    }
+                }
+                2 => CapsuleStep::Done(()),
+                pc => unreachable!("pc {pc}"),
+            });
+        }
+        t.disarm_crashes();
+        rt.metrics()
+    }
+
+    #[test]
+    fn increments_are_exact_without_crashes() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 1);
+        let x = space.create(&t, 0).addr();
+        increment(&mem, 0, &space, x, 64, CrashPolicy::Never);
+        assert_eq!(space.read(&mem.thread(0), x), 64);
+    }
+
+    #[test]
+    fn increments_are_exact_with_crashes() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 2);
+        let x = space.create(&t, 0).addr();
+        std::thread::scope(|s| {
+            for pid in 0..2 {
+                let mem = &mem;
+                let space = &space;
+                s.spawn(move || {
+                    increment(
+                        mem,
+                        pid,
+                        space,
+                        x,
+                        120,
+                        CrashPolicy::Random {
+                            prob: 0.02,
+                            seed: 11 + pid as u64,
+                        },
+                    );
+                });
+            }
+        });
+        assert_eq!(space.read(&mem.thread(0), x), 240);
+    }
+
+    #[test]
+    fn uses_fewer_boundaries_than_constant_delay() {
+        // Both simulators execute the same 20 uncontended increments; the CAS-Read
+        // encapsulation needs 2 boundaries per op (read capsule + CAS capsule +
+        // entry disabled), the single-instruction encapsulation needs one per
+        // instruction which is strictly more once the extra result-persists are
+        // counted.
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 1);
+        let x = space.create(&t, 0).addr();
+        let metrics = increment(&mem, 0, &space, x, 20, CrashPolicy::Never);
+        // entry boundary + read capsule + CAS capsule = 3 boundaries per operation.
+        assert_eq!(metrics.boundaries, 3 * 20);
+        assert_eq!(metrics.operations, 20);
+    }
+}

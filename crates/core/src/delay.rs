@@ -1,0 +1,146 @@
+//! Measuring computation delay and recovery delay (§3).
+//!
+//! A simulation has *k-computation delay* if it replaces every instruction of the
+//! original program with at most `k` instructions, and *k-recovery delay* if a
+//! crashed process is back at the point it crashed within `k` instructions. These
+//! helpers turn the raw [`pmem::Stats`] counters into those two numbers so tests
+//! and benchmarks can check the theorems empirically (the delay tables in
+//! `EXPERIMENTS.md` are produced with them).
+
+use pmem::Stats;
+
+/// Empirical computation-delay report: how many simulated instructions the
+/// transformed program used per instruction of the original program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayReport {
+    /// Instructions (shared-memory + persistence) per operation in the original.
+    pub baseline_steps_per_op: f64,
+    /// Instructions per operation in the simulation.
+    pub simulated_steps_per_op: f64,
+    /// The empirical computation-delay factor (simulated / baseline).
+    pub computation_delay: f64,
+    /// Flushes per operation in the simulation.
+    pub flushes_per_op: f64,
+    /// Fences per operation in the simulation.
+    pub fences_per_op: f64,
+}
+
+impl DelayReport {
+    /// Build a report from the two stat blocks and the number of high-level
+    /// operations each of them executed.
+    pub fn compare(baseline: &Stats, baseline_ops: u64, simulated: &Stats, simulated_ops: u64) -> DelayReport {
+        let base = if baseline_ops == 0 {
+            0.0
+        } else {
+            baseline.steps() as f64 / baseline_ops as f64
+        };
+        let sim = if simulated_ops == 0 {
+            0.0
+        } else {
+            simulated.steps() as f64 / simulated_ops as f64
+        };
+        DelayReport {
+            baseline_steps_per_op: base,
+            simulated_steps_per_op: sim,
+            computation_delay: if base > 0.0 { sim / base } else { 0.0 },
+            flushes_per_op: simulated.flushes_per_op(simulated_ops),
+            fences_per_op: simulated.fences_per_op(simulated_ops),
+        }
+    }
+}
+
+impl std::fmt::Display for DelayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "computation delay {:.2}x ({:.1} -> {:.1} steps/op), {:.2} flushes/op, {:.2} fences/op",
+            self.computation_delay,
+            self.baseline_steps_per_op,
+            self.simulated_steps_per_op,
+            self.flushes_per_op,
+            self.fences_per_op
+        )
+    }
+}
+
+/// Measures recovery delay: the number of simulated instructions a process executes
+/// between observing a crash and being ready to continue (Definition 3.3).
+///
+/// Usage: call [`RecoveryProbe::before`] just before triggering recovery and
+/// [`RecoveryProbe::after`] once the process has re-reached its pre-crash point;
+/// the probe reads the `recovery_steps` counter that
+/// [`CapsuleRuntime::recover`](capsules::CapsuleRuntime::recover) (and any code
+/// wrapped in `begin_recovery`/`end_recovery`) accumulates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryProbe {
+    start: u64,
+}
+
+impl RecoveryProbe {
+    /// Snapshot the recovery-step counter before recovery begins.
+    pub fn before(thread: &pmem::PThread<'_>) -> RecoveryProbe {
+        RecoveryProbe {
+            start: thread.stats().recovery_steps,
+        }
+    }
+
+    /// Number of recovery steps executed since [`before`](Self::before).
+    pub fn after(&self, thread: &pmem::PThread<'_>) -> u64 {
+        thread.stats().recovery_steps - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, flushes: u64, fences: u64) -> Stats {
+        Stats {
+            reads,
+            flushes,
+            fences,
+            ..Stats::new()
+        }
+    }
+
+    #[test]
+    fn compare_computes_per_op_factors() {
+        let baseline = stats(100, 0, 0);
+        let simulated = stats(250, 50, 25);
+        let report = DelayReport::compare(&baseline, 10, &simulated, 10);
+        assert!((report.baseline_steps_per_op - 10.0).abs() < 1e-9);
+        assert!((report.simulated_steps_per_op - 32.5).abs() < 1e-9);
+        assert!((report.computation_delay - 3.25).abs() < 1e-9);
+        assert!((report.flushes_per_op - 5.0).abs() < 1e-9);
+        assert!((report.fences_per_op - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ops_do_not_divide_by_zero() {
+        let report = DelayReport::compare(&stats(0, 0, 0), 0, &stats(10, 0, 0), 0);
+        assert_eq!(report.computation_delay, 0.0);
+        assert_eq!(report.baseline_steps_per_op, 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let report = DelayReport::compare(&stats(10, 0, 0), 1, &stats(27, 2, 1), 1);
+        let text = report.to_string();
+        assert!(text.contains("computation delay 3.00x"), "got: {text}");
+    }
+
+    #[test]
+    fn recovery_probe_counts_only_recovery_steps() {
+        let mem = pmem::PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.read(a);
+        let probe = RecoveryProbe::before(&t);
+        t.begin_recovery();
+        t.read(a);
+        t.read(a);
+        t.end_recovery();
+        t.read(a);
+        assert_eq!(probe.after(&t), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! # `delayfree` — delay-free persistent simulations
+//!
+//! This crate is the public face of the workspace's reproduction of *Delay-Free
+//! Concurrency on Faulty Persistent Memory* (Ben-David, Blelloch, Friedman, Wei —
+//! SPAA 2019). It packages the paper's three transformations as reusable simulators
+//! on top of the `pmem`, `rcas` and `capsules` substrates:
+//!
+//! * [`ConstantDelaySimulator`] (§5) — single-instruction capsules: every simulated
+//!   instruction is its own capsule, giving constant computation delay *and*
+//!   constant recovery delay (Theorem 1.1 / 5.1).
+//! * [`CasReadSimulator`] (§6) — the Low-Computation-Delay simulator: capsule
+//!   boundaries only where required by the CAS-Read discipline (one CAS at the head
+//!   of a capsule, reads afterwards), trading recovery delay for fewer boundaries.
+//! * [`NormalizedSimulator`] (§7, Algorithm 4) — for normalized lock-free data
+//!   structures (CAS generator / CAS executor / wrap-up): one capsule boundary per
+//!   iteration of the operation's retry loop.
+//!
+//! plus:
+//!
+//! * [`delay`] — helpers for measuring computation delay and recovery delay against
+//!   an un-transformed baseline (Definition 3.1/3.3),
+//! * [`writes`] — the §8 story for shared writes: replace non-racy writes by a CAS,
+//!   and use [`rcas::WritableCasArray`] (Algorithm 8) where a write genuinely races
+//!   with a CAS.
+//!
+//! ## Which simulator do I use?
+//!
+//! | Simulator | Applies to | Computation delay | Recovery delay |
+//! |---|---|---|---|
+//! | `ConstantDelaySimulator` | any program (reads/CASes/writes) | constant, largest | constant |
+//! | `CasReadSimulator` | any program (reads/CASes/writes) | smaller | one capsule |
+//! | `NormalizedSimulator` | normalized data structures | smallest | one iteration |
+//!
+//! The `queues` crate contains complete worked examples: the Michael–Scott queue
+//! transformed with the CAS-Read simulator ("General") and with the normalized
+//! simulator ("Normalized"), exactly the variants evaluated in the paper's §10.
+
+#![warn(missing_docs)]
+
+pub mod cas_read;
+pub mod constant_delay;
+pub mod delay;
+pub mod normalized;
+pub mod writes;
+
+pub use cas_read::CasReadSimulator;
+pub use constant_delay::ConstantDelaySimulator;
+pub use delay::{DelayReport, RecoveryProbe};
+pub use normalized::{
+    CasDesc, CasList, NormalizedCtx, NormalizedOp, NormalizedSimulator, PersistResult, WrapUp,
+    NORMALIZED_INLINE_LOCALS, NORMALIZED_LOCALS,
+};
+pub use writes::write_as_cas;
+
+/// Convenient re-exports of the substrate types most user code needs.
+pub mod prelude {
+    pub use crate::{
+        write_as_cas, CasDesc, CasList, CasReadSimulator, ConstantDelaySimulator, NormalizedCtx,
+        NormalizedOp, NormalizedSimulator, PersistResult, WrapUp, NORMALIZED_LOCALS,
+    };
+    pub use capsules::{recoverable_cas, BoundaryStyle, CapsuleRuntime, CapsuleStep};
+    pub use pmem::{CrashPolicy, MemConfig, Mode, PAddr, PMem, PThread, Stats, ThreadOptions};
+    pub use rcas::{check_recovery, RCas, RcasLayout, RcasSpace};
+}

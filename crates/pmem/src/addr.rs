@@ -1,0 +1,122 @@
+//! Persistent word addresses.
+//!
+//! The simulated persistent memory is an array of 64-bit words; a [`PAddr`] is an
+//! index into that array. Address 0 is reserved (never handed out by the allocator)
+//! so it doubles as a null pointer for linked data structures, exactly like a real
+//! `nullptr` in persistent memory.
+
+/// An address (word index) in the simulated persistent memory.
+///
+/// `PAddr` is `Copy` and fits in a single word, so data structures can store
+/// addresses *inside* persistent words — this is how linked structures such as the
+/// Michael–Scott queue are built on the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The reserved null address (word index 0).
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw word index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Address of the word `offset` words after `self`.
+    ///
+    /// Used to address fields of multi-word persistent records
+    /// (e.g. `node.offset(1)` is the `next` field of a queue node).
+    #[inline]
+    pub fn offset(self, offset: u64) -> PAddr {
+        debug_assert!(!self.is_null(), "offsetting the null PAddr");
+        PAddr(self.0 + offset)
+    }
+
+    /// The first word of the cache line containing this address.
+    #[inline]
+    pub fn line_base(self) -> PAddr {
+        PAddr(self.0 & !(crate::LINE_WORDS - 1))
+    }
+
+    /// Round-trips an address through a raw `u64`, e.g. after storing it inside a
+    /// persistent word.
+    #[inline]
+    pub fn from_raw(raw: u64) -> PAddr {
+        PAddr(raw)
+    }
+
+    /// The raw representation stored in persistent words.
+    #[inline]
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "PAddr(NULL)")
+        } else {
+            write!(f, "PAddr({:#x})", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for PAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert!(PAddr::NULL.is_null());
+        assert_eq!(PAddr::NULL.index(), 0);
+        assert!(!PAddr(1).is_null());
+    }
+
+    #[test]
+    fn offset_adds_words() {
+        let a = PAddr(100);
+        assert_eq!(a.offset(3).index(), 103);
+        assert_eq!(a.offset(0), a);
+    }
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        assert_eq!(PAddr(8).line_base(), PAddr(8));
+        assert_eq!(PAddr(9).line_base(), PAddr(8));
+        assert_eq!(PAddr(15).line_base(), PAddr(8));
+        assert_eq!(PAddr(16).line_base(), PAddr(16));
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let a = PAddr(0xdead_beef);
+        assert_eq!(PAddr::from_raw(a.to_raw()), a);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn offset_null_panics_in_debug() {
+        let _ = PAddr::NULL.offset(1);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", PAddr::NULL), "PAddr(NULL)");
+        assert_eq!(format!("{:?}", PAddr(16)), "PAddr(0x10)");
+    }
+}

@@ -1,0 +1,372 @@
+//! The persistent word arena.
+//!
+//! Persistent memory is a flat array of 64-bit words, stored in lazily created
+//! fixed-size segments so that allocation never moves existing words (threads hold
+//! raw indices across the whole run). Each word carries two values:
+//!
+//! * `current` — what a load observes (the cache contents in the shared-cache
+//!   model, the memory contents in the private-cache model), and
+//! * `persisted` — what survives a simulated crash in the shared-cache model.
+//!
+//! Flushing a cache line copies `current` into `persisted` for the 8 words of the
+//! line; a full-system crash copies `persisted` back into `current` for every
+//! allocated word. In the private-cache model the `persisted` half is unused
+//! (shared memory is durable by definition) and crashes do not touch memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::addr::PAddr;
+use crate::LINE_WORDS;
+
+/// Number of words per segment (1 MiWords = 8 MiB of `current` + 8 MiB of shadow).
+pub const SEGMENT_WORDS: usize = 1 << 20;
+
+/// Maximum number of segments (caps the arena at 64 Gi words; far more than any
+/// test or benchmark needs, while keeping the segment table small).
+pub const MAX_SEGMENTS: usize = 1 << 16;
+
+/// One simulated persistent word: the cached value and the durable value.
+#[derive(Debug)]
+pub struct Word {
+    current: AtomicU64,
+    persisted: AtomicU64,
+}
+
+impl Word {
+    fn new() -> Word {
+        Word {
+            current: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
+        }
+    }
+
+    /// Load the cached value.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Store to the cached value.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.current.store(v, Ordering::SeqCst)
+    }
+
+    /// Compare-and-swap on the cached value; returns the witnessed value on failure.
+    #[inline]
+    pub fn compare_exchange(&self, expected: u64, new: u64) -> Result<u64, u64> {
+        self.current
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomic fetch-and-add on the cached value.
+    #[inline]
+    pub fn fetch_add(&self, delta: u64) -> u64 {
+        self.current.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Copy the cached value into the durable copy (what a `clflushopt` does once
+    /// the following fence completes; the simulator persists eagerly at the flush).
+    #[inline]
+    pub fn persist_now(&self) {
+        self.persisted
+            .store(self.current.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Roll the cached value back to the durable copy (a crash).
+    #[inline]
+    pub fn rollback(&self) {
+        self.current
+            .store(self.persisted.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Read the durable copy (used by tests asserting durability invariants).
+    #[inline]
+    pub fn durable(&self) -> u64 {
+        self.persisted.load(Ordering::SeqCst)
+    }
+}
+
+/// Lazily grown, never-moving array of persistent words.
+pub struct Arena {
+    segments: Box<[OnceLock<Box<[Word]>>]>,
+    /// Bump-allocation cursor (word index of the next free word).
+    next: AtomicU64,
+    /// Serialises segment creation (not on the access fast path).
+    grow_lock: Mutex<()>,
+}
+
+impl Arena {
+    /// Create an arena whose first `reserved` words (at least 1, for the null word)
+    /// are pre-allocated and considered reserved for the system area.
+    pub fn new(reserved: u64) -> Arena {
+        let reserved = reserved.max(1);
+        let mut segments = Vec::with_capacity(MAX_SEGMENTS);
+        segments.resize_with(MAX_SEGMENTS, OnceLock::new);
+        let arena = Arena {
+            segments: segments.into_boxed_slice(),
+            next: AtomicU64::new(reserved),
+            grow_lock: Mutex::new(()),
+        };
+        arena.ensure_capacity(reserved);
+        arena
+    }
+
+    /// The index one past the highest allocated word.
+    pub fn allocated_words(&self) -> u64 {
+        self.next.load(Ordering::SeqCst)
+    }
+
+    fn ensure_capacity(&self, upto_word: u64) {
+        let last_segment = ((upto_word.max(1) - 1) / SEGMENT_WORDS as u64) as usize;
+        assert!(
+            last_segment < MAX_SEGMENTS,
+            "simulated persistent memory exhausted ({} segments)",
+            MAX_SEGMENTS
+        );
+        for seg in 0..=last_segment {
+            if self.segments[seg].get().is_none() {
+                let _guard = self.grow_lock.lock();
+                self.segments[seg].get_or_init(|| {
+                    let mut words = Vec::with_capacity(SEGMENT_WORDS);
+                    words.resize_with(SEGMENT_WORDS, Word::new);
+                    words.into_boxed_slice()
+                });
+            }
+        }
+    }
+
+    /// Bump-allocate `nwords` consecutive words and return the address of the first.
+    ///
+    /// Allocations never straddle a cache line *unless* they are larger than a line,
+    /// so that single-record flushes behave like they would on real hardware.
+    pub fn alloc(&self, nwords: u64) -> PAddr {
+        assert!(nwords > 0, "zero-sized persistent allocation");
+        loop {
+            let cur = self.next.load(Ordering::SeqCst);
+            // Avoid straddling a cache line for sub-line allocations.
+            let line_off = cur % LINE_WORDS;
+            let base = if nwords <= LINE_WORDS && line_off + nwords > LINE_WORDS {
+                cur + (LINE_WORDS - line_off)
+            } else {
+                cur
+            };
+            let end = base + nwords;
+            if self
+                .next
+                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.ensure_capacity(end);
+                return PAddr(base);
+            }
+        }
+    }
+
+    /// Bump-allocate `nwords` consecutive words starting at a cache-line boundary.
+    /// Used for records whose flush behaviour must not depend on allocation order
+    /// (e.g. capsule frames).
+    pub fn alloc_aligned(&self, nwords: u64) -> PAddr {
+        assert!(nwords > 0, "zero-sized persistent allocation");
+        loop {
+            let cur = self.next.load(Ordering::SeqCst);
+            let base = (cur + LINE_WORDS - 1) & !(LINE_WORDS - 1);
+            let end = base + nwords;
+            if self
+                .next
+                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.ensure_capacity(end);
+                return PAddr(base);
+            }
+        }
+    }
+
+    /// Access a word. Panics if the address was never allocated.
+    #[inline]
+    pub fn word(&self, addr: PAddr) -> &Word {
+        debug_assert!(!addr.is_null(), "dereferencing the null PAddr");
+        let idx = addr.0 as usize;
+        let seg = idx / SEGMENT_WORDS;
+        let off = idx % SEGMENT_WORDS;
+        let segment = self.segments[seg]
+            .get()
+            .unwrap_or_else(|| panic!("access to unallocated persistent address {addr:?}"));
+        &segment[off]
+    }
+
+    /// Persist every word of the cache line containing `addr`.
+    pub fn flush_line(&self, addr: PAddr) {
+        let base = addr.line_base().0.max(1);
+        let limit = self.allocated_words();
+        for w in base..(addr.line_base().0 + LINE_WORDS).min(limit) {
+            self.word(PAddr(w)).persist_now();
+        }
+    }
+
+    /// Roll every allocated word back to its durable copy (a full-system crash in
+    /// the shared-cache model). The caller must guarantee quiescence: no other
+    /// thread may be executing simulated instructions during the rollback.
+    pub fn rollback_all(&self) {
+        let limit = self.allocated_words();
+        for idx in 1..limit {
+            self.word(PAddr(idx)).rollback();
+        }
+    }
+
+    /// Persist every allocated word (used to establish a consistent initial state
+    /// before an experiment starts injecting crashes).
+    pub fn persist_all(&self) {
+        let limit = self.allocated_words();
+        for idx in 1..limit {
+            self.word(PAddr(idx)).persist_now();
+        }
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("allocated_words", &self.allocated_words())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_distinct_non_null_addresses() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(1);
+        let b = arena.alloc(1);
+        assert!(!a.is_null());
+        assert!(!b.is_null());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn alloc_does_not_straddle_lines_for_small_records() {
+        let arena = Arena::new(8);
+        // Allocate 3-word records repeatedly; none should straddle a line boundary.
+        for _ in 0..100 {
+            let a = arena.alloc(3);
+            let start_line = a.line_base();
+            let end_line = PAddr(a.0 + 2).line_base();
+            assert_eq!(start_line, end_line, "3-word record straddles a cache line");
+        }
+    }
+
+    #[test]
+    fn large_allocations_may_span_lines() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(100);
+        // All 100 words must be addressable.
+        for i in 0..100 {
+            arena.word(a.offset(i)).store(i);
+        }
+        for i in 0..100 {
+            assert_eq!(arena.word(a.offset(i)).load(), i);
+        }
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(1);
+        arena.word(a).store(123);
+        assert_eq!(arena.word(a).load(), 123);
+    }
+
+    #[test]
+    fn cas_succeeds_and_fails_correctly() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(1);
+        arena.word(a).store(5);
+        assert_eq!(arena.word(a).compare_exchange(5, 6), Ok(5));
+        assert_eq!(arena.word(a).compare_exchange(5, 7), Err(6));
+        assert_eq!(arena.word(a).load(), 6);
+    }
+
+    #[test]
+    fn rollback_reverts_unflushed_writes() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(1);
+        arena.word(a).store(1);
+        arena.flush_line(a);
+        arena.word(a).store(2);
+        // Not flushed: a crash loses the 2.
+        arena.rollback_all();
+        assert_eq!(arena.word(a).load(), 1);
+    }
+
+    #[test]
+    fn flush_line_persists_all_words_in_line() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(8); // a whole line
+        for i in 0..8 {
+            arena.word(a.offset(i)).store(100 + i);
+        }
+        arena.flush_line(a.offset(3)); // flushing any word flushes the line
+        arena.rollback_all();
+        for i in 0..8 {
+            assert_eq!(arena.word(a.offset(i)).load(), 100 + i);
+        }
+    }
+
+    #[test]
+    fn persist_all_makes_everything_durable() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(4);
+        for i in 0..4 {
+            arena.word(a.offset(i)).store(i + 1);
+        }
+        arena.persist_all();
+        arena.rollback_all();
+        for i in 0..4 {
+            assert_eq!(arena.word(a.offset(i)).load(), i + 1);
+        }
+    }
+
+    #[test]
+    fn crossing_segment_boundary_works() {
+        let arena = Arena::new(8);
+        // Allocate past the first segment.
+        let big = arena.alloc(SEGMENT_WORDS as u64 + 16);
+        let last = big.offset(SEGMENT_WORDS as u64 + 15);
+        arena.word(last).store(77);
+        assert_eq!(arena.word(last).load(), 77);
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_disjoint_ranges() {
+        use std::sync::Arc;
+        let arena = Arc::new(Arena::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let arena = Arc::clone(&arena);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| arena.alloc(2).0).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "allocations overlapped");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sized_alloc_panics() {
+        let arena = Arena::new(8);
+        let _ = arena.alloc(0);
+    }
+}

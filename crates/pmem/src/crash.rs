@@ -1,0 +1,243 @@
+//! Crash injection.
+//!
+//! The PPM model lets any process crash at any instruction, losing its volatile
+//! state. The simulator reproduces this by having every instrumented persistent
+//! memory access consult the thread's [`CrashPolicy`]; when the policy fires, the
+//! access panics with a [`CrashSignal`] payload. Unwinding destroys the thread's
+//! Rust locals — exactly the volatile state the model says is lost — and the capsule
+//! runtime (or [`catch_crash`]) catches the signal and restarts execution from the
+//! process's restart pointer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{self, AssertUnwindSafe};
+
+/// The panic payload used to simulate a crash. Carried through `panic_any` and
+/// recognised by [`catch_crash`] / the capsule runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSignal {
+    /// The process id of the crashing thread.
+    pub pid: usize,
+    /// The value of the thread's step counter when the crash fired.
+    pub at_step: u64,
+}
+
+/// Marker returned by [`catch_crash`] when the closure was interrupted by a
+/// simulated crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crashed {
+    /// The signal that interrupted the closure.
+    pub signal: CrashSignal,
+}
+
+/// Decides when a simulated crash fires on a thread.
+///
+/// Policies are evaluated at every *crash point*: each instrumented persistent
+/// memory access plus every explicit [`PThread::crash_point`](crate::PThread::crash_point)
+/// call. The policy is consulted with the thread's monotonically increasing step
+/// counter.
+#[derive(Clone, Debug)]
+pub enum CrashPolicy {
+    /// Never crash (the default; used for throughput benchmarks).
+    Never,
+    /// Crash exactly once, when the step counter reaches the given absolute value.
+    AtStep(u64),
+    /// Crash exactly once, after the given number of additional crash points.
+    Countdown(u64),
+    /// Crash at each crash point independently with probability `prob`
+    /// (seeded for reproducibility). Fires repeatedly — each catch re-arms it.
+    Random {
+        /// Per-crash-point crash probability in `[0, 1]`.
+        prob: f64,
+        /// RNG seed, so torture tests are reproducible.
+        seed: u64,
+    },
+}
+
+impl Default for CrashPolicy {
+    fn default() -> Self {
+        CrashPolicy::Never
+    }
+}
+
+/// Internal, armed state of a crash policy (holds the RNG for `Random`).
+#[derive(Debug)]
+pub(crate) enum ArmedPolicy {
+    Never,
+    AtStep(u64),
+    Countdown(u64),
+    Random { prob: f64, rng: SmallRng },
+    /// A one-shot policy that already fired.
+    Spent,
+}
+
+impl ArmedPolicy {
+    pub(crate) fn arm(policy: CrashPolicy) -> ArmedPolicy {
+        match policy {
+            CrashPolicy::Never => ArmedPolicy::Never,
+            CrashPolicy::AtStep(s) => ArmedPolicy::AtStep(s),
+            CrashPolicy::Countdown(n) => ArmedPolicy::Countdown(n),
+            CrashPolicy::Random { prob, seed } => ArmedPolicy::Random {
+                prob,
+                rng: SmallRng::seed_from_u64(seed),
+            },
+        }
+    }
+
+    /// Returns `true` if a crash should fire at this step.
+    #[inline]
+    pub(crate) fn should_crash(&mut self, step: u64) -> bool {
+        match self {
+            ArmedPolicy::Never | ArmedPolicy::Spent => false,
+            ArmedPolicy::AtStep(s) => {
+                if step >= *s {
+                    *self = ArmedPolicy::Spent;
+                    true
+                } else {
+                    false
+                }
+            }
+            ArmedPolicy::Countdown(n) => {
+                if *n == 0 {
+                    *self = ArmedPolicy::Spent;
+                    true
+                } else {
+                    *n -= 1;
+                    false
+                }
+            }
+            ArmedPolicy::Random { prob, rng } => rng.gen_bool(*prob),
+        }
+    }
+
+    pub(crate) fn is_never(&self) -> bool {
+        matches!(self, ArmedPolicy::Never)
+    }
+}
+
+/// Raise a simulated crash on the current thread by panicking with a
+/// [`CrashSignal`] payload. Normally called from inside `PThread`, but exposed so
+/// tests can crash "between" instructions as well.
+#[cold]
+pub fn raise_crash(pid: usize, at_step: u64) -> ! {
+    panic::panic_any(CrashSignal { pid, at_step })
+}
+
+/// Returns the crash signal if the panic payload is a simulated crash.
+pub fn crash_signal_of(payload: &(dyn std::any::Any + Send)) -> Option<CrashSignal> {
+    payload.downcast_ref::<CrashSignal>().copied()
+}
+
+/// Run a closure, converting a simulated crash into `Err(Crashed)`.
+///
+/// Real panics (assertion failures, bugs) are propagated unchanged so that test
+/// failures are never silently swallowed by the crash machinery.
+pub fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, Crashed> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => match crash_signal_of(payload.as_ref()) {
+            Some(signal) => Err(Crashed { signal }),
+            None => panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Install a panic hook that suppresses the default "thread panicked" message for
+/// simulated crashes while delegating every other panic to the previous hook.
+///
+/// Call once at the start of crash-torture tests or examples to keep their output
+/// readable; calling it multiple times is harmless.
+pub fn install_quiet_crash_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_some() {
+                // Simulated crash: stay quiet, the harness will recover.
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_policy_never_fires() {
+        let mut p = ArmedPolicy::arm(CrashPolicy::Never);
+        for step in 0..1000 {
+            assert!(!p.should_crash(step));
+        }
+        assert!(p.is_never());
+    }
+
+    #[test]
+    fn at_step_fires_once() {
+        let mut p = ArmedPolicy::arm(CrashPolicy::AtStep(5));
+        assert!(!p.should_crash(3));
+        assert!(!p.should_crash(4));
+        assert!(p.should_crash(5));
+        // One-shot: never fires again.
+        assert!(!p.should_crash(6));
+        assert!(!p.should_crash(100));
+    }
+
+    #[test]
+    fn countdown_fires_after_n_points() {
+        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(3));
+        assert!(!p.should_crash(0));
+        assert!(!p.should_crash(1));
+        assert!(!p.should_crash(2));
+        assert!(p.should_crash(3));
+        assert!(!p.should_crash(4));
+    }
+
+    #[test]
+    fn countdown_zero_fires_immediately() {
+        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(0));
+        assert!(p.should_crash(0));
+        assert!(!p.should_crash(1));
+    }
+
+    #[test]
+    fn random_policy_is_reproducible() {
+        let run = |seed| {
+            let mut p = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.25, seed });
+            (0..64).map(|s| p.should_crash(s)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        // Probability 0 and 1 are exact.
+        let mut never = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.0, seed: 1 });
+        assert!((0..100).all(|s| !never.should_crash(s)));
+        let mut always = ArmedPolicy::arm(CrashPolicy::Random { prob: 1.0, seed: 1 });
+        assert!((0..100).all(|s| always.should_crash(s)));
+    }
+
+    #[test]
+    fn catch_crash_catches_simulated_crash() {
+        install_quiet_crash_hook();
+        let result = catch_crash(|| -> u32 { raise_crash(3, 42) });
+        let crashed = result.unwrap_err();
+        assert_eq!(crashed.signal.pid, 3);
+        assert_eq!(crashed.signal.at_step, 42);
+    }
+
+    #[test]
+    fn catch_crash_passes_values_through() {
+        let result = catch_crash(|| 7u32);
+        assert_eq!(result.unwrap(), 7);
+    }
+
+    #[test]
+    fn catch_crash_propagates_real_panics() {
+        install_quiet_crash_hook();
+        let outer = panic::catch_unwind(|| {
+            let _ = catch_crash(|| -> u32 { panic!("real bug") });
+        });
+        assert!(outer.is_err(), "real panics must not be swallowed");
+    }
+}

@@ -1,0 +1,682 @@
+//! The simulated machine: [`PMem`] (the persistent memory plus per-process system
+//! state) and [`PThread`] (a process's handle through which every simulated
+//! instruction is issued).
+//!
+//! All shared-memory instructions of the paper's model — `Read`, `Write`, `CAS` —
+//! plus the persistence instructions of the shared-cache variant — `flush`
+//! (`clflushopt`) and `fence` (`sfence`) — are methods on [`PThread`]. Each call
+//! counts towards the thread's [`Stats`] and passes a crash point, so the same code
+//! path serves throughput benchmarks (crash policy [`CrashPolicy::Never`]) and
+//! crash-torture tests (probabilistic or targeted policies).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::addr::PAddr;
+use crate::arena::Arena;
+use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy};
+use crate::mode::Mode;
+use crate::stats::Stats;
+
+/// Configuration for a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// Number of processes (threads) the machine supports.
+    pub threads: usize,
+    /// Cache model (private-cache PPM model or shared-cache model).
+    pub mode: Mode,
+}
+
+impl MemConfig {
+    /// A machine with `threads` processes using the default (shared-cache) model.
+    pub fn new(threads: usize) -> MemConfig {
+        MemConfig {
+            threads,
+            mode: Mode::default(),
+        }
+    }
+
+    /// Select the cache model.
+    pub fn mode(mut self, mode: Mode) -> MemConfig {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Per-thread options controlling how instructions are issued.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadOptions {
+    /// Apply the Izraelevitz et al. construction automatically: flush the accessed
+    /// cache line after *every* shared-memory access (and fence after updates).
+    /// This is how Figure 5's variants obtain durable linearizability without any
+    /// algorithm-specific reasoning (§9, §10).
+    pub izraelevitz: bool,
+}
+
+/// The simulated persistent machine: word arena, per-process crashed flags and
+/// restart pointers, and the crash counter.
+pub struct PMem {
+    arena: Arena,
+    mode: Mode,
+    threads: usize,
+    crashed: Vec<AtomicBool>,
+    restart_base: PAddr,
+    crash_events: AtomicU64,
+}
+
+impl PMem {
+    /// Build a machine.
+    pub fn new(config: MemConfig) -> PMem {
+        assert!(config.threads > 0, "a machine needs at least one process");
+        let arena = Arena::new(crate::LINE_WORDS);
+        // One persistent restart-pointer word per process, each on its own line so
+        // that processes never contend on the same line for their private system
+        // state (capsule boundaries are local operations — Theorem 5.1).
+        let restart_base = arena.alloc(config.threads as u64 * crate::LINE_WORDS);
+        let mem = PMem {
+            arena,
+            mode: config.mode,
+            threads: config.threads,
+            crashed: (0..config.threads).map(|_| AtomicBool::new(false)).collect(),
+            restart_base,
+            crash_events: AtomicU64::new(0),
+        };
+        mem.arena.persist_all();
+        mem
+    }
+
+    /// Convenience constructor: `threads` processes, shared-cache model.
+    pub fn with_threads(threads: usize) -> PMem {
+        PMem::new(MemConfig::new(threads))
+    }
+
+    /// The cache model of this machine.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Number of processes.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Obtain the instruction handle for process `pid` with default options.
+    pub fn thread(&self, pid: usize) -> PThread<'_> {
+        self.thread_with(pid, ThreadOptions::default())
+    }
+
+    /// Obtain the instruction handle for process `pid` with explicit options.
+    pub fn thread_with(&self, pid: usize, opts: ThreadOptions) -> PThread<'_> {
+        assert!(pid < self.threads, "pid {pid} out of range (machine has {} processes)", self.threads);
+        PThread {
+            mem: self,
+            pid,
+            opts,
+            stats: RefCell::new(Stats::new()),
+            policy: RefCell::new(ArmedPolicy::arm(CrashPolicy::Never)),
+            step: Cell::new(0),
+            in_recovery: Cell::new(false),
+        }
+    }
+
+    /// The persistent word holding process `pid`'s restart pointer (§2.1). The
+    /// capsule runtime stores the address of the active persistent stack frame here.
+    pub fn restart_word(&self, pid: usize) -> PAddr {
+        assert!(pid < self.threads);
+        self.restart_base.offset(pid as u64 * crate::LINE_WORDS)
+    }
+
+    /// Simulate a full-system crash (shared-cache model): every un-flushed cache
+    /// line reverts to its durable contents and every process's crashed flag is set.
+    ///
+    /// The caller must ensure quiescence — no thread may be executing simulated
+    /// instructions concurrently with the rollback (in the experiments this is
+    /// guaranteed because worker threads have either finished or been unwound by a
+    /// [`CrashSignal`](crate::CrashSignal) before the harness calls this).
+    pub fn crash_all(&self) {
+        if self.mode == Mode::SharedCache {
+            self.arena.rollback_all();
+        }
+        for flag in &self.crashed {
+            flag.store(true, Ordering::SeqCst);
+        }
+        self.crash_events.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Simulate an independent crash of a single process (private-cache model):
+    /// its volatile state is gone (the thread was unwound), persistent memory is
+    /// untouched, and its crashed flag is set so `crashed()` reports the fault.
+    pub fn crash_thread(&self, pid: usize) {
+        assert!(pid < self.threads);
+        self.crashed[pid].store(true, Ordering::SeqCst);
+        self.crash_events.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The `crashed()` system call of §2.1: returns whether process `pid` has
+    /// crashed since the last call, and resets the flag.
+    pub fn take_crashed(&self, pid: usize) -> bool {
+        self.crashed[pid].swap(false, Ordering::SeqCst)
+    }
+
+    /// Peek at the crashed flag without resetting it.
+    pub fn peek_crashed(&self, pid: usize) -> bool {
+        self.crashed[pid].load(Ordering::SeqCst)
+    }
+
+    /// Total number of crash events (system-wide or per-process) injected so far.
+    pub fn crash_events(&self) -> u64 {
+        self.crash_events.load(Ordering::SeqCst)
+    }
+
+    /// Number of persistent words allocated so far.
+    pub fn allocated_words(&self) -> u64 {
+        self.arena.allocated_words()
+    }
+
+    /// Read the *durable* copy of a word — what would survive a crash right now.
+    /// Only used by tests and assertions about durability; algorithms must go
+    /// through [`PThread::read`].
+    pub fn durable_read(&self, addr: PAddr) -> u64 {
+        self.arena.word(addr).durable()
+    }
+
+    /// Read the cached copy of a word without a thread handle (test helper; not an
+    /// instruction of the model and not counted in any statistics).
+    pub fn peek(&self, addr: PAddr) -> u64 {
+        self.arena.word(addr).load()
+    }
+
+    /// Mark everything currently in memory as durable. Experiments call this after
+    /// building an initial state (e.g. pre-filling a queue) so that subsequent
+    /// crashes exercise only the algorithm under test.
+    pub fn persist_everything(&self) {
+        self.arena.persist_all();
+    }
+
+    pub(crate) fn arena(&self) -> &Arena {
+        &self.arena
+    }
+}
+
+impl std::fmt::Debug for PMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PMem")
+            .field("mode", &self.mode)
+            .field("threads", &self.threads)
+            .field("allocated_words", &self.allocated_words())
+            .field("crash_events", &self.crash_events())
+            .finish()
+    }
+}
+
+/// What kind of simulated instruction is being issued (internal bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Instr {
+    Read,
+    Write,
+    Cas,
+    Flush,
+    Fence,
+}
+
+/// A process's handle onto the machine. One per OS thread; not `Sync`.
+///
+/// Every method that touches persistent memory is an *instruction* in the sense of
+/// the paper: it is counted in [`Stats`] and passes a crash point governed by the
+/// thread's [`CrashPolicy`].
+pub struct PThread<'m> {
+    mem: &'m PMem,
+    pid: usize,
+    opts: ThreadOptions,
+    stats: RefCell<Stats>,
+    policy: RefCell<ArmedPolicy>,
+    step: Cell<u64>,
+    in_recovery: Cell<bool>,
+}
+
+impl<'m> PThread<'m> {
+    /// The process id of this handle.
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The machine this handle belongs to.
+    #[inline]
+    pub fn mem(&self) -> &'m PMem {
+        self.mem
+    }
+
+    /// The options this handle was created with.
+    pub fn options(&self) -> ThreadOptions {
+        self.opts
+    }
+
+    /// Install a crash policy. Replaces (and re-arms) any previous policy.
+    pub fn set_crash_policy(&self, policy: CrashPolicy) {
+        *self.policy.borrow_mut() = ArmedPolicy::arm(policy);
+    }
+
+    /// Disable crash injection (equivalent to installing [`CrashPolicy::Never`]).
+    pub fn disarm_crashes(&self) {
+        self.set_crash_policy(CrashPolicy::Never);
+    }
+
+    /// Snapshot of this thread's statistics.
+    pub fn stats(&self) -> Stats {
+        *self.stats.borrow()
+    }
+
+    /// Snapshot and reset this thread's statistics.
+    pub fn take_stats(&self) -> Stats {
+        std::mem::take(&mut *self.stats.borrow_mut())
+    }
+
+    /// Record that this thread observed a simulated crash (increments the crash
+    /// counter in [`Stats`]); called by the capsule runtime when it catches a
+    /// [`CrashSignal`](crate::CrashSignal).
+    pub fn note_crash(&self) {
+        self.stats.borrow_mut().crashes += 1;
+    }
+
+    /// Begin counting instructions as *recovery* steps (for recovery-delay
+    /// measurements). Recovery steps are counted in addition to their normal
+    /// category.
+    pub fn begin_recovery(&self) {
+        self.in_recovery.set(true);
+    }
+
+    /// Stop counting instructions as recovery steps.
+    pub fn end_recovery(&self) {
+        self.in_recovery.set(false);
+    }
+
+    /// Whether the thread is currently inside a recovery section.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery.get()
+    }
+
+    #[inline]
+    fn bump(&self, instr: Instr) {
+        {
+            let mut s = self.stats.borrow_mut();
+            match instr {
+                Instr::Read => s.reads += 1,
+                Instr::Write => s.writes += 1,
+                Instr::Cas => s.cas += 1,
+                Instr::Flush => s.flushes += 1,
+                Instr::Fence => s.fences += 1,
+            }
+            if self.in_recovery.get() {
+                s.recovery_steps += 1;
+            }
+        }
+        let step = self.step.get() + 1;
+        self.step.set(step);
+        let mut policy = self.policy.borrow_mut();
+        if !policy.is_never() && policy.should_crash(step) {
+            drop(policy);
+            raise_crash(self.pid, step);
+        }
+    }
+
+    /// An explicit crash point between instructions (the model allows a crash at
+    /// any moment, not only during memory accesses).
+    #[inline]
+    pub fn crash_point(&self) {
+        let step = self.step.get() + 1;
+        self.step.set(step);
+        let mut policy = self.policy.borrow_mut();
+        if !policy.is_never() && policy.should_crash(step) {
+            drop(policy);
+            raise_crash(self.pid, step);
+        }
+    }
+
+    /// The thread's monotonically increasing instruction counter.
+    pub fn step_count(&self) -> u64 {
+        self.step.get()
+    }
+
+    // ----- shared-memory instructions ---------------------------------------
+
+    /// Atomic read of a persistent word.
+    #[inline]
+    pub fn read(&self, addr: PAddr) -> u64 {
+        self.bump(Instr::Read);
+        let v = self.mem.arena().word(addr).load();
+        if self.opts.izraelevitz {
+            // The automatic construction flushes the line after every access.
+            self.flush(addr);
+        }
+        v
+    }
+
+    /// Atomic write to a persistent word.
+    ///
+    /// In the private-cache model the store is immediately durable; in the
+    /// shared-cache model it stays in the (volatile) cache until flushed.
+    #[inline]
+    pub fn write(&self, addr: PAddr, value: u64) {
+        self.bump(Instr::Write);
+        let word = self.mem.arena().word(addr);
+        word.store(value);
+        if self.mem.mode == Mode::PrivateCache {
+            word.persist_now();
+        }
+        if self.opts.izraelevitz {
+            self.flush(addr);
+            self.fence();
+        }
+    }
+
+    /// Atomic compare-and-swap; returns `true` on success.
+    #[inline]
+    pub fn cas(&self, addr: PAddr, expected: u64, new: u64) -> bool {
+        self.cas_full(addr, expected, new).is_ok()
+    }
+
+    /// Atomic compare-and-swap; returns `Ok(previous)` on success and
+    /// `Err(witnessed)` on failure.
+    #[inline]
+    pub fn cas_full(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        self.bump(Instr::Cas);
+        let word = self.mem.arena().word(addr);
+        let result = word.compare_exchange(expected, new);
+        if result.is_ok() {
+            self.stats.borrow_mut().cas_success += 1;
+            if self.mem.mode == Mode::PrivateCache {
+                word.persist_now();
+            }
+        }
+        if self.opts.izraelevitz {
+            self.flush(addr);
+            self.fence();
+        }
+        result
+    }
+
+    /// Atomic fetch-and-add (counted as a CAS-class update instruction). Not used
+    /// by the paper's algorithms but handy for workload generators and tests.
+    #[inline]
+    pub fn fetch_add(&self, addr: PAddr, delta: u64) -> u64 {
+        self.bump(Instr::Cas);
+        self.stats.borrow_mut().cas_success += 1;
+        let word = self.mem.arena().word(addr);
+        let prev = word.fetch_add(delta);
+        if self.mem.mode == Mode::PrivateCache {
+            word.persist_now();
+        }
+        if self.opts.izraelevitz {
+            self.flush(addr);
+            self.fence();
+        }
+        prev
+    }
+
+    // ----- persistence instructions ------------------------------------------
+
+    /// Flush the cache line containing `addr` (`clflushopt`). In the private-cache
+    /// model this is a counted no-op (shared memory is already durable).
+    #[inline]
+    pub fn flush(&self, addr: PAddr) {
+        self.bump(Instr::Flush);
+        if self.mem.mode == Mode::SharedCache {
+            self.mem.arena().flush_line(addr);
+        }
+    }
+
+    /// Store fence (`sfence`): orders previously issued flushes before subsequent
+    /// stores. The simulator persists eagerly at the flush, so the fence only
+    /// contributes to instruction counts (and issues a real compiler/CPU fence so
+    /// the simulation does not reorder more than the modelled machine would).
+    #[inline]
+    pub fn fence(&self) {
+        self.bump(Instr::Fence);
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Flush + fence: make `addr`'s line durable before continuing (the `psync`
+    /// idiom used throughout the transformed algorithms).
+    #[inline]
+    pub fn persist(&self, addr: PAddr) {
+        self.flush(addr);
+        self.fence();
+    }
+
+    // ----- allocation ---------------------------------------------------------
+
+    /// Allocate `nwords` consecutive persistent words (zero-initialised, and the
+    /// zero state is already durable).
+    pub fn alloc(&self, nwords: u64) -> PAddr {
+        self.stats.borrow_mut().words_allocated += nwords;
+        self.mem.arena().alloc(nwords)
+    }
+
+    /// Allocate `nwords` consecutive persistent words starting at a cache-line
+    /// boundary, so that the record's flush behaviour is independent of what was
+    /// allocated before it (used for capsule frames).
+    pub fn alloc_aligned(&self, nwords: u64) -> PAddr {
+        self.stats.borrow_mut().words_allocated += nwords;
+        self.mem.arena().alloc_aligned(nwords)
+    }
+
+    // ----- convenience --------------------------------------------------------
+
+    /// The `crashed()` system call for this process (resets the flag).
+    pub fn take_crashed(&self) -> bool {
+        self.mem.take_crashed(self.pid)
+    }
+
+    /// This process's persistent restart-pointer word.
+    pub fn restart_word(&self) -> PAddr {
+        self.mem.restart_word(self.pid)
+    }
+}
+
+impl std::fmt::Debug for PThread<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PThread")
+            .field("pid", &self.pid)
+            .field("steps", &self.step.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{catch_crash, install_quiet_crash_hook};
+
+    #[test]
+    fn read_write_cas_round_trip() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 10);
+        assert_eq!(t.read(a), 10);
+        assert!(t.cas(a, 10, 11));
+        assert!(!t.cas(a, 10, 12));
+        assert_eq!(t.read(a), 11);
+        assert_eq!(t.cas_full(a, 11, 13), Ok(11));
+        assert_eq!(t.cas_full(a, 11, 14), Err(13));
+    }
+
+    #[test]
+    fn stats_count_each_instruction_kind() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 1);
+        t.read(a);
+        t.read(a);
+        t.cas(a, 1, 2);
+        t.flush(a);
+        t.fence();
+        let s = t.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.cas, 1);
+        assert_eq!(s.cas_success, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.words_allocated, 1);
+        let taken = t.take_stats();
+        assert_eq!(taken.reads, 2);
+        assert_eq!(t.stats(), Stats::new());
+    }
+
+    #[test]
+    fn shared_cache_crash_loses_unflushed_data() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let a = {
+            let t = mem.thread(0);
+            let a = t.alloc(2);
+            t.write(a, 1);
+            t.persist(a);
+            t.write(a.offset(1), 2); // same line, not flushed? (line flush covers it)
+            let b = t.alloc(crate::LINE_WORDS); // separate line
+            t.write(b, 99); // never flushed
+            (a, b)
+        };
+        mem.crash_all();
+        let t = mem.thread(0);
+        assert_eq!(t.read(a.0), 1, "flushed data must survive");
+        assert_eq!(t.read(a.1), 0, "unflushed independent line is lost");
+        assert!(mem.take_crashed(0));
+        assert!(!mem.take_crashed(0), "crashed flag resets on read");
+    }
+
+    #[test]
+    fn private_cache_crash_preserves_all_shared_writes() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::PrivateCache));
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 42); // no flush needed in the private-cache model
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 42);
+        assert!(mem.take_crashed(0));
+        assert!(mem.take_crashed(1));
+    }
+
+    #[test]
+    fn per_thread_crash_sets_only_that_flag_and_keeps_memory() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 5);
+        mem.crash_thread(0);
+        assert_eq!(mem.peek(a), 5, "independent process crash never rolls back memory");
+        assert!(mem.peek_crashed(0));
+        assert!(!mem.peek_crashed(1));
+        assert!(mem.take_crashed(0));
+    }
+
+    #[test]
+    fn izraelevitz_option_flushes_after_every_access() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
+        let a = t.alloc(1);
+        t.write(a, 7);
+        let after_write = t.stats();
+        assert_eq!(after_write.flushes, 1);
+        assert_eq!(after_write.fences, 1);
+        t.read(a);
+        let after_read = t.stats();
+        assert_eq!(after_read.flushes, 2, "reads flush too under the construction");
+        // And the data really is durable without any manual flush.
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 7);
+    }
+
+    #[test]
+    fn crash_policy_interrupts_execution_and_is_catchable() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.set_crash_policy(CrashPolicy::Countdown(3));
+        let result = catch_crash(|| {
+            for i in 0..100 {
+                t.write(a, i);
+            }
+            "finished"
+        });
+        let crashed = result.unwrap_err();
+        assert_eq!(crashed.signal.pid, 0);
+        // After the crash the policy is spent; execution can resume normally.
+        assert_eq!(catch_crash(|| t.read(a)).unwrap(), t.read(a));
+    }
+
+    #[test]
+    fn recovery_steps_are_counted_separately() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.read(a);
+        t.begin_recovery();
+        t.read(a);
+        t.read(a);
+        t.end_recovery();
+        t.read(a);
+        let s = t.stats();
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.recovery_steps, 2);
+    }
+
+    #[test]
+    fn restart_words_are_per_process_and_persistent() {
+        let mem = PMem::with_threads(3);
+        let t0 = mem.thread(0);
+        let t2 = mem.thread(2);
+        assert_ne!(mem.restart_word(0), mem.restart_word(2));
+        t0.write(t0.restart_word(), 111);
+        t0.persist(t0.restart_word());
+        t2.write(t2.restart_word(), 222);
+        t2.persist(t2.restart_word());
+        mem.crash_all();
+        assert_eq!(mem.peek(mem.restart_word(0)), 111);
+        assert_eq!(mem.peek(mem.restart_word(2)), 222);
+    }
+
+    #[test]
+    fn durable_read_sees_only_flushed_values() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(crate::LINE_WORDS);
+        t.write(a, 9);
+        assert_eq!(mem.durable_read(a), 0);
+        t.persist(a);
+        assert_eq!(mem.durable_read(a), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_pid_panics() {
+        let mem = PMem::with_threads(2);
+        let _ = mem.thread(2);
+    }
+
+    #[test]
+    fn concurrent_cas_from_many_threads_is_linearizable_counter() {
+        let mem = PMem::with_threads(4);
+        let a = mem.thread(0).alloc(1);
+        std::thread::scope(|s| {
+            for pid in 0..4 {
+                let mem = &mem;
+                s.spawn(move || {
+                    let t = mem.thread(pid);
+                    for _ in 0..10_000 {
+                        loop {
+                            let v = t.read(a);
+                            if t.cas(a, v, v + 1) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.peek(a), 40_000);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cache models.
+//!
+//! §2.1 and §9 of the paper distinguish two machine models that differ only in when
+//! a store to shared memory becomes persistent:
+//!
+//! * **Private-cache model** (the theoretical PPM model): shared memory *is* the
+//!   persistent memory, so every store is immediately durable; only process-local
+//!   volatile state is lost on a crash. Flush/fence instructions are unnecessary.
+//! * **Shared-cache model** (closer to real hardware): stores land in a volatile
+//!   cache; the program must issue explicit flush and fence instructions (or rely on
+//!   the Izraelevitz construction that adds them automatically) to make data durable.
+//!   A crash loses everything that has not been flushed.
+
+/// Which cache model the simulated machine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Every shared-memory store is immediately persistent (the PPM model of §2.1).
+    PrivateCache,
+    /// Stores are volatile until flushed; a crash rolls unflushed lines back
+    /// (the shared-cache variant of §9, used for all the paper's experiments).
+    #[default]
+    SharedCache,
+}
+
+impl Mode {
+    /// Whether stores require an explicit flush to become durable in this mode.
+    pub fn needs_flushes(self) -> bool {
+        matches!(self, Mode::SharedCache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_shared_cache() {
+        assert_eq!(Mode::default(), Mode::SharedCache);
+    }
+
+    #[test]
+    fn needs_flushes() {
+        assert!(Mode::SharedCache.needs_flushes());
+        assert!(!Mode::PrivateCache.needs_flushes());
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-thread instruction and persistence statistics.
+//!
+//! The paper's delay definitions (§3) count *steps*: shared-memory instructions,
+//! local instructions, flushes and fences. The benchmark harness uses these counters
+//! to reproduce the paper's flush-count discussion (fewer flushes ⇒ higher
+//! throughput) and the recovery-delay comparison against the LogQueue.
+//!
+//! Counters live in the per-thread [`PThread`](crate::PThread) handle (they are plain
+//! `u64`s behind a `Cell`, so counting costs a couple of adds per simulated
+//! instruction and the overhead is identical for every algorithm under test).
+
+/// A snapshot of the instructions a simulated process has executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Shared-memory reads.
+    pub reads: u64,
+    /// Shared-memory writes.
+    pub writes: u64,
+    /// Shared-memory compare-and-swap attempts (successful or not).
+    pub cas: u64,
+    /// Successful compare-and-swaps.
+    pub cas_success: u64,
+    /// Cache-line flush instructions (`clflushopt` equivalents).
+    pub flushes: u64,
+    /// Store fences (`sfence` equivalents).
+    pub fences: u64,
+    /// Persistent-memory words allocated by this thread.
+    pub words_allocated: u64,
+    /// Steps executed while recovering from a crash (between the moment the crashed
+    /// flag is observed and the moment normal execution resumes).
+    pub recovery_steps: u64,
+    /// Number of simulated crashes this thread has experienced.
+    pub crashes: u64,
+}
+
+impl Stats {
+    /// A zeroed statistics block.
+    pub const fn new() -> Stats {
+        Stats {
+            reads: 0,
+            writes: 0,
+            cas: 0,
+            cas_success: 0,
+            flushes: 0,
+            fences: 0,
+            words_allocated: 0,
+            recovery_steps: 0,
+            crashes: 0,
+        }
+    }
+
+    /// Total number of shared-memory instructions (reads + writes + CAS attempts).
+    pub fn shared_ops(&self) -> u64 {
+        self.reads + self.writes + self.cas
+    }
+
+    /// Total number of persistence instructions (flushes + fences).
+    pub fn persistence_ops(&self) -> u64 {
+        self.flushes + self.fences
+    }
+
+    /// Total simulated steps: shared memory plus persistence instructions.
+    pub fn steps(&self) -> u64 {
+        self.shared_ops() + self.persistence_ops()
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn merge(&self, other: &Stats) -> Stats {
+        Stats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            cas: self.cas + other.cas,
+            cas_success: self.cas_success + other.cas_success,
+            flushes: self.flushes + other.flushes,
+            fences: self.fences + other.fences,
+            words_allocated: self.words_allocated + other.words_allocated,
+            recovery_steps: self.recovery_steps + other.recovery_steps,
+            crashes: self.crashes + other.crashes,
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`), useful for measuring a window.
+    ///
+    /// Saturates at zero so that a window around a `take_stats` reset does not wrap.
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            cas: self.cas.saturating_sub(earlier.cas),
+            cas_success: self.cas_success.saturating_sub(earlier.cas_success),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            words_allocated: self.words_allocated.saturating_sub(earlier.words_allocated),
+            recovery_steps: self.recovery_steps.saturating_sub(earlier.recovery_steps),
+            crashes: self.crashes.saturating_sub(earlier.crashes),
+        }
+    }
+
+    /// Flushes per high-level operation, given an operation count.
+    pub fn flushes_per_op(&self, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            self.flushes as f64 / ops as f64
+        }
+    }
+
+    /// Fences per high-level operation, given an operation count.
+    pub fn fences_per_op(&self, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            self.fences as f64 / ops as f64
+        }
+    }
+}
+
+impl std::ops::Add for Stats {
+    type Output = Stats;
+    fn add(self, rhs: Stats) -> Stats {
+        self.merge(&rhs)
+    }
+}
+
+impl std::iter::Sum for Stats {
+    fn sum<I: Iterator<Item = Stats>>(iter: I) -> Stats {
+        iter.fold(Stats::new(), |a, b| a.merge(&b))
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={}",
+            self.reads,
+            self.writes,
+            self.cas,
+            self.cas_success,
+            self.flushes,
+            self.fences,
+            self.words_allocated,
+            self.recovery_steps,
+            self.crashes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stats {
+        Stats {
+            reads: 10,
+            writes: 5,
+            cas: 3,
+            cas_success: 2,
+            flushes: 4,
+            fences: 2,
+            words_allocated: 7,
+            recovery_steps: 1,
+            crashes: 1,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let s = sample();
+        assert_eq!(s.shared_ops(), 18);
+        assert_eq!(s.persistence_ops(), 6);
+        assert_eq!(s.steps(), 24);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let s = sample().merge(&sample());
+        assert_eq!(s.reads, 20);
+        assert_eq!(s.flushes, 8);
+        assert_eq!(s.crashes, 2);
+    }
+
+    #[test]
+    fn since_subtracts_and_saturates() {
+        let a = sample();
+        let mut b = sample();
+        b.reads = 25;
+        let d = b.since(&a);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.writes, 0);
+        // Saturation: subtracting a larger snapshot yields zero, not a wrap.
+        let d2 = a.since(&b);
+        assert_eq!(d2.reads, 0);
+    }
+
+    #[test]
+    fn per_op_rates() {
+        let s = sample();
+        assert!((s.flushes_per_op(2) - 2.0).abs() < 1e-9);
+        assert_eq!(s.flushes_per_op(0), 0.0);
+        assert!((s.fences_per_op(4) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Stats = vec![sample(), sample(), Stats::new()].into_iter().sum();
+        assert_eq!(total.reads, 20);
+        assert_eq!(total.fences, 4);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let text = sample().to_string();
+        assert!(text.contains("flushes=4"));
+        assert!(text.contains("crashes=1"));
+    }
+}

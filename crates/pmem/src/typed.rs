@@ -1,0 +1,152 @@
+//! Thin typed wrappers over raw persistent words.
+//!
+//! Algorithms in this workspace mostly work with raw [`PAddr`]s, mirroring the
+//! word-level model of the paper. For examples and user code, [`PCell`] gives a
+//! slightly friendlier single-word cell, and [`PField`] names word offsets inside
+//! multi-word persistent records (e.g. queue nodes).
+
+use crate::addr::PAddr;
+use crate::mem::PThread;
+
+/// A single persistent word with a typed-ish API. The cell itself is just an
+/// address; all accesses go through a [`PThread`] so they are counted and can
+/// crash like any other simulated instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PCell {
+    addr: PAddr,
+}
+
+impl PCell {
+    /// Allocate a fresh persistent cell initialised (durably) to zero.
+    pub fn alloc(thread: &PThread<'_>) -> PCell {
+        PCell {
+            addr: thread.alloc(1),
+        }
+    }
+
+    /// Wrap an existing word address.
+    pub fn at(addr: PAddr) -> PCell {
+        PCell { addr }
+    }
+
+    /// The underlying address.
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// Atomic read.
+    pub fn load(&self, thread: &PThread<'_>) -> u64 {
+        thread.read(self.addr)
+    }
+
+    /// Atomic write.
+    pub fn store(&self, thread: &PThread<'_>, value: u64) {
+        thread.write(self.addr, value)
+    }
+
+    /// Compare-and-swap; `true` on success.
+    pub fn cas(&self, thread: &PThread<'_>, expected: u64, new: u64) -> bool {
+        thread.cas(self.addr, expected, new)
+    }
+
+    /// Flush + fence this cell's line.
+    pub fn persist(&self, thread: &PThread<'_>) {
+        thread.persist(self.addr)
+    }
+}
+
+/// A named word offset inside a multi-word persistent record.
+///
+/// ```
+/// use pmem::{PMem, PField};
+///
+/// // A two-word record: { value, next }.
+/// const VALUE: PField = PField::new(0);
+/// const NEXT: PField = PField::new(1);
+///
+/// let mem = PMem::with_threads(1);
+/// let t = mem.thread(0);
+/// let node = t.alloc(2);
+/// VALUE.write(&t, node, 7);
+/// NEXT.write(&t, node, 0);
+/// assert_eq!(VALUE.read(&t, node), 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PField {
+    offset: u64,
+}
+
+impl PField {
+    /// A field at the given word offset.
+    pub const fn new(offset: u64) -> PField {
+        PField { offset }
+    }
+
+    /// The address of this field within the record at `base`.
+    pub fn addr(&self, base: PAddr) -> PAddr {
+        base.offset(self.offset)
+    }
+
+    /// Read this field of the record at `base`.
+    pub fn read(&self, thread: &PThread<'_>, base: PAddr) -> u64 {
+        thread.read(self.addr(base))
+    }
+
+    /// Write this field of the record at `base`.
+    pub fn write(&self, thread: &PThread<'_>, base: PAddr, value: u64) {
+        thread.write(self.addr(base), value)
+    }
+
+    /// CAS this field of the record at `base`.
+    pub fn cas(&self, thread: &PThread<'_>, base: PAddr, expected: u64, new: u64) -> bool {
+        thread.cas(self.addr(base), expected, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::PMem;
+
+    #[test]
+    fn pcell_basic_ops() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let c = PCell::alloc(&t);
+        assert_eq!(c.load(&t), 0);
+        c.store(&t, 3);
+        assert!(c.cas(&t, 3, 4));
+        assert!(!c.cas(&t, 3, 5));
+        assert_eq!(c.load(&t), 4);
+        c.persist(&t);
+        mem.crash_all();
+        assert_eq!(mem.peek(c.addr()), 4);
+    }
+
+    #[test]
+    fn pcell_at_wraps_existing_address() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let addr = t.alloc(1);
+        t.write(addr, 9);
+        let c = PCell::at(addr);
+        assert_eq!(c.load(&t), 9);
+    }
+
+    #[test]
+    fn pfield_addresses_record_fields() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        const A: PField = PField::new(0);
+        const B: PField = PField::new(1);
+        let rec = t.alloc(2);
+        A.write(&t, rec, 10);
+        B.write(&t, rec, 20);
+        assert_eq!(A.read(&t, rec), 10);
+        assert_eq!(B.read(&t, rec), 20);
+        assert!(B.cas(&t, rec, 20, 21));
+        assert_eq!(t.read(rec.offset(1)), 21);
+        assert_eq!(A.addr(rec), rec);
+        assert_eq!(B.addr(rec), rec.offset(1));
+    }
+}

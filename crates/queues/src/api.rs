@@ -1,0 +1,44 @@
+//! Common queue interface and durability configuration.
+
+/// How a queue achieves durability in the shared-cache model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// No flushes issued by the queue itself. Correct in the private-cache model,
+    /// or when the thread options apply the Izraelevitz construction (flush after
+    /// every shared access), or when durability is simply not required (the plain
+    /// MSQ baseline of Figure 7).
+    None,
+    /// Hand-placed flushes à la Friedman et al.'s durable queue — the configuration
+    /// compared in Figure 6.
+    Manual,
+}
+
+impl Durability {
+    /// Whether the queue should issue explicit flushes.
+    pub fn manual(self) -> bool {
+        matches!(self, Durability::Manual)
+    }
+}
+
+/// The uniform face every queue variant presents to the benchmark harness, the
+/// examples and the integration tests.
+///
+/// A handle is per-thread (it owns the thread's capsule runtime / operation log) and
+/// must only be used by the thread that created it.
+pub trait QueueHandle {
+    /// Append `value` to the tail of the queue.
+    fn enqueue(&mut self, value: u64);
+    /// Remove and return the value at the head of the queue, or `None` if empty.
+    fn dequeue(&mut self) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_flags() {
+        assert!(!Durability::None.manual());
+        assert!(Durability::Manual.manual());
+    }
+}

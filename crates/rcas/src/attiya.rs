@@ -1,0 +1,201 @@
+//! A recoverable CAS variant in the spirit of Attiya, Ben-Baruch and Hendler
+//! (PODC 2018), kept as a baseline.
+//!
+//! The paper (§4) describes the original recoverable CAS as having O(P) recovery
+//! time and O(P²) space per object, and notes that the experiments in §10 actually
+//! used this original algorithm because it performed slightly better on their
+//! machine. This module provides an object with the same asymptotics so the
+//! ablation benchmarks can compare the two designs:
+//!
+//! * the object keeps a **P×P notification matrix** per object; when process `j`
+//!   is about to overwrite a value installed by process `i`, it records ⟨seq, 1⟩ in
+//!   the single-writer slot `N[i][j]`,
+//! * `recover` scans the caller's row (P slots) and returns the largest sequence
+//!   number it finds — O(P) work, no CAS needed for notification because every slot
+//!   has exactly one writer.
+//!
+//! This is not a line-by-line transcription of the PODC'18 pseudocode (which is
+//! expressed in terms of nested recoverable primitives), but it preserves the
+//! interface, the asymptotics, and the property the transformations rely on:
+//! a successful CAS by process `i` is eventually discoverable by `i`'s recovery.
+
+use pmem::{PAddr, PThread};
+
+use crate::layout::RcasLayout;
+use crate::space::RecoverResult;
+
+/// A single recoverable CAS object with per-object O(P²) notification space and
+/// O(P) recovery, à la Attiya et al.
+#[derive(Clone, Copy, Debug)]
+pub struct AttiyaRcas {
+    /// The ⟨value, pid, seq⟩ word.
+    x: PAddr,
+    /// Base of the P×P notification matrix, row-major: row = owner, column = writer.
+    matrix: PAddr,
+    nprocs: usize,
+    layout: RcasLayout,
+}
+
+impl AttiyaRcas {
+    /// Allocate a new object holding `initial`.
+    pub fn new(thread: &PThread<'_>, nprocs: usize, initial: u64) -> AttiyaRcas {
+        let layout = RcasLayout::DEFAULT;
+        assert!(nprocs < layout.max_pid());
+        let x = thread.alloc(1);
+        let matrix = thread.alloc((nprocs * nprocs) as u64);
+        let obj = AttiyaRcas {
+            x,
+            matrix,
+            nprocs,
+            layout,
+        };
+        thread.write(x, layout.pack(initial, layout.max_pid(), 0));
+        obj
+    }
+
+    /// The address of the value word (useful for flush placement by callers).
+    pub fn addr(&self) -> PAddr {
+        self.x
+    }
+
+    fn anon(&self) -> usize {
+        self.layout.max_pid()
+    }
+
+    fn slot(&self, owner: usize, writer: usize) -> PAddr {
+        self.matrix.offset((owner * self.nprocs + writer) as u64)
+    }
+
+    /// Read the current value.
+    pub fn read(&self, thread: &PThread<'_>) -> u64 {
+        self.layout.value_of(thread.read(self.x))
+    }
+
+    /// Recoverable CAS with the caller's sequence number.
+    pub fn cas(&self, thread: &PThread<'_>, expected: u64, new: u64, seq: u64) -> bool {
+        let me = thread.pid();
+        debug_assert!(me < self.nprocs);
+        let observed = thread.read(self.x);
+        let (v, owner, owner_seq) = self.layout.unpack(observed);
+        if v != expected {
+            return false;
+        }
+        // Notify the previous winner in our single-writer slot of its row.
+        if owner != self.anon() {
+            thread.write(self.slot(owner, me), (owner_seq << 1) | 1);
+        }
+        let desired = self.layout.pack(new, me, seq);
+        thread.cas(self.x, observed, desired)
+    }
+
+    /// Recovery: O(P) scan of the caller's notification row, plus a check of the
+    /// object's current value (the caller's own CAS may still be installed and not
+    /// yet overwritten by anyone, in which case no notification exists yet).
+    pub fn recover(&self, thread: &PThread<'_>) -> RecoverResult {
+        let me = thread.pid();
+        let (_, owner, owner_seq) = self.layout.unpack(thread.read(self.x));
+        let mut best = RecoverResult { seq: 0, flag: false };
+        if owner == me {
+            best = RecoverResult {
+                seq: owner_seq,
+                flag: true,
+            };
+        }
+        for writer in 0..self.nprocs {
+            let w = thread.read(self.slot(me, writer));
+            let seq = w >> 1;
+            let flag = (w & 1) != 0;
+            if flag && seq > best.seq {
+                best = RecoverResult { seq, flag: true };
+            }
+        }
+        best
+    }
+
+    /// `checkRecovery` for this variant (same contract as [`crate::check_recovery`]).
+    pub fn check_recovery(&self, thread: &PThread<'_>, seq: u64) -> bool {
+        let r = self.recover(thread);
+        r.flag && r.seq >= seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PMem;
+
+    #[test]
+    fn basic_cas_and_read() {
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let obj = AttiyaRcas::new(&t, 2, 100);
+        assert_eq!(obj.read(&t), 100);
+        assert!(obj.cas(&t, 100, 200, 1));
+        assert!(!obj.cas(&t, 100, 300, 2));
+        assert_eq!(obj.read(&t), 200);
+    }
+
+    #[test]
+    fn recover_sees_own_uncontended_success() {
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let obj = AttiyaRcas::new(&t, 2, 0);
+        assert!(obj.cas(&t, 0, 1, 4));
+        let r = obj.recover(&t);
+        assert_eq!(r, RecoverResult { seq: 4, flag: true });
+        assert!(obj.check_recovery(&t, 4));
+        assert!(!obj.check_recovery(&t, 5));
+    }
+
+    #[test]
+    fn recover_sees_success_after_being_overwritten() {
+        let mem = PMem::with_threads(3);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let obj = AttiyaRcas::new(&t0, 3, 0);
+        assert!(obj.cas(&t0, 0, 1, 2));
+        assert!(obj.cas(&t1, 1, 2, 9));
+        // p0's value is gone from x, but the notification row holds its success.
+        assert!(obj.check_recovery(&t0, 2));
+        assert!(obj.check_recovery(&t1, 9));
+    }
+
+    #[test]
+    fn failed_cas_is_not_recoverable_as_success() {
+        let mem = PMem::with_threads(2);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let obj = AttiyaRcas::new(&t0, 2, 0);
+        assert!(obj.cas(&t1, 0, 7, 1));
+        assert!(!obj.cas(&t0, 0, 8, 1));
+        assert!(!obj.check_recovery(&t0, 1));
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let mem = PMem::with_threads(4);
+        let t0 = mem.thread(0);
+        let obj = AttiyaRcas::new(&t0, 4, 0);
+        const PER_THREAD: u64 = 2_000;
+        std::thread::scope(|s| {
+            for pid in 0..4 {
+                let mem = &mem;
+                let obj = &obj;
+                s.spawn(move || {
+                    let t = mem.thread(pid);
+                    let mut seq = 0;
+                    for _ in 0..PER_THREAD {
+                        loop {
+                            seq += 1;
+                            let v = obj.read(&t);
+                            if obj.cas(&t, v, v + 1, seq) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(obj.read(&mem.thread(0)), 4 * PER_THREAD);
+    }
+}

@@ -1,0 +1,68 @@
+//! Algorithm 2: `checkRecovery`.
+//!
+//! The glue between a capsule's recovery path and the recoverable CAS object: given
+//! the sequence number the interrupted capsule was using, decide whether the CAS has
+//! already taken effect (in which case it must *not* be repeated) or not (in which
+//! case repeating it is safe — any earlier partial attempt is invisible).
+
+use pmem::{PAddr, PThread};
+
+use crate::space::RcasSpace;
+
+/// `checkRecovery(X, seq, pid)` — returns `true` if the CAS with sequence number
+/// `seq` issued by the calling thread on the object at `x` is known to have
+/// succeeded, so the capsule must not execute it again.
+///
+/// Exactly Algorithm 2 of the paper: call `Recover` and report success when the
+/// announcement carries a flag for a sequence number at least `seq`. (A strictly
+/// larger sequence number can only be observed inside a CAS-executor capsule, where
+/// it means a *later* CAS in the list succeeded — which implies this one did too.)
+pub fn check_recovery(space: &RcasSpace, thread: &PThread<'_>, x: PAddr, seq: u64) -> bool {
+    let r = space.recover(thread, x);
+    r.seq >= seq && r.flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PMem;
+
+    #[test]
+    fn reports_false_before_any_cas() {
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 2);
+        let obj = space.create(&t, 0);
+        assert!(!check_recovery(&space, &t, obj.addr(), 1));
+    }
+
+    #[test]
+    fn reports_true_after_successful_cas_with_same_seq() {
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 2);
+        let obj = space.create(&t, 0);
+        assert!(space.cas(&t, obj.addr(), 0, 1, 5));
+        assert!(check_recovery(&space, &t, obj.addr(), 5));
+        // An older operation's sequence number also reports true (seq >= query).
+        assert!(check_recovery(&space, &t, obj.addr(), 3));
+        // A future operation's sequence number reports false.
+        assert!(!check_recovery(&space, &t, obj.addr(), 6));
+    }
+
+    #[test]
+    fn reports_false_when_cas_lost_the_race() {
+        let mem = PMem::with_threads(2);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let space = RcasSpace::with_default_layout(&t0, 2);
+        let obj = space.create(&t0, 0);
+        assert!(space.cas(&t1, obj.addr(), 0, 7, 1));
+        // t0's CAS now fails (stale expected value)...
+        assert!(!space.cas(&t0, obj.addr(), 0, 9, 1));
+        // ...and checkRecovery for t0 must not claim it succeeded.
+        assert!(!check_recovery(&space, &t0, obj.addr(), 1));
+        // t1's CAS, on the other hand, is recoverable.
+        assert!(check_recovery(&space, &t1, obj.addr(), 1));
+    }
+}

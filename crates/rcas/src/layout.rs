@@ -1,0 +1,210 @@
+//! Bit-packing of the ⟨value, pid, seq⟩ triple into a single 64-bit word.
+//!
+//! The paper notes (§9, "CAS") that the recoverable CAS algorithm needs to store a
+//! value, a process id and a sequence number in one atomically updatable location,
+//! and that a double-word CAS can be used on real machines. The simulator's words
+//! are 64 bits, so the default encoding packs the triple into one word; callers with
+//! larger values can use [`IndirectRcas`](crate::IndirectRcas) instead.
+//!
+//! ABA-freedom — which the recoverable CAS algorithm requires of its callers — is
+//! preserved as long as the sequence-number field never wraps; [`RcasLayout::pack`]
+//! therefore *panics* on overflow rather than silently truncating.
+
+/// Field widths for packing ⟨value, pid, seq⟩ into a 64-bit word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RcasLayout {
+    /// Bits reserved for the application value (stored in the high bits).
+    pub value_bits: u32,
+    /// Bits reserved for the process id.
+    pub pid_bits: u32,
+    /// Bits reserved for the per-process sequence number (stored in the low bits).
+    pub seq_bits: u32,
+}
+
+impl RcasLayout {
+    /// Default layout: 32-bit values (enough for word indices into a 32 GiB arena),
+    /// 6-bit pids (up to 64 processes) and 26-bit sequence numbers (67M capsules per
+    /// process — far more than any test or benchmark in this repository executes).
+    pub const DEFAULT: RcasLayout = RcasLayout {
+        value_bits: 32,
+        pid_bits: 6,
+        seq_bits: 26,
+    };
+
+    /// A layout with wider sequence numbers for very long runs, at the cost of
+    /// smaller values (24-bit) — used by some stress tests.
+    pub const LONG_RUN: RcasLayout = RcasLayout {
+        value_bits: 24,
+        pid_bits: 6,
+        seq_bits: 34,
+    };
+
+    /// Construct and validate a custom layout.
+    pub fn new(value_bits: u32, pid_bits: u32, seq_bits: u32) -> RcasLayout {
+        let l = RcasLayout {
+            value_bits,
+            pid_bits,
+            seq_bits,
+        };
+        l.validate();
+        l
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.value_bits + self.pid_bits + self.seq_bits == 64,
+            "RcasLayout fields must sum to exactly 64 bits (got {}+{}+{})",
+            self.value_bits,
+            self.pid_bits,
+            self.seq_bits
+        );
+        assert!(self.value_bits >= 1 && self.pid_bits >= 1 && self.seq_bits >= 1);
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> u64 {
+        mask(self.value_bits)
+    }
+
+    /// Largest representable pid.
+    pub fn max_pid(&self) -> usize {
+        mask(self.pid_bits) as usize
+    }
+
+    /// Largest representable sequence number.
+    pub fn max_seq(&self) -> u64 {
+        mask(self.seq_bits)
+    }
+
+    /// Pack a ⟨value, pid, seq⟩ triple. Panics if any field overflows its width
+    /// (an overflowing sequence number would reintroduce the ABA problem).
+    #[inline]
+    pub fn pack(&self, value: u64, pid: usize, seq: u64) -> u64 {
+        assert!(
+            value <= self.max_value(),
+            "recoverable-CAS value {value:#x} does not fit in {} bits",
+            self.value_bits
+        );
+        assert!(
+            pid as u64 <= mask(self.pid_bits),
+            "pid {pid} does not fit in {} bits",
+            self.pid_bits
+        );
+        assert!(
+            seq <= self.max_seq(),
+            "sequence number {seq} does not fit in {} bits (ABA hazard)",
+            self.seq_bits
+        );
+        (value << (self.pid_bits + self.seq_bits)) | ((pid as u64) << self.seq_bits) | seq
+    }
+
+    /// Unpack a word into ⟨value, pid, seq⟩.
+    #[inline]
+    pub fn unpack(&self, word: u64) -> (u64, usize, u64) {
+        let seq = word & mask(self.seq_bits);
+        let pid = (word >> self.seq_bits) & mask(self.pid_bits);
+        let value = word >> (self.pid_bits + self.seq_bits);
+        (value, pid as usize, seq)
+    }
+
+    /// Just the value component of a packed word.
+    #[inline]
+    pub fn value_of(&self, word: u64) -> u64 {
+        word >> (self.pid_bits + self.seq_bits)
+    }
+}
+
+impl Default for RcasLayout {
+    fn default() -> Self {
+        RcasLayout::DEFAULT
+    }
+}
+
+#[inline]
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_layout_is_valid() {
+        RcasLayout::DEFAULT.validate();
+        RcasLayout::LONG_RUN.validate();
+        assert_eq!(RcasLayout::DEFAULT.max_pid(), 63);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let l = RcasLayout::DEFAULT;
+        let w = l.pack(0xdead_beef, 5, 1234);
+        assert_eq!(l.unpack(w), (0xdead_beef, 5, 1234));
+        assert_eq!(l.value_of(w), 0xdead_beef);
+    }
+
+    #[test]
+    fn zero_triple_packs_to_zero() {
+        let l = RcasLayout::DEFAULT;
+        assert_eq!(l.pack(0, 0, 0), 0);
+        assert_eq!(l.unpack(0), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn value_overflow_panics() {
+        let l = RcasLayout::DEFAULT;
+        let _ = l.pack(1 << 32, 0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn seq_overflow_panics() {
+        let l = RcasLayout::DEFAULT;
+        let _ = l.pack(0, 0, 1 << 26);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pid_overflow_panics() {
+        let l = RcasLayout::DEFAULT;
+        let _ = l.pack(0, 64, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_widths_panic() {
+        let _ = RcasLayout::new(32, 16, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(value in 0u64..(1 << 32), pid in 0usize..64, seq in 0u64..(1 << 26)) {
+            let l = RcasLayout::DEFAULT;
+            prop_assert_eq!(l.unpack(l.pack(value, pid, seq)), (value, pid, seq));
+        }
+
+        #[test]
+        fn prop_distinct_triples_pack_distinctly(
+            a in (0u64..1000, 0usize..8, 0u64..1000),
+            b in (0u64..1000, 0usize..8, 0u64..1000),
+        ) {
+            let l = RcasLayout::DEFAULT;
+            if a != b {
+                prop_assert_ne!(l.pack(a.0, a.1, a.2), l.pack(b.0, b.1, b.2));
+            }
+        }
+
+        #[test]
+        fn prop_long_run_round_trip(value in 0u64..(1 << 24), pid in 0usize..64, seq in 0u64..(1 << 34)) {
+            let l = RcasLayout::LONG_RUN;
+            prop_assert_eq!(l.unpack(l.pack(value, pid, seq)), (value, pid, seq));
+        }
+    }
+}

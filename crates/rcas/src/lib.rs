@@ -1,0 +1,48 @@
+//! # `rcas` — recoverable primitives
+//!
+//! Implementation of §4, Appendix A and §8/Appendix E of *Delay-Free Concurrency on
+//! Faulty Persistent Memory* (SPAA 2019): the primitives that let a process discover,
+//! after a crash, whether a compare-and-swap it issued before the crash took effect.
+//!
+//! The problem: a CAS's return value lives in a volatile register. If the process
+//! crashes right after the CAS, the change may be durable while the knowledge of it
+//! is gone; blindly re-executing the CAS (or skipping it) can corrupt the data
+//! structure. The *recoverable CAS* object solves this by storing ⟨value, pid, seq⟩
+//! in the CAS target and having later operations *notify* the previous winner in a
+//! per-process announcement slot.
+//!
+//! What this crate provides:
+//!
+//! * [`RcasSpace`] / [`RCas`] — the paper's Algorithm 1: constant-time `Read`, `Cas`
+//!   and `Recover`, O(P) space, strict linearizability. Section/usage details in
+//!   [`space`].
+//! * [`check_recovery`] — Algorithm 2, the wrapper used by capsules to decide whether
+//!   a CAS is safe to repeat.
+//! * [`AttiyaRcas`] — a variant in the spirit of Attiya, Ben-Baruch and Hendler
+//!   (PODC 2018) with O(P) recovery and O(P²) space per object, kept as a baseline
+//!   and for the ablation benchmarks.
+//! * [`IndirectRcas`] — an alternative encoding of ⟨value, pid, seq⟩ behind a level
+//!   of indirection (never-reused descriptor records), for callers whose values or
+//!   sequence numbers do not fit the packed 64-bit layout.
+//! * [`WritableCasArray`] — Algorithm 8: M *writable* CAS objects built from
+//!   O(M + P²) ordinary CAS objects, which is how the paper eliminates Write/CAS
+//!   races (§8) so that every shared write can then be treated as a CAS.
+//!
+//! All primitives run on the simulated persistent memory of the [`pmem`] crate and
+//! therefore inherit its crash injection and statistics.
+
+#![warn(missing_docs)]
+
+pub mod attiya;
+pub mod check;
+pub mod indirect;
+pub mod layout;
+pub mod space;
+pub mod writable;
+
+pub use attiya::AttiyaRcas;
+pub use check::check_recovery;
+pub use indirect::IndirectRcas;
+pub use layout::RcasLayout;
+pub use space::{RCas, RcasSpace, RecoverResult};
+pub use writable::{WritableCasArray, WritableCasHandle};

@@ -1,0 +1,526 @@
+//! Algorithm 1: the constant-time recoverable CAS.
+//!
+//! The object's state is a single persistent word holding the packed triple
+//! ⟨value, pid, seq⟩ of the most recent *successful* CAS, plus one announcement word
+//! per process (⟨seq, flag⟩). A CAS by process `i` with sequence number `s`:
+//!
+//! 1. reads the current triple ⟨v, j, s'⟩ and, if `v` is not the expected value,
+//!    fails immediately (this read is the *notify* read),
+//! 2. **notifies** process `j` by CASing its announcement from ⟨s', 0⟩ to ⟨s', 1⟩
+//!    ("your CAS number s' did succeed — I am about to overwrite it"),
+//! 3. **announces** its own attempt by writing ⟨s, 0⟩ into its announcement slot,
+//! 4. performs the actual CAS from ⟨v, j, s'⟩ to ⟨new, i, s⟩.
+//!
+//! `Recover` re-runs the notify step (so it also works when the crash happened after
+//! the operation finished — the strict-linearizability strengthening of §4) and then
+//! returns the caller's announcement word.
+//!
+//! ## Sharing the announcement array
+//!
+//! The paper declares the announcement array per object (`A[P]` inside the `RCas`
+//! class), which makes the contention-delay argument immediate. Because sequence
+//! numbers are unique *per process across all objects*, a single announcement slot
+//! per process can be shared by every object created in the same [`RcasSpace`]
+//! without changing what `Recover` may return — a notifier only flips the flag of an
+//! announcement whose sequence number it read inside the object it is operating on,
+//! and a process always recovers against the same object it CASed. Sharing keeps
+//! linked-structure nodes at their original size (the x word simply replaces the
+//! plain pointer word). Callers who want the paper's exact per-object layout can
+//! create one space per object; the stress tests exercise both configurations.
+//!
+//! ## Anonymous CASes
+//!
+//! §7's optimisation lets wrap-up/generator CASes "leave out their own ID and
+//! sequence number" so that they never clobber the notification owed to an executor
+//! CAS on the same location. [`RcasSpace::cas_anonymous`] implements this by
+//! installing the reserved pid [`RcasSpace::anonymous_pid`] and sequence number 0,
+//! and by skipping the announce step. Such CASes must only be used where the
+//! surrounding algorithm guarantees they are safe to repeat (parallelizable methods).
+
+use pmem::{PAddr, PThread, LINE_WORDS};
+
+use crate::layout::RcasLayout;
+
+/// Result of a `Recover` call: the announcement word of the recovering process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverResult {
+    /// The sequence number stored in the announcement slot.
+    pub seq: u64,
+    /// Whether that sequence number's CAS is known to have succeeded.
+    pub flag: bool,
+}
+
+impl RecoverResult {
+    /// Pack as the announcement-word encoding `(seq << 1) | flag`.
+    fn pack(self) -> u64 {
+        (self.seq << 1) | (self.flag as u64)
+    }
+
+    fn unpack(word: u64) -> RecoverResult {
+        RecoverResult {
+            seq: word >> 1,
+            flag: (word & 1) != 0,
+        }
+    }
+}
+
+/// A family of recoverable CAS objects sharing a per-process announcement array.
+///
+/// Create one space per data structure (or per object, for the paper's exact
+/// layout), then format individual words with [`init_word`](RcasSpace::init_word)
+/// or allocate standalone objects with [`create`](RcasSpace::create).
+#[derive(Clone, Copy, Debug)]
+pub struct RcasSpace {
+    ann_base: PAddr,
+    nprocs: usize,
+    layout: RcasLayout,
+}
+
+impl RcasSpace {
+    /// Create a space for `nprocs` processes. `nprocs` must be strictly smaller
+    /// than the layout's maximum pid, because the all-ones pid is reserved for
+    /// anonymous CASes.
+    pub fn new(thread: &PThread<'_>, nprocs: usize, layout: RcasLayout) -> RcasSpace {
+        assert!(nprocs >= 1);
+        assert!(
+            nprocs < layout.max_pid(),
+            "nprocs ({nprocs}) must be < max pid ({}); the largest pid is reserved for anonymous CASes",
+            layout.max_pid()
+        );
+        // One cache line per announcement slot: announcements are per-process local
+        // state and must not share flush granularity with unrelated processes.
+        let ann_base = thread.alloc(nprocs as u64 * LINE_WORDS);
+        RcasSpace {
+            ann_base,
+            nprocs,
+            layout,
+        }
+    }
+
+    /// Create a space with the default layout.
+    pub fn with_default_layout(thread: &PThread<'_>, nprocs: usize) -> RcasSpace {
+        RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT)
+    }
+
+    /// The packed-word layout used by this space.
+    pub fn layout(&self) -> RcasLayout {
+        self.layout
+    }
+
+    /// Number of processes this space supports.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The reserved pid installed by anonymous CASes and by initial values.
+    pub fn anonymous_pid(&self) -> usize {
+        self.layout.max_pid()
+    }
+
+    /// Address of process `pid`'s announcement word.
+    pub fn ann_addr(&self, pid: usize) -> PAddr {
+        assert!(pid < self.nprocs, "pid {pid} out of range");
+        self.ann_base.offset(pid as u64 * LINE_WORDS)
+    }
+
+    /// Format the persistent word at `addr` as a recoverable CAS object holding
+    /// `initial`. The initial state is attributed to the anonymous pid so that no
+    /// process is ever notified about it.
+    pub fn init_word(&self, thread: &PThread<'_>, addr: PAddr, initial: u64) {
+        let packed = self.layout.pack(initial, self.anonymous_pid(), 0);
+        thread.write(addr, packed);
+    }
+
+    /// Allocate and format a standalone recoverable CAS object.
+    pub fn create(&self, thread: &PThread<'_>, initial: u64) -> RCas {
+        let addr = thread.alloc(1);
+        self.init_word(thread, addr, initial);
+        RCas { addr }
+    }
+
+    // ----- Algorithm 1 -------------------------------------------------------
+
+    /// `Read()` — the current application value of the object at `x`.
+    #[inline]
+    pub fn read(&self, thread: &PThread<'_>, x: PAddr) -> u64 {
+        self.layout.value_of(thread.read(x))
+    }
+
+    /// Read the full ⟨value, pid, seq⟩ triple (mostly for tests and debugging).
+    pub fn read_full(&self, thread: &PThread<'_>, x: PAddr) -> (u64, usize, u64) {
+        self.layout.unpack(thread.read(x))
+    }
+
+    /// Notify the owner of the triple `(owner_pid, owner_seq)` that its CAS
+    /// succeeded, unless the owner is the anonymous pid.
+    #[inline]
+    fn notify(&self, thread: &PThread<'_>, owner_pid: usize, owner_seq: u64) {
+        if owner_pid == self.anonymous_pid() {
+            return;
+        }
+        let ann = self.ann_addr(owner_pid);
+        let old = RecoverResult {
+            seq: owner_seq,
+            flag: false,
+        }
+        .pack();
+        let new = RecoverResult {
+            seq: owner_seq,
+            flag: true,
+        }
+        .pack();
+        // The CAS may fail if the owner has already announced a newer operation or
+        // has already been notified — both are fine (Lemma A.1).
+        let _ = thread.cas(ann, old, new);
+    }
+
+    /// `Cas(a, b, seq, i)` — recoverable compare-and-swap by the calling thread.
+    ///
+    /// `seq` must be strictly positive, strictly increasing across the calling
+    /// process's operations, and each `seq` value must be used by at most one CAS
+    /// *attempt group* (a capsule may retry the same ⟨seq, a, b⟩ after a crash —
+    /// that is exactly the case the recovery machinery makes safe).
+    pub fn cas(&self, thread: &PThread<'_>, x: PAddr, expected: u64, new: u64, seq: u64) -> bool {
+        let pid = thread.pid();
+        debug_assert!(pid < self.nprocs, "thread pid {pid} not covered by this RcasSpace");
+        debug_assert!(seq >= 1, "sequence numbers must start at 1");
+        let observed = thread.read(x);
+        let (v, owner_pid, owner_seq) = self.layout.unpack(observed);
+        if v != expected {
+            return false;
+        }
+        // Notify the previous winner before we overwrite its triple.
+        self.notify(thread, owner_pid, owner_seq);
+        // Announce our own attempt: ⟨seq, 0⟩.
+        let ann = self.ann_addr(pid);
+        thread.write(
+            ann,
+            RecoverResult {
+                seq,
+                flag: false,
+            }
+            .pack(),
+        );
+        let desired = self.layout.pack(new, pid, seq);
+        thread.cas(x, observed, desired)
+    }
+
+    /// A CAS that installs the anonymous pid (§7): other processes will not notify
+    /// the caller about it, and it does not disturb the caller's announcement slot,
+    /// so the notification owed to an earlier executor CAS on the same object stays
+    /// intact. Only safe where repetitions are harmless (parallelizable methods) and
+    /// where the installed value cannot reintroduce ABA.
+    pub fn cas_anonymous(&self, thread: &PThread<'_>, x: PAddr, expected: u64, new: u64) -> bool {
+        let observed = thread.read(x);
+        let (v, owner_pid, owner_seq) = self.layout.unpack(observed);
+        if v != expected {
+            return false;
+        }
+        self.notify(thread, owner_pid, owner_seq);
+        let desired = self.layout.pack(new, self.anonymous_pid(), 0);
+        thread.cas(x, observed, desired)
+    }
+
+    /// `Recover(i)` — returns the caller's announcement ⟨seq, flag⟩ after
+    /// re-performing the notify step on the object at `x`.
+    pub fn recover(&self, thread: &PThread<'_>, x: PAddr) -> RecoverResult {
+        let pid = thread.pid();
+        let (_, owner_pid, owner_seq) = self.layout.unpack(thread.read(x));
+        self.notify(thread, owner_pid, owner_seq);
+        RecoverResult::unpack(thread.read(self.ann_addr(pid)))
+    }
+}
+
+/// A standalone recoverable CAS object (a formatted word plus the space it belongs
+/// to is supplied at each call, mirroring how embedded fields are used).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RCas {
+    addr: PAddr,
+}
+
+impl RCas {
+    /// Wrap an already formatted word (see [`RcasSpace::init_word`]).
+    pub fn at(addr: PAddr) -> RCas {
+        RCas { addr }
+    }
+
+    /// The underlying persistent word.
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// `Read()`.
+    pub fn read(&self, space: &RcasSpace, thread: &PThread<'_>) -> u64 {
+        space.read(thread, self.addr)
+    }
+
+    /// `Cas(a, b, seq, i)`.
+    pub fn cas(
+        &self,
+        space: &RcasSpace,
+        thread: &PThread<'_>,
+        expected: u64,
+        new: u64,
+        seq: u64,
+    ) -> bool {
+        space.cas(thread, self.addr, expected, new, seq)
+    }
+
+    /// `Recover(i)`.
+    pub fn recover(&self, space: &RcasSpace, thread: &PThread<'_>) -> RecoverResult {
+        space.recover(thread, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{catch_crash, install_quiet_crash_hook, CrashPolicy, PMem};
+
+    fn setup(threads: usize) -> (PMem, RcasSpace, PAddr) {
+        let mem = PMem::with_threads(threads);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, threads);
+        let obj = space.create(&t, 0);
+        let addr = obj.addr();
+        (mem, space, addr)
+    }
+
+    #[test]
+    fn read_initial_value() {
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        assert_eq!(space.read(&t, x), 0);
+        let (_, pid, seq) = space.read_full(&t, x);
+        assert_eq!(pid, space.anonymous_pid());
+        assert_eq!(seq, 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        assert!(space.cas(&t, x, 0, 10, 1));
+        assert_eq!(space.read(&t, x), 10);
+        assert!(!space.cas(&t, x, 0, 20, 2), "expected-value mismatch must fail");
+        assert_eq!(space.read(&t, x), 10);
+        assert!(space.cas(&t, x, 10, 20, 3));
+        assert_eq!(space.read(&t, x), 20);
+        let (v, pid, seq) = space.read_full(&t, x);
+        assert_eq!((v, pid, seq), (20, 0, 3));
+    }
+
+    #[test]
+    fn recover_self_notifies_after_successful_cas() {
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        assert!(space.cas(&t, x, 0, 5, 7));
+        // Nobody else has touched the object; Recover must still find out that CAS
+        // #7 succeeded (the self-notify path of Algorithm 1's Recover).
+        let r = space.recover(&t, x);
+        assert_eq!(r, RecoverResult { seq: 7, flag: true });
+    }
+
+    #[test]
+    fn later_cas_by_other_process_notifies_previous_winner() {
+        let (mem, space, x) = setup(2);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        assert!(space.cas(&t0, x, 0, 5, 1));
+        assert!(space.cas(&t1, x, 5, 6, 1));
+        // Process 0's announcement now carries the success flag even though process
+        // 0 did nothing after its CAS.
+        let r = space.recover(&t0, x);
+        assert_eq!(r, RecoverResult { seq: 1, flag: true });
+        // And process 1 can also recover its own success.
+        let r1 = space.recover(&t1, x);
+        assert_eq!(r1, RecoverResult { seq: 1, flag: true });
+    }
+
+    #[test]
+    fn failed_cas_is_not_reported_as_success() {
+        let (mem, space, x) = setup(2);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        assert!(space.cas(&t0, x, 0, 5, 1));
+        assert!(!space.cas(&t1, x, 0, 9, 1), "stale expected value");
+        let r1 = space.recover(&t1, x);
+        assert!(
+            !r1.flag || r1.seq == 0,
+            "a failed CAS must never be reported as successful: {r1:?}"
+        );
+    }
+
+    #[test]
+    fn crash_between_announce_and_cas_reports_not_done() {
+        install_quiet_crash_hook();
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        // The cas() path is: read x (1), [notify skipped: anonymous], write announce
+        // (2), CAS (3). Crash right before the CAS (after 2 more instructions).
+        t.set_crash_policy(CrashPolicy::Countdown(1));
+        let outcome = catch_crash(|| space.cas(&t, x, 0, 42, 1));
+        assert!(outcome.is_err(), "expected the injected crash to fire");
+        t.disarm_crashes();
+        let r = space.recover(&t, x);
+        assert!(!r.flag, "CAS never executed, recovery must not claim success");
+        // Safe to repeat with the same sequence number.
+        assert!(space.cas(&t, x, 0, 42, 1));
+        assert_eq!(space.read(&t, x), 42);
+        assert_eq!(space.recover(&t, x), RecoverResult { seq: 1, flag: true });
+    }
+
+    #[test]
+    fn crash_after_cas_reports_done_and_prevents_duplicate() {
+        install_quiet_crash_hook();
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        // Instructions inside cas(): read, write (announce), cas. Crash right after
+        // the final CAS lands (countdown past all three).
+        t.set_crash_policy(CrashPolicy::Countdown(3));
+        let outcome = catch_crash(|| {
+            let ok = space.cas(&t, x, 0, 42, 1);
+            // Force one more instruction so the countdown can fire after the CAS.
+            let _ = space.read(&t, x);
+            ok
+        });
+        assert!(outcome.is_err());
+        t.disarm_crashes();
+        let r = space.recover(&t, x);
+        assert_eq!(r, RecoverResult { seq: 1, flag: true });
+        // The capsule would therefore *not* repeat CAS #1; doing so anyway must fail
+        // harmlessly because the expected value is stale.
+        assert!(!space.cas(&t, x, 0, 42, 2));
+        assert_eq!(space.read(&t, x), 42);
+    }
+
+    #[test]
+    fn anonymous_cas_does_not_disturb_notifications() {
+        let (mem, space, x) = setup(2);
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        // p0's executor CAS succeeds.
+        assert!(space.cas(&t0, x, 0, 5, 1));
+        // p1 performs a wrap-up style anonymous CAS on the same object.
+        assert!(space.cas_anonymous(&t1, x, 5, 6));
+        // p0 can still learn that its CAS #1 succeeded...
+        assert_eq!(space.recover(&t0, x), RecoverResult { seq: 1, flag: true });
+        // ...and p1's own announcement was never touched by its anonymous CAS.
+        assert_eq!(space.recover(&t1, x), RecoverResult { seq: 0, flag: false });
+        let (v, pid, _) = space.read_full(&t1, x);
+        assert_eq!(v, 6);
+        assert_eq!(pid, space.anonymous_pid());
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let mem = PMem::with_threads(4);
+        let t0 = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t0, 4);
+        let obj = space.create(&t0, 0);
+        let x = obj.addr();
+        const PER_THREAD: u64 = 5_000;
+        std::thread::scope(|s| {
+            for pid in 0..4 {
+                let mem = &mem;
+                let space = &space;
+                s.spawn(move || {
+                    let t = mem.thread(pid);
+                    let mut seq = 0;
+                    for _ in 0..PER_THREAD {
+                        loop {
+                            seq += 1;
+                            let v = space.read(&t, x);
+                            if space.cas(&t, x, v, v + 1, seq) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let t = mem.thread(0);
+        assert_eq!(space.read(&t, x), 4 * PER_THREAD);
+    }
+
+    #[test]
+    fn concurrent_counter_with_random_crashes_increments_exactly_once() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(3);
+        let t0 = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t0, 3);
+        let obj = space.create(&t0, 0);
+        let x = obj.addr();
+        const PER_THREAD: u64 = 400;
+        std::thread::scope(|s| {
+            for pid in 0..3 {
+                let mem = &mem;
+                let space = &space;
+                s.spawn(move || {
+                    let t = mem.thread(pid);
+                    t.set_crash_policy(CrashPolicy::Random {
+                        prob: 0.02,
+                        seed: 0xC0FFEE + pid as u64,
+                    });
+                    // `seq` and `pending` play the role of state persisted at the
+                    // previous capsule boundary: they survive the simulated crash.
+                    let mut seq: u64 = 0;
+                    let mut done: u64 = 0;
+                    while done < PER_THREAD {
+                        seq += 1;
+                        let mut recovering = false;
+                        // Retry the "capsule" until it completes without crashing.
+                        loop {
+                            let attempt = catch_crash(|| {
+                                if recovering {
+                                    let r = space.recover(&t, x);
+                                    if r.flag && r.seq >= seq {
+                                        return true; // already applied, do not repeat
+                                    }
+                                }
+                                loop {
+                                    let v = space.read(&t, x);
+                                    if space.cas(&t, x, v, v + 1, seq) {
+                                        return true;
+                                    }
+                                    // A failed CAS consumed this sequence number; in
+                                    // the real transformation the retry happens in a
+                                    // new capsule with a new seq. Mirror that here.
+                                    return false;
+                                }
+                            });
+                            match attempt {
+                                Ok(true) => break,
+                                Ok(false) => {
+                                    // CAS failed cleanly (contention): new capsule.
+                                    seq += 1;
+                                    recovering = false;
+                                }
+                                Err(_) => {
+                                    t.note_crash();
+                                    recovering = true;
+                                }
+                            }
+                        }
+                        done += 1;
+                    }
+                });
+            }
+        });
+        let t = mem.thread(0);
+        assert_eq!(
+            space.read(&t, x),
+            3 * PER_THREAD,
+            "each logical increment must be applied exactly once despite crashes"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn nprocs_must_leave_room_for_anonymous_pid() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        // max pid for the default layout is 63; 63 processes is fine, 64 is not.
+        let _ = RcasSpace::new(&t, 64, RcasLayout::DEFAULT);
+    }
+}

@@ -1,0 +1,503 @@
+//! # `romulus` — a simplified Romulus-style durable transactional memory
+//!
+//! The paper's §10 compares its transformed queues against Romulus (Correia, Felber,
+//! Ramalhete — SPAA 2018), a persistent transactional memory. This crate provides a
+//! from-scratch, simplified reproduction of the ingredients that determine Romulus's
+//! cost profile in that comparison:
+//!
+//! * **two replicas** of the user's persistent heap ("main" and "back"): every
+//!   transaction updates main, persists it, then re-applies the same writes to back —
+//!   two rounds of flushes and fences per update transaction,
+//! * a persistent **write-set log** and a three-state commit flag
+//!   (`IDLE → MUTATING → COPYING → IDLE`) so that a crash at any point leaves one
+//!   replica consistent and [`Romulus::recover`] can restore the other,
+//! * a **single-combiner** execution model: update transactions are serialised by a
+//!   combiner lock, standing in for RomulusLR's flat-combining left-right mechanism
+//!   (the paper attributes Romulus's good high-thread-count behaviour to this
+//!   aggregation; the cost structure — one lock acquisition plus double writes per
+//!   operation — is what matters for the comparison's shape),
+//! * a persistent bump **allocator** inside the managed region (Romulus ships its own
+//!   persistent allocator; the paper cites this as part of its overhead).
+//!
+//! [`RomulusQueue`] is the sequential Michael–Scott-style queue written against this
+//! TM, used as the "Romulus" series in Figure 6.
+//!
+//! This is *not* a complete reimplementation of Romulus (no left-right reader
+//! instances, no user-level wait-free reads); DESIGN.md documents the substitution.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use pmem::{PAddr, PThread};
+
+/// Commit-protocol states.
+const STATE_IDLE: u64 = 0;
+const STATE_MUTATING: u64 = 1;
+const STATE_COPYING: u64 = 2;
+
+/// A durable transactional memory managing a fixed-size region of persistent words.
+///
+/// Cells are addressed by *indices* into the region (not raw [`PAddr`]s) so that the
+/// same index transparently refers to both replicas.
+pub struct Romulus {
+    main: PAddr,
+    back: PAddr,
+    /// Persistent word holding the commit-protocol state.
+    state: PAddr,
+    /// Persistent write-set log: word 0 = length, then one index per entry.
+    log: PAddr,
+    log_capacity: usize,
+    capacity: u64,
+    /// Persistent bump-allocation cursor lives in cell 0 of the region.
+    combiner: Mutex<()>,
+}
+
+/// Index of the reserved allocator cell.
+const ALLOC_CELL: u64 = 0;
+/// First index available to user allocations.
+const FIRST_USER_CELL: u64 = 1;
+
+impl Romulus {
+    /// Create a TM managing `capacity` persistent cells, with room for transactions
+    /// that write at most `log_capacity` distinct cells.
+    pub fn new(thread: &PThread<'_>, capacity: u64, log_capacity: usize) -> Romulus {
+        assert!(capacity > FIRST_USER_CELL);
+        let main = thread.alloc(capacity);
+        let back = thread.alloc(capacity);
+        let state = thread.alloc(1);
+        let log = thread.alloc(1 + log_capacity as u64);
+        let rom = Romulus {
+            main,
+            back,
+            state,
+            log,
+            log_capacity,
+            capacity,
+            combiner: Mutex::new(()),
+        };
+        // Initialise the allocator cursor in both replicas and persist everything.
+        thread.write(rom.main_addr(ALLOC_CELL), FIRST_USER_CELL);
+        thread.write(rom.back_addr(ALLOC_CELL), FIRST_USER_CELL);
+        thread.persist(rom.main_addr(ALLOC_CELL));
+        thread.persist(rom.back_addr(ALLOC_CELL));
+        thread.persist(state);
+        rom
+    }
+
+    fn main_addr(&self, idx: u64) -> PAddr {
+        assert!(idx < self.capacity, "cell index {idx} out of range");
+        self.main.offset(idx)
+    }
+
+    fn back_addr(&self, idx: u64) -> PAddr {
+        assert!(idx < self.capacity, "cell index {idx} out of range");
+        self.back.offset(idx)
+    }
+
+    /// Read a cell outside any transaction (sees the last committed value, assuming
+    /// no concurrent update transaction is between its two replica writes; use
+    /// [`transaction`](Self::transaction) for reads that must be serialised).
+    pub fn read(&self, thread: &PThread<'_>, idx: u64) -> u64 {
+        thread.read(self.main_addr(idx))
+    }
+
+    /// Run an update (or read) transaction under the combiner lock. The closure's
+    /// writes become durable atomically: either all of them survive a crash or none.
+    pub fn transaction<R>(
+        &self,
+        thread: &PThread<'_>,
+        body: impl FnOnce(&mut Tx<'_, '_, '_>) -> R,
+    ) -> R {
+        let _guard = self.combiner.lock();
+        let mut tx = Tx {
+            rom: self,
+            thread,
+            writes: Vec::new(),
+        };
+        let result = body(&mut tx);
+        let writes = tx.writes;
+        if writes.is_empty() {
+            return result;
+        }
+        assert!(
+            writes.len() <= self.log_capacity,
+            "transaction write set ({}) exceeds the log capacity ({})",
+            writes.len(),
+            self.log_capacity
+        );
+        // 1. Persist the write-set log (indices only; values land in main next).
+        thread.write(self.log, writes.len() as u64);
+        for (i, (idx, _)) in writes.iter().enumerate() {
+            thread.write(self.log.offset(1 + i as u64), *idx);
+        }
+        let mut w = 0;
+        while w < 1 + writes.len() as u64 {
+            thread.flush(self.log.offset(w));
+            w += pmem::LINE_WORDS;
+        }
+        thread.fence();
+        // 2. MUTATING: apply to main and persist.
+        thread.write(self.state, STATE_MUTATING);
+        thread.persist(self.state);
+        for &(idx, value) in &writes {
+            thread.write(self.main_addr(idx), value);
+            thread.flush(self.main_addr(idx));
+        }
+        thread.fence();
+        // 3. COPYING: apply to back and persist.
+        thread.write(self.state, STATE_COPYING);
+        thread.persist(self.state);
+        for &(idx, value) in &writes {
+            thread.write(self.back_addr(idx), value);
+            thread.flush(self.back_addr(idx));
+        }
+        thread.fence();
+        // 4. Done.
+        thread.write(self.state, STATE_IDLE);
+        thread.persist(self.state);
+        result
+    }
+
+    /// Post-crash recovery: make both replicas consistent again. Constant work per
+    /// logged cell (the log is bounded by `log_capacity`).
+    pub fn recover(&self, thread: &PThread<'_>) {
+        thread.begin_recovery();
+        let state = thread.read(self.state);
+        let len = thread.read(self.log) as usize;
+        match state {
+            STATE_MUTATING => {
+                // Main may be torn; back is consistent. Undo main from back.
+                for i in 0..len.min(self.log_capacity) {
+                    let idx = thread.read(self.log.offset(1 + i as u64));
+                    let good = thread.read(self.back_addr(idx));
+                    thread.write(self.main_addr(idx), good);
+                    thread.flush(self.main_addr(idx));
+                }
+                thread.fence();
+            }
+            STATE_COPYING => {
+                // Main is consistent (fully persisted); finish copying it to back.
+                for i in 0..len.min(self.log_capacity) {
+                    let idx = thread.read(self.log.offset(1 + i as u64));
+                    let good = thread.read(self.main_addr(idx));
+                    thread.write(self.back_addr(idx), good);
+                    thread.flush(self.back_addr(idx));
+                }
+                thread.fence();
+            }
+            _ => {}
+        }
+        thread.write(self.state, STATE_IDLE);
+        thread.persist(self.state);
+        thread.end_recovery();
+    }
+}
+
+impl std::fmt::Debug for Romulus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Romulus")
+            .field("capacity", &self.capacity)
+            .field("log_capacity", &self.log_capacity)
+            .finish()
+    }
+}
+
+/// The view a transaction body has of the managed region.
+pub struct Tx<'r, 't, 'm> {
+    rom: &'r Romulus,
+    thread: &'t PThread<'m>,
+    writes: Vec<(u64, u64)>,
+}
+
+impl Tx<'_, '_, '_> {
+    /// Transactional read: sees the transaction's own earlier writes.
+    pub fn read(&self, idx: u64) -> u64 {
+        if let Some(&(_, v)) = self.writes.iter().rev().find(|(i, _)| *i == idx) {
+            return v;
+        }
+        self.thread.read(self.rom.main_addr(idx))
+    }
+
+    /// Transactional write (buffered until commit).
+    pub fn write(&mut self, idx: u64, value: u64) {
+        self.writes.push((idx, value));
+    }
+
+    /// Allocate `ncells` consecutive cells from the region's persistent bump
+    /// allocator (itself updated transactionally).
+    pub fn alloc(&mut self, ncells: u64) -> u64 {
+        let cursor = self.read(ALLOC_CELL);
+        assert!(
+            cursor + ncells <= self.rom.capacity,
+            "Romulus region exhausted ({} cells)",
+            self.rom.capacity
+        );
+        self.write(ALLOC_CELL, cursor + ncells);
+        cursor
+    }
+}
+
+/// A FIFO queue implemented as sequential code inside Romulus transactions — the
+/// "Romulus" competitor series of Figure 6.
+#[derive(Debug)]
+pub struct RomulusQueue {
+    tm: Romulus,
+    /// Cell index of the head pointer.
+    head: u64,
+    /// Cell index of the tail pointer.
+    tail: u64,
+}
+
+/// Node layout inside the region: value cell then next cell.
+const NODE_CELLS: u64 = 2;
+
+impl RomulusQueue {
+    /// Create an empty queue able to hold roughly `capacity_nodes` nodes over its
+    /// lifetime (nodes are bump-allocated and not reclaimed, matching the other
+    /// queues in this workspace).
+    pub fn new(thread: &PThread<'_>, capacity_nodes: u64) -> RomulusQueue {
+        let tm = Romulus::new(thread, FIRST_USER_CELL + 3 + capacity_nodes * NODE_CELLS, 64);
+        let (head, tail) = tm.transaction(thread, |tx| {
+            let head = tx.alloc(1);
+            let tail = tx.alloc(1);
+            let sentinel = tx.alloc(NODE_CELLS);
+            tx.write(sentinel, 0);
+            tx.write(sentinel + 1, 0);
+            tx.write(head, sentinel);
+            tx.write(tail, sentinel);
+            (head, tail)
+        });
+        RomulusQueue { tm, head, tail }
+    }
+
+    /// The underlying transactional memory (for recovery and diagnostics).
+    pub fn tm(&self) -> &Romulus {
+        &self.tm
+    }
+
+    /// Post-crash recovery (delegates to the TM; the queue structure needs nothing
+    /// else).
+    pub fn recover(&self, thread: &PThread<'_>) {
+        self.tm.recover(thread);
+    }
+
+    /// Create the calling thread's handle.
+    pub fn handle<'q, 't, 'm>(&'q self, thread: &'t PThread<'m>) -> RomulusQueueHandle<'q, 't, 'm> {
+        RomulusQueueHandle { queue: self, thread }
+    }
+
+    /// Count elements (runs a read transaction).
+    pub fn len(&self, thread: &PThread<'_>) -> usize {
+        self.tm.transaction(thread, |tx| {
+            let mut count = 0;
+            let mut node = tx.read(self.head);
+            loop {
+                let next = tx.read(node + 1);
+                if next == 0 {
+                    break;
+                }
+                count += 1;
+                node = next;
+            }
+            count
+        })
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, thread: &PThread<'_>) -> bool {
+        self.len(thread) == 0
+    }
+}
+
+/// Per-thread handle for the Romulus queue.
+#[derive(Debug)]
+pub struct RomulusQueueHandle<'q, 't, 'm> {
+    queue: &'q RomulusQueue,
+    thread: &'t PThread<'m>,
+}
+
+impl RomulusQueueHandle<'_, '_, '_> {
+    /// Append `value` to the tail.
+    pub fn enqueue(&mut self, value: u64) {
+        let q = self.queue;
+        q.tm.transaction(self.thread, |tx| {
+            let node = tx.alloc(NODE_CELLS);
+            tx.write(node, value);
+            tx.write(node + 1, 0);
+            let tail_node = tx.read(q.tail);
+            tx.write(tail_node + 1, node);
+            tx.write(q.tail, node);
+        });
+    }
+
+    /// Remove and return the head value.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        let q = self.queue;
+        q.tm.transaction(self.thread, |tx| {
+            let head_node = tx.read(q.head);
+            let next = tx.read(head_node + 1);
+            if next == 0 {
+                return None;
+            }
+            let value = tx.read(next);
+            tx.write(q.head, next);
+            Some(value)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{install_quiet_crash_hook, catch_crash, CrashPolicy, MemConfig, Mode, PMem};
+    use std::collections::HashSet;
+
+    #[test]
+    fn transactions_read_their_own_writes() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let tm = Romulus::new(&t, 64, 16);
+        let out = tm.transaction(&t, |tx| {
+            let cell = tx.alloc(1);
+            tx.write(cell, 5);
+            assert_eq!(tx.read(cell), 5);
+            tx.write(cell, 6);
+            tx.read(cell)
+        });
+        assert_eq!(out, 6);
+    }
+
+    #[test]
+    fn committed_transactions_survive_a_crash() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let tm = Romulus::new(&t, 64, 16);
+        let cell = tm.transaction(&t, |tx| {
+            let c = tx.alloc(1);
+            tx.write(c, 77);
+            c
+        });
+        mem.crash_all();
+        let t = mem.thread(0);
+        tm.recover(&t);
+        assert_eq!(tm.read(&t, cell), 77);
+    }
+
+    #[test]
+    fn crash_mid_transaction_rolls_back_atomically() {
+        install_quiet_crash_hook();
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let tm = Romulus::new(&t, 64, 16);
+        let (a, b) = tm.transaction(&t, |tx| {
+            let a = tx.alloc(1);
+            let b = tx.alloc(1);
+            tx.write(a, 1);
+            tx.write(b, 1);
+            (a, b)
+        });
+        // Crash somewhere inside the commit of a transaction that updates both
+        // cells; after recovery the pair must be consistent (both old or both new).
+        for countdown in 1..40 {
+            t.set_crash_policy(CrashPolicy::Countdown(countdown));
+            let attempt = catch_crash(|| {
+                tm.transaction(&t, |tx| {
+                    tx.write(a, 100 + countdown);
+                    tx.write(b, 100 + countdown);
+                })
+            });
+            t.disarm_crashes();
+            if attempt.is_err() {
+                mem.crash_all();
+                tm.recover(&t);
+            }
+            let va = tm.read(&t, a);
+            let vb = tm.read(&t, b);
+            assert_eq!(va, vb, "atomicity violated after crash at countdown {countdown}");
+            // Restore a known state for the next round.
+            tm.transaction(&t, |tx| {
+                tx.write(a, 1);
+                tx.write(b, 1);
+            });
+        }
+    }
+
+    #[test]
+    fn queue_fifo_single_thread() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let q = RomulusQueue::new(&t, 1_000);
+        let mut h = q.handle(&t);
+        assert_eq!(h.dequeue(), None);
+        for i in 1..=100 {
+            h.enqueue(i);
+        }
+        assert_eq!(q.len(&t), 100);
+        for i in 1..=100 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn queue_is_correct_under_concurrency() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 1_000;
+        let mem = PMem::with_threads(THREADS);
+        let q = RomulusQueue::new(&mem.thread(0), (THREADS as u64) * PER_THREAD + 10);
+        let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|pid| {
+                    let mem = &mem;
+                    let q = &q;
+                    s.spawn(move || {
+                        let t = mem.thread(pid);
+                        let mut h = q.handle(&t);
+                        let mut popped = Vec::new();
+                        for i in 0..PER_THREAD {
+                            h.enqueue((pid as u64) << 32 | i);
+                            if let Some(v) = h.dequeue() {
+                                popped.push(v);
+                            }
+                        }
+                        popped
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let t = mem.thread(0);
+        let mut h = q.handle(&t);
+        let mut all: Vec<u64> = results.into_iter().flatten().collect();
+        while let Some(v) = h.dequeue() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), THREADS * PER_THREAD as usize);
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn queue_contents_survive_crash_and_recovery() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let q = RomulusQueue::new(&t, 100);
+        {
+            let mut h = q.handle(&t);
+            for i in 1..=30 {
+                h.enqueue(i);
+            }
+            for _ in 0..10 {
+                let _ = h.dequeue();
+            }
+        }
+        mem.crash_all();
+        let t = mem.thread(0);
+        q.recover(&t);
+        let mut h = q.handle(&t);
+        for i in 11..=30 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+}

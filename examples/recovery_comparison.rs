@@ -1,0 +1,57 @@
+//! Recovery-delay comparison: how much work a process must do after a crash before
+//! it can continue, for the capsule-based transformations (constant) versus the
+//! hand-tuned LogQueue (linear in the queue length) — the trade-off §10 highlights.
+//!
+//! ```text
+//! cargo run -p delayfree-examples --release --bin recovery_comparison
+//! ```
+
+use capsules::BoundaryStyle;
+use delayfree::RecoveryProbe;
+use pmem::{MemConfig, Mode, PMem};
+use queues::{Durability, GeneralQueue, LogQueue, QueueHandle};
+
+fn main() {
+    println!("{:<12} {:>22} {:>22}", "queue len", "General (steps)", "LogQueue (steps)");
+    for &n in &[100u64, 1_000, 10_000, 50_000] {
+        let general = {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+            let q = GeneralQueue::new(
+                &mem.thread(0),
+                1,
+                Durability::Manual,
+                BoundaryStyle::General,
+            );
+            {
+                let t = mem.thread(0);
+                let mut h = q.handle(&t);
+                for i in 0..n {
+                    h.enqueue(i);
+                }
+            }
+            mem.crash_all();
+            let t = mem.thread(0);
+            let probe = RecoveryProbe::before(&t);
+            let _h = q.attach_handle(&t); // reload the capsule frame: that is the recovery
+            probe.after(&t)
+        };
+        let log = {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+            let t = mem.thread(0);
+            let q = LogQueue::new(&t, 1);
+            let mut h = q.handle(&t);
+            for i in 0..n {
+                h.enqueue(i);
+            }
+            mem.crash_all();
+            let t = mem.thread(0);
+            let before = t.stats().recovery_steps;
+            let _ = q.recover(&t);
+            t.stats().recovery_steps - before
+        };
+        println!("{n:<12} {general:>22} {log:>22}");
+    }
+    println!();
+    println!("The transformed queue reloads one capsule frame regardless of queue size;");
+    println!("the LogQueue must walk the queue to decide whether its logged operation applied.");
+}

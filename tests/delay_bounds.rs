@@ -1,0 +1,176 @@
+//! Cross-crate integration test: the delay bounds the paper proves, checked
+//! empirically on the simulator's instruction counters.
+//!
+//! * computation delay — the transformed queues execute at most a constant factor
+//!   more instructions per operation than the untransformed MSQ, and the factor
+//!   does not grow with the number of operations (Theorem 5.1 / 6.2 / 7.1),
+//! * recovery delay — recovery of a transformed queue takes the same number of
+//!   instructions whether the queue holds 10 elements or 10 000, whereas the
+//!   LogQueue's recovery grows linearly (the §10 discussion).
+
+use capsules::BoundaryStyle;
+use delayfree::{DelayReport, RecoveryProbe};
+use pmem::{MemConfig, Mode, PMem};
+use queues::{Durability, GeneralQueue, LogQueue, MsQueue, NormalizedQueue, QueueHandle};
+
+fn steps_per_op<H: QueueHandle>(mem: &PMem, mut handle: H, ops: u64) -> (pmem::Stats, u64) {
+    let t = mem.thread(0);
+    let before = t.stats();
+    for i in 0..ops {
+        handle.enqueue(i);
+        let _ = handle.dequeue();
+    }
+    (mem.thread(0).stats().since(&before), ops * 2)
+}
+
+#[test]
+fn computation_delay_is_a_constant_factor() {
+    for ops in [200u64, 2_000] {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let msq = MsQueue::new(&t);
+        let (base_stats, base_ops) = steps_per_op(&mem, msq.handle(&t), ops);
+
+        let general = GeneralQueue::new(&t, 1, Durability::Manual, BoundaryStyle::General);
+        let (gen_stats, gen_ops) = steps_per_op(&mem, general.handle(&t), ops);
+        let gen_report = DelayReport::compare(&base_stats, base_ops, &gen_stats, gen_ops);
+
+        let normalized = NormalizedQueue::new(&t, 1, Durability::Manual, false);
+        let (norm_stats, norm_ops) = steps_per_op(&mem, normalized.handle(&t), ops);
+        let norm_report = DelayReport::compare(&base_stats, base_ops, &norm_stats, norm_ops);
+
+        // Constant-factor bound: generous ceiling, but crucially independent of `ops`.
+        assert!(
+            gen_report.computation_delay < 20.0,
+            "general delay {} too large",
+            gen_report.computation_delay
+        );
+        assert!(
+            norm_report.computation_delay < 20.0,
+            "normalized delay {} too large",
+            norm_report.computation_delay
+        );
+        // The normalized transformation is the cheaper of the two (fewer boundaries).
+        assert!(
+            norm_report.simulated_steps_per_op <= gen_report.simulated_steps_per_op,
+            "normalized ({}) should not exceed general ({})",
+            norm_report.simulated_steps_per_op,
+            gen_report.simulated_steps_per_op
+        );
+    }
+}
+
+#[test]
+fn computation_delay_does_not_grow_with_history_length() {
+    let mem = PMem::with_threads(1);
+    let t = mem.thread(0);
+    let q = GeneralQueue::new(&t, 1, Durability::Manual, BoundaryStyle::General);
+    let mut h = q.handle(&t);
+    let window = |h: &mut dyn FnMut()| {
+        let before = t.stats();
+        h();
+        t.stats().since(&before)
+    };
+    let early = window(&mut || {
+        for i in 0..200 {
+            h.enqueue(i);
+            let _ = h.dequeue();
+        }
+    });
+    // Run a long history, then measure again: per-op cost must be unchanged.
+    for i in 0..5_000 {
+        h.enqueue(i);
+        let _ = h.dequeue();
+    }
+    let late = window(&mut || {
+        for i in 0..200 {
+            h.enqueue(i);
+            let _ = h.dequeue();
+        }
+    });
+    let ratio = late.steps() as f64 / early.steps() as f64;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "per-op cost drifted with history length: ratio {ratio}"
+    );
+}
+
+#[test]
+fn transformed_queue_recovery_is_constant_logqueue_recovery_is_linear() {
+    let recovery_of_general = |n: u64| {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let q = GeneralQueue::new(&mem.thread(0), 1, Durability::Manual, BoundaryStyle::General);
+        {
+            let t = mem.thread(0);
+            let mut h = q.handle(&t);
+            for i in 0..n {
+                h.enqueue(i);
+            }
+        }
+        mem.crash_all();
+        let t = mem.thread(0);
+        let probe = RecoveryProbe::before(&t);
+        let _h = q.attach_handle(&t);
+        probe.after(&t)
+    };
+    let recovery_of_log = |n: u64| {
+        pmem::install_quiet_crash_hook();
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let q = LogQueue::new(&t, 1);
+        let mut h = q.handle(&t);
+        for i in 0..n {
+            h.enqueue(i);
+        }
+        // Interrupt one more enqueue mid-flight (after its log entry is persisted
+        // but before it is marked done), so recovery actually has work to do.
+        t.set_crash_policy(pmem::CrashPolicy::Countdown(12));
+        let _ = pmem::catch_crash(|| h.enqueue(n));
+        t.disarm_crashes();
+        mem.crash_all();
+        let t = mem.thread(0);
+        let before = t.stats().recovery_steps;
+        let _ = q.recover(&t);
+        t.stats().recovery_steps - before
+    };
+
+    let small = 50;
+    let large = 5_000;
+    let general_small = recovery_of_general(small);
+    let general_large = recovery_of_general(large);
+    assert_eq!(
+        general_small, general_large,
+        "capsule-based recovery must not depend on queue length"
+    );
+    let log_small = recovery_of_log(small);
+    let log_large = recovery_of_log(large);
+    assert!(
+        log_large > log_small * 20,
+        "LogQueue recovery should grow with queue length ({log_small} -> {log_large})"
+    );
+    assert!(
+        general_large < log_large / 10,
+        "transformed-queue recovery ({general_large}) should be far below LogQueue's ({log_large})"
+    );
+}
+
+#[test]
+fn normalized_recovery_is_also_constant() {
+    let recover = |n: u64| {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let q = NormalizedQueue::new(&mem.thread(0), 1, Durability::Manual, false);
+        {
+            let t = mem.thread(0);
+            let mut h = q.handle(&t);
+            for i in 0..n {
+                h.enqueue(i);
+            }
+        }
+        mem.crash_all();
+        let t = mem.thread(0);
+        let probe = RecoveryProbe::before(&t);
+        let _h = q.attach_handle(&t);
+        probe.after(&t)
+    };
+    assert_eq!(recover(10), recover(2_000));
+}

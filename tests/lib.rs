@@ -1,0 +1,58 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use queues::QueueHandle;
+
+/// Drive any queue handle through a scripted sequence of operations and return the
+/// dequeue results, so different variants can be compared op-for-op.
+pub fn run_script<H: QueueHandle>(handle: &mut H, script: &[Op]) -> Vec<Option<u64>> {
+    let mut out = Vec::new();
+    for op in script {
+        match op {
+            Op::Enqueue(v) => handle.enqueue(*v),
+            Op::Dequeue => out.push(handle.dequeue()),
+        }
+    }
+    out
+}
+
+/// One scripted queue operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Enqueue this value.
+    Enqueue(u64),
+    /// Dequeue (recording the result).
+    Dequeue,
+}
+
+/// The reference model: what a correct FIFO queue returns for the script.
+pub fn model(script: &[Op]) -> Vec<Option<u64>> {
+    let mut q = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    for op in script {
+        match op {
+            Op::Enqueue(v) => q.push_back(*v),
+            Op::Dequeue => out.push(q.pop_front()),
+        }
+    }
+    out
+}
+
+/// A deterministic pseudo-random script mixing enqueues and dequeues.
+pub fn random_script(len: usize, seed: u64) -> Vec<Op> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|i| {
+            if next() % 3 == 0 {
+                Op::Dequeue
+            } else {
+                Op::Enqueue(i as u64)
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration test: every queue variant in the workspace — the plain
+//! MSQ, both transformations (and their -Opt configurations), the LogQueue and the
+//! Romulus queue — is observationally equivalent to a reference FIFO model on the
+//! same operation script, with and without the Izraelevitz construction.
+
+use capsules::BoundaryStyle;
+use delayfree_integration_tests::{model, random_script, run_script, Op};
+use pmem::{MemConfig, Mode, PMem, ThreadOptions};
+use queues::{Durability, GeneralQueue, LogQueue, MsQueue, NormalizedQueue, QueueHandle};
+use romulus::RomulusQueue;
+
+fn scripts() -> Vec<Vec<Op>> {
+    vec![
+        vec![Op::Dequeue, Op::Enqueue(1), Op::Enqueue(2), Op::Dequeue, Op::Dequeue, Op::Dequeue],
+        (1..=100).map(Op::Enqueue).chain((0..120).map(|_| Op::Dequeue)).collect(),
+        random_script(2_000, 7),
+        random_script(2_000, 1234),
+    ]
+}
+
+#[test]
+fn msq_matches_model() {
+    for script in scripts() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let q = MsQueue::new(&t);
+        assert_eq!(run_script(&mut q.handle(&t), &script), model(&script));
+    }
+}
+
+#[test]
+fn izraelevitz_msq_matches_model() {
+    for script in scripts() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
+        let q = MsQueue::new(&t);
+        assert_eq!(run_script(&mut q.handle(&t), &script), model(&script));
+    }
+}
+
+#[test]
+fn general_and_general_opt_match_model() {
+    for style in [BoundaryStyle::General, BoundaryStyle::Compact] {
+        for script in scripts() {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let q = GeneralQueue::new(&t, 1, Durability::Manual, style);
+            assert_eq!(
+                run_script(&mut q.handle(&t), &script),
+                model(&script),
+                "style {style:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn normalized_and_normalized_opt_match_model() {
+    for optimised in [false, true] {
+        for script in scripts() {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let q = NormalizedQueue::new(&t, 1, Durability::Manual, optimised);
+            assert_eq!(
+                run_script(&mut q.handle(&t), &script),
+                model(&script),
+                "optimised {optimised}"
+            );
+        }
+    }
+}
+
+#[test]
+fn log_queue_matches_model() {
+    for script in scripts() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let q = LogQueue::new(&t, 1);
+        assert_eq!(run_script(&mut q.handle(&t), &script), model(&script));
+    }
+}
+
+#[test]
+fn romulus_queue_matches_model() {
+    for script in scripts() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let q = RomulusQueue::new(&t, script.len() as u64 + 8);
+        let mut h = q.handle(&t);
+        let mut out = Vec::new();
+        for op in &script {
+            match op {
+                Op::Enqueue(v) => h.enqueue(*v),
+                Op::Dequeue => out.push(h.dequeue()),
+            }
+        }
+        assert_eq!(out, model(&script));
+    }
+}
+
+#[test]
+fn private_cache_model_needs_no_data_flushes_for_correctness() {
+    // In the private-cache PPM model every store is immediately durable, so even
+    // Durability::None queues (which issue no data-structure flushes at all — the
+    // only flushes left are the capsule boundaries' own, which are no-ops in this
+    // model) survive a crash with their full contents.
+    let mem = PMem::new(MemConfig::new(1).mode(Mode::PrivateCache));
+    let t = mem.thread(0);
+    let q = GeneralQueue::new(&t, 1, Durability::None, BoundaryStyle::General);
+    {
+        let mut h = q.handle(&t);
+        for i in 1..=50 {
+            h.enqueue(i);
+        }
+    }
+    let flushes_without_manual_durability = t.stats().flushes;
+    mem.crash_all();
+    let t = mem.thread(0);
+    let mut h = q.handle(&t);
+    for i in 1..=50 {
+        assert_eq!(h.dequeue(), Some(i));
+    }
+    assert_eq!(h.dequeue(), None);
+    // Sanity: the manual-durability configuration issues strictly more flushes for
+    // the same work (the ones this model made unnecessary).
+    let mem2 = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+    let t2 = mem2.thread(0);
+    let q2 = GeneralQueue::new(&t2, 1, Durability::Manual, BoundaryStyle::General);
+    {
+        let mut h = q2.handle(&t2);
+        for i in 1..=50 {
+            h.enqueue(i);
+        }
+    }
+    assert!(t2.stats().flushes > flushes_without_manual_durability);
+}

@@ -15,18 +15,7 @@ fn queue_variants(c: &mut Criterion) {
         pairs_per_thread: 2_000,
         prefill: 500,
     };
-    for variant in [
-        Variant::Msq,
-        Variant::IzraelevitzMsq,
-        Variant::GeneralIzraelevitz,
-        Variant::NormalizedIzraelevitz,
-        Variant::GeneralManual,
-        Variant::GeneralOptManual,
-        Variant::NormalizedManual,
-        Variant::NormalizedOptManual,
-        Variant::LogQueue,
-        Variant::Romulus,
-    ] {
+    for variant in Variant::all() {
         group.bench_with_input(
             BenchmarkId::from_parameter(variant.label()),
             &variant,

@@ -67,6 +67,25 @@ impl Variant {
         }
     }
 
+    /// Every variant, for exhaustive sweeps and smoke tests. Keep in sync with
+    /// the enum: [`Variant::label`]'s exhaustive `match` breaks the build when a
+    /// variant is added, and `variant_all_is_exhaustive` fails if it is not also
+    /// added here.
+    pub fn all() -> Vec<Variant> {
+        vec![
+            Variant::Msq,
+            Variant::IzraelevitzMsq,
+            Variant::GeneralIzraelevitz,
+            Variant::NormalizedIzraelevitz,
+            Variant::GeneralManual,
+            Variant::GeneralOptManual,
+            Variant::NormalizedManual,
+            Variant::NormalizedOptManual,
+            Variant::LogQueue,
+            Variant::Romulus,
+        ]
+    }
+
     /// The series of Figure 5 (queues under the Izraelevitz construction).
     pub fn figure5() -> Vec<Variant> {
         vec![
@@ -120,13 +139,29 @@ pub struct WorkloadConfig {
     pub prefill: u64,
 }
 
+/// Default enqueue–dequeue pairs per thread when `DF_PAIRS` is unset. Tiny under
+/// `cfg(test)` so the harness's own tests run in smoke mode within tier-1.
+#[cfg(not(test))]
+pub const DEFAULT_PAIRS: u64 = 50_000;
+/// Smoke-mode default (see the non-test value).
+#[cfg(test)]
+pub const DEFAULT_PAIRS: u64 = 200;
+
+/// Default prefill when `DF_PREFILL` is unset (the paper used 1M). Tiny under
+/// `cfg(test)` so the harness's own tests run in smoke mode within tier-1.
+#[cfg(not(test))]
+pub const DEFAULT_PREFILL: u64 = 10_000;
+/// Smoke-mode default (see the non-test value).
+#[cfg(test)]
+pub const DEFAULT_PREFILL: u64 = 50;
+
 impl WorkloadConfig {
     /// Read the run-length knobs from the environment (see crate docs).
     pub fn from_env(threads: usize) -> WorkloadConfig {
         WorkloadConfig {
             threads,
-            pairs_per_thread: env_u64("DF_PAIRS", 50_000),
-            prefill: env_u64("DF_PREFILL", 10_000),
+            pairs_per_thread: env_u64("DF_PAIRS", DEFAULT_PAIRS),
+            prefill: env_u64("DF_PREFILL", DEFAULT_PREFILL),
         }
     }
 }
@@ -339,8 +374,8 @@ pub fn run_figure(title: &str, variants: &[Variant]) -> Vec<Measurement> {
     println!("# {title}");
     println!(
         "# pairs/thread = {}, prefill = {}, threads = 1..={max}",
-        env_u64("DF_PAIRS", 50_000),
-        env_u64("DF_PREFILL", 10_000)
+        env_u64("DF_PAIRS", DEFAULT_PAIRS),
+        env_u64("DF_PREFILL", DEFAULT_PREFILL)
     );
     println!("{:<10} {:<28} {:>10} {:>12} {:>12}", "threads", "variant", "Mops/s", "flushes/op", "fences/op");
     let mut all = Vec::new();
@@ -376,21 +411,24 @@ mod tests {
 
     #[test]
     fn every_variant_runs_the_workload() {
-        for variant in [
-            Variant::Msq,
-            Variant::IzraelevitzMsq,
-            Variant::GeneralIzraelevitz,
-            Variant::NormalizedIzraelevitz,
-            Variant::GeneralManual,
-            Variant::GeneralOptManual,
-            Variant::NormalizedManual,
-            Variant::NormalizedOptManual,
-            Variant::LogQueue,
-            Variant::Romulus,
-        ] {
+        for variant in Variant::all() {
             let m = run_workload(variant, &tiny(2));
             assert!(m.mops > 0.0, "{variant:?} produced no throughput");
         }
+    }
+
+    #[test]
+    fn variant_all_is_exhaustive() {
+        let all = Variant::all();
+        for figure in [Variant::figure5(), Variant::figure6(), Variant::figure7()] {
+            for v in figure {
+                assert!(all.contains(&v), "{v:?} missing from Variant::all()");
+            }
+        }
+        let mut labels: Vec<_> = all.iter().map(|v| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len(), "duplicate entries in Variant::all()");
     }
 
     #[test]
@@ -406,6 +444,20 @@ mod tests {
         ] {
             let m = run_workload(variant, &tiny(1));
             assert!(m.flushes_per_op > 0.0, "{variant:?} should flush");
+        }
+    }
+
+    #[test]
+    fn from_env_smoke_sweep_covers_every_variant() {
+        // Under cfg(test) the env-var defaults are tiny, so driving the same
+        // config path the figure binaries use stays fast enough for tier-1.
+        // (If DF_PAIRS/DF_PREFILL are set in the environment they win, exactly
+        // as they do for the binaries.)
+        let cfg = WorkloadConfig::from_env(1);
+        assert_eq!(cfg.threads, 1);
+        for variant in Variant::all() {
+            let m = run_workload(variant, &cfg);
+            assert!(m.mops > 0.0, "{variant:?} produced no throughput");
         }
     }
 

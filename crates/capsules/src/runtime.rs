@@ -530,7 +530,7 @@ mod tests {
         let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 1);
         let run = |rt: &mut CapsuleRuntime, _label: &str| {
             let before = rt.thread().stats();
-            let _ = rt.run_op(0, |rt| {
+            rt.run_op(0, |rt| {
                 rt.boundary(1);
                 CapsuleStep::Done(())
             });

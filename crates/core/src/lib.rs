@@ -34,6 +34,49 @@
 //! The `queues` crate contains complete worked examples: the Michael–Scott queue
 //! transformed with the CAS-Read simulator ("General") and with the normalized
 //! simulator ("Normalized"), exactly the variants evaluated in the paper's §10.
+//!
+//! ## Quick tour
+//!
+//! A fetch-and-add written as a normalized operation (generator → CAS executor →
+//! wrap-up) and driven by the [`NormalizedSimulator`], which makes it persistent
+//! and detectable with one capsule boundary per retry iteration:
+//!
+//! ```
+//! use delayfree::prelude::*;
+//!
+//! struct FetchAdd { x: PAddr }
+//!
+//! impl NormalizedOp for FetchAdd {
+//!     type Input = u64;   // amount to add
+//!     type Output = u64;  // previous value
+//!
+//!     fn generator(&self, ctx: &mut NormalizedCtx<'_, '_, '_>, add: &u64) -> CasList {
+//!         let v = ctx.read(self.x);
+//!         vec![CasDesc::new(self.x, v, v + add).with_aux(v)]
+//!     }
+//!
+//!     fn wrap_up(
+//!         &self,
+//!         _ctx: &mut NormalizedCtx<'_, '_, '_>,
+//!         _add: &u64,
+//!         list: &CasList,
+//!         executed: usize,
+//!     ) -> WrapUp<u64> {
+//!         if executed == list.len() { WrapUp::Done(list[0].aux) } else { WrapUp::Restart }
+//!     }
+//! }
+//!
+//! let mem = PMem::with_threads(1);
+//! let t = mem.thread(0);
+//! let space = RcasSpace::with_default_layout(&t, 1);
+//! let op = FetchAdd { x: space.create(&t, 0).addr() };
+//!
+//! let sim = NormalizedSimulator::new(space, false);
+//! let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, NORMALIZED_LOCALS);
+//! assert_eq!(sim.run(&mut rt, &op, &5), 0); // returns the old value...
+//! assert_eq!(sim.run(&mut rt, &op, &2), 5); // ...exactly once, even across crashes
+//! assert_eq!(space.read(&t, op.x), 7);
+//! ```
 
 #![warn(missing_docs)]
 

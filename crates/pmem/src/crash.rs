@@ -36,9 +36,10 @@ pub struct Crashed {
 /// memory access plus every explicit [`PThread::crash_point`](crate::PThread::crash_point)
 /// call. The policy is consulted with the thread's monotonically increasing step
 /// counter.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub enum CrashPolicy {
     /// Never crash (the default; used for throughput benchmarks).
+    #[default]
     Never,
     /// Crash exactly once, when the step counter reaches the given absolute value.
     AtStep(u64),
@@ -52,12 +53,6 @@ pub enum CrashPolicy {
         /// RNG seed, so torture tests are reproducible.
         seed: u64,
     },
-}
-
-impl Default for CrashPolicy {
-    fn default() -> Self {
-        CrashPolicy::Never
-    }
 }
 
 /// Internal, armed state of a crash policy (holds the RNG for `Random`).

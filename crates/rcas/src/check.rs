@@ -14,12 +14,15 @@ use crate::space::RcasSpace;
 /// succeeded, so the capsule must not execute it again.
 ///
 /// Exactly Algorithm 2 of the paper: call `Recover` and report success when the
-/// announcement carries a flag for a sequence number at least `seq`. (A strictly
-/// larger sequence number can only be observed inside a CAS-executor capsule, where
-/// it means a *later* CAS in the list succeeded — which implies this one did too.)
+/// announcement vouches for `seq`. A strictly larger announced sequence number can
+/// only be observed inside a CAS-executor capsule, where it means a *later* CAS in
+/// the list was announced — which implies this one succeeded (the executor only
+/// advances past an entry after its CAS wins), even when the later announcement's
+/// flag is still 0 because it overwrote this entry's flag before the crash. The
+/// flag is therefore only consulted for the exact sequence number asked about.
 pub fn check_recovery(space: &RcasSpace, thread: &PThread<'_>, x: PAddr, seq: u64) -> bool {
     let r = space.recover(thread, x);
-    r.seq >= seq && r.flag
+    r.seq > seq || (r.seq == seq && r.flag)
 }
 
 #[cfg(test)]
@@ -48,6 +51,32 @@ mod tests {
         assert!(check_recovery(&space, &t, obj.addr(), 3));
         // A future operation's sequence number reports false.
         assert!(!check_recovery(&space, &t, obj.addr(), 6));
+    }
+
+    #[test]
+    fn strictly_later_announcement_proves_earlier_cas() {
+        use pmem::{catch_crash, install_quiet_crash_hook, CrashPolicy};
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(2);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, 2);
+        let a = space.create(&t, 0);
+        let b = space.create(&t, 0);
+        // Entry 1 of a CAS-executor list: succeeds, announcing ⟨5, 0⟩.
+        assert!(space.cas(&t, a.addr(), 0, 1, 5));
+        // Entry 2: crash after its announce lands (overwriting entry 1's
+        // announcement with ⟨6, 0⟩) but before its CAS executes. Crash points
+        // inside cas(): read (1), announce write (2), the CAS itself (3).
+        t.set_crash_policy(CrashPolicy::Countdown(2));
+        let outcome = catch_crash(|| space.cas(&t, b.addr(), 0, 1, 6));
+        assert!(outcome.is_err(), "expected the injected crash to fire");
+        t.disarm_crashes();
+        // Entry 1's flag was overwritten, but the strictly later announcement
+        // is itself proof that entry 1 succeeded...
+        assert!(check_recovery(&space, &t, a.addr(), 5));
+        // ...while entry 2 (announced, never executed) must re-execute.
+        assert!(!check_recovery(&space, &t, b.addr(), 6));
+        assert!(space.cas(&t, b.addr(), 0, 1, 6));
     }
 
     #[test]

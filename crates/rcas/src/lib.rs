@@ -30,6 +30,35 @@
 //!
 //! All primitives run on the simulated persistent memory of the [`pmem`] crate and
 //! therefore inherit its crash injection and statistics.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pmem::PMem;
+//! use rcas::{check_recovery, RcasSpace};
+//!
+//! let mem = PMem::with_threads(2);
+//! let t = mem.thread(0);
+//! let space = RcasSpace::with_default_layout(&t, 2);
+//! let x = space.create(&t, 5).addr();
+//!
+//! // A recoverable CAS tags the installed value with ⟨pid, seq⟩; sequence
+//! // numbers are chosen by the caller, strictly increasing per process.
+//! assert!(space.cas(&t, x, 5, 6, 1));
+//! assert_eq!(space.read(&t, x), 6);
+//!
+//! // After a crash wiped the CAS's return value, the process can still find
+//! // out that CAS #1 took effect — and must therefore not repeat it...
+//! assert!(check_recovery(&space, &t, x, 1));
+//! // ...while a CAS it never issued is reported as not-done.
+//! assert!(!check_recovery(&space, &t, x, 2));
+//!
+//! // Another process's later CAS on the same object leaves the verdict intact
+//! // (it *notifies* the previous winner before overwriting the triple).
+//! let t1 = mem.thread(1);
+//! assert!(space.cas(&t1, x, 6, 7, 1));
+//! assert!(check_recovery(&space, &t, x, 1));
+//! ```
 
 #![warn(missing_docs)]
 

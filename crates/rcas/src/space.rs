@@ -478,16 +478,11 @@ mod tests {
                                         return true; // already applied, do not repeat
                                     }
                                 }
-                                loop {
-                                    let v = space.read(&t, x);
-                                    if space.cas(&t, x, v, v + 1, seq) {
-                                        return true;
-                                    }
-                                    // A failed CAS consumed this sequence number; in
-                                    // the real transformation the retry happens in a
-                                    // new capsule with a new seq. Mirror that here.
-                                    return false;
-                                }
+                                let v = space.read(&t, x);
+                                // A failed CAS consumed this sequence number; in
+                                // the real transformation the retry happens in a
+                                // new capsule with a new seq. Mirror that here.
+                                space.cas(&t, x, v, v + 1, seq)
                             });
                             match attempt {
                                 Ok(true) => break,

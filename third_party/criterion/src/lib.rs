@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate (no network in this build
+//! environment). Implements the subset this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, a [`Bencher`] with
+//! `iter`, and [`BenchmarkId`].
+//!
+//! Measurement is a plain wall-clock loop — a short warm-up, then timed
+//! batches — reporting the best observed ns/iteration. There is no outlier
+//! rejection, no HTML report and no saved baselines. When invoked with
+//! `--test` (as `cargo test --benches` does for `harness = false` targets)
+//! each benchmark body runs exactly once so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to the functions registered with [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignore them.
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn runs(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.runs(&full) {
+            let mut b = Bencher::new(self.criterion.test_mode);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.runs(&full) {
+            let mut b = Bencher::new(self.criterion.test_mode);
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput hint (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    test_mode: bool,
+    best_ns_per_iter: Option<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Bencher {
+        Bencher {
+            test_mode,
+            best_ns_per_iter: None,
+            total_iters: 0,
+        }
+    }
+
+    /// Run `f` repeatedly, recording the best batch time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.total_iters = 1;
+            return;
+        }
+        // Warm-up: run until ~5ms has elapsed, sizing the measurement batches.
+        let warmup = Duration::from_millis(5);
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / warmup_iters.max(1);
+        // Aim for batches of ~2ms, measured over a ~40ms budget.
+        let batch = (2_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+        let budget = Duration::from_millis(40);
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.total_iters += batch;
+            if self.best_ns_per_iter.map_or(true, |best| ns < best) {
+                self.best_ns_per_iter = Some(ns);
+            }
+        }
+    }
+
+    fn report(&self, full_name: &str) {
+        match self.best_ns_per_iter {
+            Some(ns) => println!("{full_name:<48} {ns:>12.1} ns/iter ({} iters)", self.total_iters),
+            None if self.test_mode => println!("{full_name:<48} ok (test mode)"),
+            None => println!("{full_name:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_in_test_mode() {
+        let mut b = Bencher::new(true);
+        let mut hits = 0u32;
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 1);
+        assert_eq!(b.total_iters, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("MSQ").0, "MSQ");
+        assert_eq!(BenchmarkId::new("enq", 4).0, "enq/4");
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("f", |_| ran = true);
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `proptest` crate (no network in this build
+//! environment). Supports the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments are
+//!   drawn `name in strategy`,
+//! * half-open integer ranges and tuples of strategies as strategies,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
+//!
+//! Instead of the real crate's adaptive shrinking search, each property runs a
+//! fixed number of deterministically seeded cases (default 256, override with
+//! `PROPTEST_CASES`). Failures report the sampled inputs via the assertion
+//! message; there is no shrinking.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of cases run per property unless `PROPTEST_CASES` overrides it.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Resolve the number of cases to run per property.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic source of randomness for property sampling.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A fresh RNG with a fixed seed, so failures are reproducible.
+    pub fn deterministic() -> TestRng {
+        TestRng(SmallRng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn range_u64(&mut self, r: Range<u64>) -> u64 {
+        self.0.gen_range(r)
+    }
+}
+
+/// A value generator. Mirrors `proptest::strategy::Strategy` in spirit only:
+/// sampling is direct, with edge cases (range endpoints) visited first.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Produce the `case`-th sampled value.
+    fn sample(&self, rng: &mut TestRng, case: u32) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                assert!(self.start < self.end, "empty proptest range");
+                // Hit the boundaries in the first two cases, then sample.
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end - self.start) as u64;
+                        self.start + (rng.range_u64(0..span) as $t)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                assert!(self.start < self.end, "empty proptest range");
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.range_u64(0..span) as i128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Strategy that always yields `true` or `false` uniformly.
+impl Strategy for Range<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng, _case: u32) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng, case: u32) -> Self::Value {
+                ($(self.$idx.sample(rng, case),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Everything a `proptest!` call site needs in scope.
+pub mod prelude {
+    pub use crate::{
+        cases, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestRng,
+    };
+}
+
+/// Wrap `#[test]` functions whose arguments are sampled from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::deterministic();
+            for case in 0..$crate::cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng, case);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(p in (0u64..10, 0usize..5, 0u64..3)) {
+            prop_assert!(p.0 < 10 && p.1 < 5 && p.2 < 3);
+        }
+    }
+
+    #[test]
+    fn edge_cases_come_first() {
+        let mut rng = TestRng::deterministic();
+        assert_eq!((5u64..9).sample(&mut rng, 0), 5);
+        assert_eq!((5u64..9).sample(&mut rng, 1), 8);
+    }
+
+    #[test]
+    fn case_count_is_positive() {
+        assert!(cases() > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand` crate (no network in this build
+//! environment). Implements the subset this workspace uses: `rngs::SmallRng`
+//! seeded via `SeedableRng::seed_from_u64`, and the `Rng` methods `gen_bool`,
+//! `gen_range` and `next_u64`. The generator is xoshiro256++ with a splitmix64
+//! seed expansion — the same construction the real `SmallRng` uses on 64-bit
+//! targets, so sequences are high-quality and reproducible (though not
+//! bit-identical to the real crate's).
+
+use std::ops::Range;
+
+/// Seeding support (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `prob`. Panics if `prob` is outside `[0, 1]`.
+    fn gen_bool(&mut self, prob: f64) -> bool {
+        assert!((0.0..=1.0).contains(&prob), "gen_bool probability {prob} not in [0,1]");
+        if prob >= 1.0 {
+            return true;
+        }
+        // 53 random bits → uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < prob
+    }
+
+    /// A uniformly random value in `range` (half-open). Panics on empty ranges.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = range.end - range.start;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
+    }
+}
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    /// A small, fast RNG: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, per the xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!((0..256).all(|_| !r.gen_bool(0.0)));
+        assert!((0..256).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = r.gen_range(10..17);
+            assert!((10..17).contains(&v));
+        }
+    }
+}

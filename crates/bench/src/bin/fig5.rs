@@ -10,6 +10,7 @@
 
 fn main() {
     bench::run_figure(
+        "fig5",
         "Figure 5 — transformed queues with the Izraelevitz construction",
         &bench::Variant::figure5(),
     );

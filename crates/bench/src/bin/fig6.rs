@@ -10,6 +10,7 @@
 
 fn main() {
     bench::run_figure(
+        "fig6",
         "Figure 6 — manually flushed transformed queues vs prior work",
         &bench::Variant::figure6(),
     );

@@ -7,6 +7,7 @@
 
 fn main() {
     bench::run_figure(
+        "fig7",
         "Figure 7 — persistent queues vs the original Michael-Scott queue",
         &bench::Variant::figure7(),
     );

@@ -7,6 +7,9 @@
 //! cargo run -p bench --release --bin flush_table
 //! ```
 
+use std::time::Instant;
+
+use bench::json::{emit, JsonRow};
 use bench::{run_workload, Variant, WorkloadConfig};
 
 fn main() {
@@ -15,6 +18,8 @@ fn main() {
         pairs_per_thread: bench::env_u64("DF_PAIRS", 20_000),
         prefill: bench::env_u64("DF_PREFILL", 1_000),
     };
+    let wall = Instant::now();
+    let mut rows = Vec::new();
     println!("# Table S1 — persistence instructions per operation (single thread)");
     println!("{:<28} {:>12} {:>12}", "variant", "flushes/op", "fences/op");
     for variant in [
@@ -36,5 +41,16 @@ fn main() {
             m.flushes_per_op,
             m.fences_per_op
         );
+        rows.push(JsonRow::from(&m));
     }
+    emit(
+        "flush_table",
+        &[
+            ("pairs_per_thread", cfg.pairs_per_thread),
+            ("prefill", cfg.prefill),
+            ("max_threads", 1),
+        ],
+        wall.elapsed().as_secs_f64(),
+        &rows,
+    );
 }

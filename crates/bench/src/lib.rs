@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -369,8 +371,14 @@ fn run_prefill<H: QueueHandle>(handle: &mut H, prefill: u64) {
 
 /// Run a whole figure: the given variants over 1..=`max_threads` threads, printing a
 /// CSV-ish table like the paper's plots (one row per (threads, variant)).
-pub fn run_figure(title: &str, variants: &[Variant]) -> Vec<Measurement> {
+///
+/// `name` is the machine-readable identifier (`"fig5"`, `"fig7"`, …): when the
+/// `DF_JSON` environment variable is set, the sweep also writes
+/// `BENCH_<name>.json` (schema in [`json`]; see README "Machine-readable
+/// benchmark output") so the perf trajectory can be tracked across PRs.
+pub fn run_figure(name: &str, title: &str, variants: &[Variant]) -> Vec<Measurement> {
     let max = max_threads();
+    let wall = Instant::now();
     println!("# {title}");
     println!(
         "# pairs/thread = {}, prefill = {}, threads = 1..={max}",
@@ -394,6 +402,17 @@ pub fn run_figure(title: &str, variants: &[Variant]) -> Vec<Measurement> {
             all.push(m);
         }
     }
+    let rows: Vec<json::JsonRow> = all.iter().map(json::JsonRow::from).collect();
+    json::emit(
+        name,
+        &[
+            ("pairs_per_thread", env_u64("DF_PAIRS", DEFAULT_PAIRS)),
+            ("prefill", env_u64("DF_PREFILL", DEFAULT_PREFILL)),
+            ("max_threads", max as u64),
+        ],
+        wall.elapsed().as_secs_f64(),
+        &rows,
+    );
     all
 }
 

@@ -12,8 +12,34 @@
 //! line; a full-system crash copies `persisted` back into `current` for every
 //! allocated word. In the private-cache model the `persisted` half is unused
 //! (shared memory is durable by definition) and crashes do not touch memory.
+//!
+//! ## Atomic orderings
+//!
+//! This module sits on the hot path of every simulated instruction, so each atomic
+//! access uses the weakest ordering that preserves the simulated machine's
+//! semantics (the per-site reasoning is on each method; the model-level argument is
+//! DESIGN.md §5):
+//!
+//! * `current` uses `Acquire`/`Release` (`AcqRel` for RMWs). All cross-thread
+//!   hand-off in the paper's algorithms goes through a CAS or a read of a word
+//!   another thread published with a write, so release/acquire pairs on the
+//!   *simulated* word carry exactly the happens-before edges the modelled
+//!   sequentially consistent machine would provide to those algorithms. The
+//!   simulator's own [`fence`](crate::PThread::fence) additionally issues a real
+//!   `SeqCst` fence.
+//! * `persisted` uses `Relaxed`. It is written by flushes (per-location atomic
+//!   copies; coherence alone guarantees a flush publishes a value that was
+//!   `current` at some point) and read only under quiescence — crash rollback and
+//!   [`durable`](Word::durable) assertions run after every worker has been joined
+//!   or unwound, and the join/catch itself is the synchronising edge.
+//! * the allocation cursor `next` uses `Relaxed` RMWs: it is a monotone counter
+//!   whose atomicity (not its ordering) provides disjointness, and addresses only
+//!   reach other threads through `current` (release/acquire) after allocation.
+//! * segment publication relies on `OnceLock`'s internal `Release`/`Acquire` pair,
+//!   plus a `segments_ready` high-watermark (`Release` on grow, `Acquire` on read)
+//!   so the common "capacity already there" allocation never rescans the table.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::Mutex;
@@ -22,6 +48,7 @@ use crate::addr::PAddr;
 use crate::LINE_WORDS;
 
 /// Number of words per segment (1 MiWords = 8 MiB of `current` + 8 MiB of shadow).
+/// A multiple of [`LINE_WORDS`], so a cache line never straddles two segments.
 pub const SEGMENT_WORDS: usize = 1 << 20;
 
 /// Maximum number of segments (caps the arena at 64 Gi words; far more than any
@@ -43,50 +70,64 @@ impl Word {
         }
     }
 
-    /// Load the cached value.
+    /// Load the cached value. `Acquire`: pairs with [`store`](Word::store) /
+    /// successful [`compare_exchange`](Word::compare_exchange) releases, so a
+    /// reader that observes a published pointer also observes the writes made
+    /// before it was published.
     #[inline]
     pub fn load(&self) -> u64 {
-        self.current.load(Ordering::SeqCst)
+        self.current.load(Ordering::Acquire)
     }
 
-    /// Store to the cached value.
+    /// Store to the cached value. `Release`: publishes earlier writes to any
+    /// thread that `Acquire`-loads this word (on x86-64 this is a plain `mov`
+    /// where the previous `SeqCst` store compiled to an `xchg`, which is the
+    /// single biggest per-instruction saving in the simulator).
     #[inline]
     pub fn store(&self, v: u64) {
-        self.current.store(v, Ordering::SeqCst)
+        self.current.store(v, Ordering::Release)
     }
 
-    /// Compare-and-swap on the cached value; returns the witnessed value on failure.
+    /// Compare-and-swap on the cached value; returns the witnessed value on
+    /// failure. `AcqRel` on success (the CAS both publishes and observes),
+    /// `Acquire` on failure (the witnessed value may be a pointer to follow).
     #[inline]
     pub fn compare_exchange(&self, expected: u64, new: u64) -> Result<u64, u64> {
         self.current
-            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
-    /// Atomic fetch-and-add on the cached value.
+    /// Atomic fetch-and-add on the cached value (`AcqRel`, as for a CAS).
     #[inline]
     pub fn fetch_add(&self, delta: u64) -> u64 {
-        self.current.fetch_add(delta, Ordering::SeqCst)
+        self.current.fetch_add(delta, Ordering::AcqRel)
     }
 
     /// Copy the cached value into the durable copy (what a `clflushopt` does once
     /// the following fence completes; the simulator persists eagerly at the flush).
+    ///
+    /// `Relaxed` on both sides: per-location coherence already guarantees the
+    /// copied value was `current` at some moment, and the durable copy is only
+    /// *read* under quiescence (rollback / test assertions after joining workers).
     #[inline]
     pub fn persist_now(&self) {
         self.persisted
-            .store(self.current.load(Ordering::SeqCst), Ordering::SeqCst);
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
-    /// Roll the cached value back to the durable copy (a crash).
+    /// Roll the cached value back to the durable copy (a crash). Quiescent by
+    /// contract (see [`Arena::rollback_all`]), hence `Relaxed`.
     #[inline]
     pub fn rollback(&self) {
         self.current
-            .store(self.persisted.load(Ordering::SeqCst), Ordering::SeqCst);
+            .store(self.persisted.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
-    /// Read the durable copy (used by tests asserting durability invariants).
+    /// Read the durable copy (used by tests asserting durability invariants,
+    /// under quiescence).
     #[inline]
     pub fn durable(&self) -> u64 {
-        self.persisted.load(Ordering::SeqCst)
+        self.persisted.load(Ordering::Relaxed)
     }
 }
 
@@ -95,6 +136,10 @@ pub struct Arena {
     segments: Box<[OnceLock<Box<[Word]>>]>,
     /// Bump-allocation cursor (word index of the next free word).
     next: AtomicU64,
+    /// High-watermark: every segment below this index is initialised. Lets
+    /// `ensure_capacity` answer the common "already big enough" case with one
+    /// `Acquire` load instead of rescanning the segment table from 0.
+    segments_ready: AtomicUsize,
     /// Serialises segment creation (not on the access fast path).
     grow_lock: Mutex<()>,
 }
@@ -109,6 +154,7 @@ impl Arena {
         let arena = Arena {
             segments: segments.into_boxed_slice(),
             next: AtomicU64::new(reserved),
+            segments_ready: AtomicUsize::new(0),
             grow_lock: Mutex::new(()),
         };
         arena.ensure_capacity(reserved);
@@ -116,8 +162,12 @@ impl Arena {
     }
 
     /// The index one past the highest allocated word.
+    ///
+    /// `Relaxed`: a monotone counter. Callers that iterate up to it (rollback,
+    /// persist-all) run under quiescence, where thread join already ordered every
+    /// allocation before the load.
     pub fn allocated_words(&self) -> u64 {
-        self.next.load(Ordering::SeqCst)
+        self.next.load(Ordering::Relaxed)
     }
 
     fn ensure_capacity(&self, upto_word: u64) {
@@ -127,15 +177,25 @@ impl Arena {
             "simulated persistent memory exhausted ({} segments)",
             MAX_SEGMENTS
         );
-        for seg in 0..=last_segment {
-            if self.segments[seg].get().is_none() {
-                let _guard = self.grow_lock.lock();
-                self.segments[seg].get_or_init(|| {
-                    let mut words = Vec::with_capacity(SEGMENT_WORDS);
-                    words.resize_with(SEGMENT_WORDS, Word::new);
-                    words.into_boxed_slice()
-                });
-            }
+        // Fast path: the watermark says everything up to `last_segment` exists.
+        if last_segment < self.segments_ready.load(Ordering::Acquire) {
+            return;
+        }
+        let _guard = self.grow_lock.lock();
+        // All growth happens under the lock, so the watermark is stable here and
+        // segments below it never need re-checking. A concurrent grower may have
+        // already raised it past our target, so only ever move it up.
+        let ready = self.segments_ready.load(Ordering::Acquire);
+        for seg in ready..=last_segment {
+            self.segments[seg].get_or_init(|| {
+                let mut words = Vec::with_capacity(SEGMENT_WORDS);
+                words.resize_with(SEGMENT_WORDS, Word::new);
+                words.into_boxed_slice()
+            });
+        }
+        if last_segment + 1 > ready {
+            self.segments_ready
+                .store(last_segment + 1, Ordering::Release);
         }
     }
 
@@ -146,7 +206,7 @@ impl Arena {
     pub fn alloc(&self, nwords: u64) -> PAddr {
         assert!(nwords > 0, "zero-sized persistent allocation");
         loop {
-            let cur = self.next.load(Ordering::SeqCst);
+            let cur = self.next.load(Ordering::Relaxed);
             // Avoid straddling a cache line for sub-line allocations.
             let line_off = cur % LINE_WORDS;
             let base = if nwords <= LINE_WORDS && line_off + nwords > LINE_WORDS {
@@ -155,9 +215,12 @@ impl Arena {
                 cur
             };
             let end = base + nwords;
+            // `Relaxed` RMW: atomicity alone makes the claimed ranges disjoint;
+            // the address only becomes visible to other threads through a
+            // release/acquire chain on `current` (or a thread spawn/join).
             if self
                 .next
-                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur, end, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
                 self.ensure_capacity(end);
@@ -172,12 +235,12 @@ impl Arena {
     pub fn alloc_aligned(&self, nwords: u64) -> PAddr {
         assert!(nwords > 0, "zero-sized persistent allocation");
         loop {
-            let cur = self.next.load(Ordering::SeqCst);
+            let cur = self.next.load(Ordering::Relaxed);
             let base = (cur + LINE_WORDS - 1) & !(LINE_WORDS - 1);
             let end = base + nwords;
             if self
                 .next
-                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur, end, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
                 self.ensure_capacity(end);
@@ -186,25 +249,71 @@ impl Arena {
         }
     }
 
+    /// The initialised segment `seg`, if it exists. `OnceLock::get` provides the
+    /// `Acquire` pairing with the initialiser's `Release`, so the returned slice's
+    /// words are fully constructed. Used by `PThread`'s per-thread segment cache.
+    #[inline]
+    pub(crate) fn segment(&self, seg: usize) -> Option<&[Word]> {
+        self.segments.get(seg)?.get().map(|b| &b[..])
+    }
+
     /// Access a word. Panics if the address was never allocated.
     #[inline]
     pub fn word(&self, addr: PAddr) -> &Word {
         debug_assert!(!addr.is_null(), "dereferencing the null PAddr");
         let idx = addr.0 as usize;
-        let seg = idx / SEGMENT_WORDS;
-        let off = idx % SEGMENT_WORDS;
-        let segment = self.segments[seg]
-            .get()
+        let segment = self
+            .segment(idx / SEGMENT_WORDS)
             .unwrap_or_else(|| panic!("access to unallocated persistent address {addr:?}"));
-        &segment[off]
+        &segment[idx % SEGMENT_WORDS]
+    }
+
+    /// The whole cache line containing `addr`, as a slice — the segment is
+    /// resolved once for all [`LINE_WORDS`] words. A line never straddles
+    /// segments ([`SEGMENT_WORDS`] is a multiple of [`LINE_WORDS`]), and the
+    /// reserved null word 0 is included when `addr` is on line 0 (flushing or
+    /// rolling back the never-written null word is a no-op copy of 0 over 0), so
+    /// the range is the full physical line with no per-call clamping.
+    #[inline]
+    pub fn line_slice(&self, addr: PAddr) -> &[Word] {
+        let base = addr.line_base().0 as usize;
+        let segment = self
+            .segment(base / SEGMENT_WORDS)
+            .unwrap_or_else(|| panic!("flush of unallocated persistent address {addr:?}"));
+        let off = base % SEGMENT_WORDS;
+        &segment[off..off + LINE_WORDS as usize]
     }
 
     /// Persist every word of the cache line containing `addr`.
+    ///
+    /// The line range is single-sourced through [`line_slice`](Arena::line_slice):
+    /// the full physical line is persisted, including words past the current
+    /// allocation frontier (they are still durably zero, which is exactly the
+    /// freshly-allocated contract) — the historical per-word clamp to
+    /// `allocated_words()` silently skipped the tail of a partially allocated
+    /// line.
     pub fn flush_line(&self, addr: PAddr) {
-        let base = addr.line_base().0.max(1);
-        let limit = self.allocated_words();
-        for w in base..(addr.line_base().0 + LINE_WORDS).min(limit) {
-            self.word(PAddr(w)).persist_now();
+        for word in self.line_slice(addr) {
+            word.persist_now();
+        }
+    }
+
+    /// Run `f` over every allocated word, walking whole segment slices (one
+    /// segment-table resolution per [`SEGMENT_WORDS`] words instead of one per
+    /// word).
+    fn for_each_allocated(&self, f: impl Fn(&Word)) {
+        let limit = self.allocated_words() as usize;
+        let mut done = 0usize;
+        for seg in self.segments.iter() {
+            if done >= limit {
+                break;
+            }
+            let Some(words) = seg.get() else { break };
+            let take = (limit - done).min(SEGMENT_WORDS);
+            for word in &words[..take] {
+                f(word);
+            }
+            done += take;
         }
     }
 
@@ -212,19 +321,14 @@ impl Arena {
     /// the shared-cache model). The caller must guarantee quiescence: no other
     /// thread may be executing simulated instructions during the rollback.
     pub fn rollback_all(&self) {
-        let limit = self.allocated_words();
-        for idx in 1..limit {
-            self.word(PAddr(idx)).rollback();
-        }
+        self.for_each_allocated(Word::rollback);
     }
 
     /// Persist every allocated word (used to establish a consistent initial state
-    /// before an experiment starts injecting crashes).
+    /// before an experiment starts injecting crashes). Quiescent, like
+    /// [`rollback_all`](Arena::rollback_all).
     pub fn persist_all(&self) {
-        let limit = self.allocated_words();
-        for idx in 1..limit {
-            self.word(PAddr(idx)).persist_now();
-        }
+        self.for_each_allocated(Word::persist_now);
     }
 }
 
@@ -320,6 +424,64 @@ mod tests {
     }
 
     #[test]
+    fn flush_on_line_zero_covers_the_reserved_words() {
+        // Line 0 holds the reserved null word; flushing an address on that line
+        // must persist the whole line without panicking or skipping words
+        // (regression test for the old `.max(1)` / unclamped-bound mismatch).
+        let arena = Arena::new(8);
+        for i in 1..LINE_WORDS {
+            arena.word(PAddr(i)).store(i * 10);
+        }
+        arena.flush_line(PAddr(1));
+        arena.rollback_all();
+        for i in 1..LINE_WORDS {
+            assert_eq!(arena.word(PAddr(i)).load(), i * 10, "word {i} lost by line-0 flush");
+        }
+        // The null word itself stays durably zero.
+        assert_eq!(arena.line_slice(PAddr(1))[0].durable(), 0);
+    }
+
+    #[test]
+    fn flush_at_the_allocation_frontier_persists_the_whole_line() {
+        // Regression test: a flush of a partially allocated line used to clamp
+        // the range to `allocated_words()`, so words of the same record's line
+        // allocated *later* started from a stale durable image. The range is
+        // now the full physical line.
+        let arena = Arena::new(LINE_WORDS); // next allocation starts a fresh line
+        let a = arena.alloc(3); // frontier is now a+3, mid-line
+        assert_eq!(a.0 % LINE_WORDS, 0, "test setup: record at line start");
+        for i in 0..3 {
+            arena.word(a.offset(i)).store(7 + i);
+        }
+        arena.flush_line(a); // must cover all 8 physical words, not just 3
+        let line = arena.line_slice(a);
+        for (i, word) in line.iter().enumerate() {
+            let expected = if i < 3 { 7 + i as u64 } else { 0 };
+            assert_eq!(word.durable(), expected, "word {i} of frontier line");
+        }
+        // Extending the allocation into the same line and crashing yields the
+        // allocation contract: fresh words are durably zero.
+        let b = arena.alloc(2);
+        assert_eq!(b.line_base(), a.line_base(), "test setup: same line");
+        arena.word(b).store(99); // never flushed
+        arena.rollback_all();
+        assert_eq!(arena.word(b).load(), 0, "unflushed fresh word rolls back to zero");
+        assert_eq!(arena.word(a).load(), 7, "flushed word survives");
+    }
+
+    #[test]
+    fn line_slice_is_line_aligned_and_full_length() {
+        let arena = Arena::new(8);
+        let a = arena.alloc(LINE_WORDS);
+        for off in 0..LINE_WORDS {
+            let slice = arena.line_slice(a.offset(off));
+            assert_eq!(slice.len(), LINE_WORDS as usize);
+            // Same physical line regardless of which word resolved it.
+            assert!(std::ptr::eq(slice.as_ptr(), arena.line_slice(a).as_ptr()));
+        }
+    }
+
+    #[test]
     fn persist_all_makes_everything_durable() {
         let arena = Arena::new(8);
         let a = arena.alloc(4);
@@ -341,6 +503,40 @@ mod tests {
         let last = big.offset(SEGMENT_WORDS as u64 + 15);
         arena.word(last).store(77);
         assert_eq!(arena.word(last).load(), 77);
+    }
+
+    #[test]
+    fn multi_segment_rollback_round_trips() {
+        // Quiescent crash/rollback across a segment boundary: persisted values
+        // survive, unpersisted ones roll back, in both segments.
+        let arena = Arena::new(8);
+        let big = arena.alloc(SEGMENT_WORDS as u64 + 64);
+        let in_seg0 = big;
+        let in_seg1 = big.offset(SEGMENT_WORDS as u64 + 8);
+        arena.word(in_seg0).store(1);
+        arena.word(in_seg1).store(2);
+        arena.persist_all();
+        arena.word(in_seg0).store(10);
+        arena.word(in_seg1).store(20);
+        arena.rollback_all();
+        assert_eq!(arena.word(in_seg0).load(), 1);
+        assert_eq!(arena.word(in_seg1).load(), 2);
+        arena.word(in_seg1).store(30);
+        arena.flush_line(in_seg1);
+        arena.rollback_all();
+        assert_eq!(arena.word(in_seg1).load(), 30);
+    }
+
+    #[test]
+    fn ensure_capacity_watermark_tracks_growth() {
+        let arena = Arena::new(8);
+        assert_eq!(arena.segments_ready.load(Ordering::Acquire), 1);
+        let _ = arena.alloc(SEGMENT_WORDS as u64 * 2);
+        assert!(arena.segments_ready.load(Ordering::Acquire) >= 3);
+        // Allocating below the watermark must not move it.
+        let ready = arena.segments_ready.load(Ordering::Acquire);
+        let _ = arena.alloc(4);
+        assert_eq!(arena.segments_ready.load(Ordering::Acquire), ready);
     }
 
     #[test]

@@ -105,8 +105,12 @@ impl ArmedPolicy {
         }
     }
 
-    pub(crate) fn is_never(&self) -> bool {
-        matches!(self, ArmedPolicy::Never)
+    /// Whether the policy can still fire. `PThread` mirrors this into its
+    /// `crash_armed` fast flag so the per-instruction crash point is a single
+    /// branch when nothing can crash (every throughput run, and any one-shot
+    /// policy after it has spent itself).
+    pub(crate) fn is_armed(&self) -> bool {
+        !matches!(self, ArmedPolicy::Never | ArmedPolicy::Spent)
     }
 }
 
@@ -167,7 +171,7 @@ mod tests {
         for step in 0..1000 {
             assert!(!p.should_crash(step));
         }
-        assert!(p.is_never());
+        assert!(!p.is_armed());
     }
 
     #[test]

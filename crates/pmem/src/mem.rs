@@ -13,10 +13,11 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::addr::PAddr;
-use crate::arena::Arena;
+use crate::arena::{Arena, Word, SEGMENT_WORDS};
 use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy};
 use crate::mode::Mode;
-use crate::stats::Stats;
+use crate::stats::{StatCells, Stats};
+use crate::LINE_WORDS;
 
 /// Configuration for a simulated machine.
 #[derive(Clone, Debug)]
@@ -111,11 +112,14 @@ impl PMem {
         PThread {
             mem: self,
             pid,
+            mode: self.mode,
             opts,
-            stats: RefCell::new(Stats::new()),
+            stats: StatCells::default(),
             policy: RefCell::new(ArmedPolicy::arm(CrashPolicy::Never)),
+            crash_armed: Cell::new(false),
             step: Cell::new(0),
             in_recovery: Cell::new(false),
+            seg_cache: Cell::new(None),
         }
     }
 
@@ -209,29 +213,38 @@ impl std::fmt::Debug for PMem {
     }
 }
 
-/// What kind of simulated instruction is being issued (internal bookkeeping).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Instr {
-    Read,
-    Write,
-    Cas,
-    Flush,
-    Fence,
-}
-
 /// A process's handle onto the machine. One per OS thread; not `Sync`.
 ///
 /// Every method that touches persistent memory is an *instruction* in the sense of
 /// the paper: it is counted in [`Stats`] and passes a crash point governed by the
 /// thread's [`CrashPolicy`].
+///
+/// The handle is the simulator's hottest layer, so its per-instruction state is
+/// all plain [`Cell`]s: counting is a branchless load/add/store per counter, the
+/// crash point is a single test of the pre-computed `crash_armed` flag (false for
+/// every throughput run), and the last-touched arena segment is cached so
+/// consecutive accesses skip the segment-table lookup entirely.
 pub struct PThread<'m> {
     mem: &'m PMem,
     pid: usize,
+    /// Copy of the machine's cache model, so the store path does not chase the
+    /// `mem` pointer just to branch on it.
+    mode: Mode,
     opts: ThreadOptions,
-    stats: RefCell<Stats>,
+    stats: StatCells,
+    /// Armed crash-policy state. Only consulted when `crash_armed` is set, so the
+    /// `RefCell` borrow bookkeeping is off the throughput path entirely.
     policy: RefCell<ArmedPolicy>,
+    /// Pre-computed fast flag: `true` iff `policy` can still fire. Maintained by
+    /// [`set_crash_policy`](PThread::set_crash_policy) and cleared when a one-shot
+    /// policy spends itself.
+    crash_armed: Cell<bool>,
     step: Cell<u64>,
     in_recovery: Cell<bool>,
+    /// Per-thread cache of the last resolved arena segment `(index, slice)`.
+    /// Segments never move once created (boxed slices behind `OnceLock`s owned by
+    /// the `'m` machine), so the borrow stays valid for the handle's lifetime.
+    seg_cache: Cell<Option<(usize, &'m [Word])>>,
 }
 
 impl<'m> PThread<'m> {
@@ -254,7 +267,9 @@ impl<'m> PThread<'m> {
 
     /// Install a crash policy. Replaces (and re-arms) any previous policy.
     pub fn set_crash_policy(&self, policy: CrashPolicy) {
-        *self.policy.borrow_mut() = ArmedPolicy::arm(policy);
+        let armed = ArmedPolicy::arm(policy);
+        self.crash_armed.set(armed.is_armed());
+        *self.policy.borrow_mut() = armed;
     }
 
     /// Disable crash injection (equivalent to installing [`CrashPolicy::Never`]).
@@ -264,19 +279,19 @@ impl<'m> PThread<'m> {
 
     /// Snapshot of this thread's statistics.
     pub fn stats(&self) -> Stats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Snapshot and reset this thread's statistics.
     pub fn take_stats(&self) -> Stats {
-        std::mem::take(&mut *self.stats.borrow_mut())
+        self.stats.take()
     }
 
     /// Record that this thread observed a simulated crash (increments the crash
     /// counter in [`Stats`]); called by the capsule runtime when it catches a
     /// [`CrashSignal`](crate::CrashSignal).
     pub fn note_crash(&self) {
-        self.stats.borrow_mut().crashes += 1;
+        StatCells::add(&self.stats.crashes, 1);
     }
 
     /// Begin counting instructions as *recovery* steps (for recovery-delay
@@ -296,27 +311,36 @@ impl<'m> PThread<'m> {
         self.in_recovery.get()
     }
 
+    /// The per-instruction accounting step: one counter increment, the optional
+    /// recovery tally, the step counter, and the crash point. With the default
+    /// [`CrashPolicy::Never`] (every throughput run) this is branch-plus-increment
+    /// only — the armed-policy machinery is behind the pre-computed `crash_armed`
+    /// flag.
     #[inline]
-    fn bump(&self, instr: Instr) {
-        {
-            let mut s = self.stats.borrow_mut();
-            match instr {
-                Instr::Read => s.reads += 1,
-                Instr::Write => s.writes += 1,
-                Instr::Cas => s.cas += 1,
-                Instr::Flush => s.flushes += 1,
-                Instr::Fence => s.fences += 1,
-            }
-            if self.in_recovery.get() {
-                s.recovery_steps += 1;
-            }
+    fn bump(&self, counter: &Cell<u64>) {
+        StatCells::add(counter, 1);
+        if self.in_recovery.get() {
+            StatCells::add(&self.stats.recovery_steps, 1);
         }
         let step = self.step.get() + 1;
         self.step.set(step);
+        if self.crash_armed.get() {
+            self.consult_policy(step);
+        }
+    }
+
+    /// Slow path of a crash point: consult the armed policy, raise the crash if it
+    /// fires, and drop the fast flag once a one-shot policy has spent itself.
+    #[cold]
+    fn consult_policy(&self, step: u64) {
         let mut policy = self.policy.borrow_mut();
-        if !policy.is_never() && policy.should_crash(step) {
+        if policy.should_crash(step) {
             drop(policy);
             raise_crash(self.pid, step);
+        }
+        if !policy.is_armed() {
+            drop(policy);
+            self.crash_armed.set(false);
         }
     }
 
@@ -326,11 +350,51 @@ impl<'m> PThread<'m> {
     pub fn crash_point(&self) {
         let step = self.step.get() + 1;
         self.step.set(step);
-        let mut policy = self.policy.borrow_mut();
-        if !policy.is_never() && policy.should_crash(step) {
-            drop(policy);
-            raise_crash(self.pid, step);
+        if self.crash_armed.get() {
+            self.consult_policy(step);
         }
+    }
+
+    /// Resolve the word behind `addr`, going through the per-thread segment cache:
+    /// consecutive accesses to the same 8 MiB segment (the overwhelmingly common
+    /// case) cost an index computation and one comparison instead of a
+    /// segment-table `OnceLock` load.
+    #[inline]
+    fn word_at(&self, addr: PAddr) -> &'m Word {
+        let slice = self.segment_at(addr);
+        &slice[addr.0 as usize % SEGMENT_WORDS]
+    }
+
+    /// The cache line containing `addr`, resolved once through the segment cache
+    /// (a line never straddles segments).
+    #[inline]
+    fn line_at(&self, addr: PAddr) -> &'m [Word] {
+        let slice = self.segment_at(addr);
+        let off = addr.line_base().0 as usize % SEGMENT_WORDS;
+        &slice[off..off + LINE_WORDS as usize]
+    }
+
+    #[inline]
+    fn segment_at(&self, addr: PAddr) -> &'m [Word] {
+        debug_assert!(!addr.is_null(), "dereferencing the null PAddr");
+        let seg = addr.0 as usize / SEGMENT_WORDS;
+        if let Some((cached, slice)) = self.seg_cache.get() {
+            if cached == seg {
+                return slice;
+            }
+        }
+        self.segment_at_slow(addr, seg)
+    }
+
+    #[cold]
+    fn segment_at_slow(&self, addr: PAddr, seg: usize) -> &'m [Word] {
+        let slice = self
+            .mem
+            .arena()
+            .segment(seg)
+            .unwrap_or_else(|| panic!("access to unallocated persistent address {addr:?}"));
+        self.seg_cache.set(Some((seg, slice)));
+        slice
     }
 
     /// The thread's monotonically increasing instruction counter.
@@ -343,8 +407,8 @@ impl<'m> PThread<'m> {
     /// Atomic read of a persistent word.
     #[inline]
     pub fn read(&self, addr: PAddr) -> u64 {
-        self.bump(Instr::Read);
-        let v = self.mem.arena().word(addr).load();
+        self.bump(&self.stats.reads);
+        let v = self.word_at(addr).load();
         if self.opts.izraelevitz {
             // The automatic construction flushes the line after every access.
             self.flush(addr);
@@ -358,10 +422,10 @@ impl<'m> PThread<'m> {
     /// shared-cache model it stays in the (volatile) cache until flushed.
     #[inline]
     pub fn write(&self, addr: PAddr, value: u64) {
-        self.bump(Instr::Write);
-        let word = self.mem.arena().word(addr);
+        self.bump(&self.stats.writes);
+        let word = self.word_at(addr);
         word.store(value);
-        if self.mem.mode == Mode::PrivateCache {
+        if self.mode == Mode::PrivateCache {
             word.persist_now();
         }
         if self.opts.izraelevitz {
@@ -380,14 +444,14 @@ impl<'m> PThread<'m> {
     /// `Err(witnessed)` on failure.
     #[inline]
     pub fn cas_full(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
-        self.bump(Instr::Cas);
-        let word = self.mem.arena().word(addr);
+        self.bump(&self.stats.cas);
+        let word = self.word_at(addr);
         let result = word.compare_exchange(expected, new);
-        if result.is_ok() {
-            self.stats.borrow_mut().cas_success += 1;
-            if self.mem.mode == Mode::PrivateCache {
-                word.persist_now();
-            }
+        // Single, branchless accounting step for the attempt's outcome (the CAS
+        // counter itself was bumped at the crash point above).
+        StatCells::add(&self.stats.cas_success, result.is_ok() as u64);
+        if result.is_ok() && self.mode == Mode::PrivateCache {
+            word.persist_now();
         }
         if self.opts.izraelevitz {
             self.flush(addr);
@@ -400,11 +464,11 @@ impl<'m> PThread<'m> {
     /// by the paper's algorithms but handy for workload generators and tests.
     #[inline]
     pub fn fetch_add(&self, addr: PAddr, delta: u64) -> u64 {
-        self.bump(Instr::Cas);
-        self.stats.borrow_mut().cas_success += 1;
-        let word = self.mem.arena().word(addr);
+        self.bump(&self.stats.cas);
+        StatCells::add(&self.stats.cas_success, 1);
+        let word = self.word_at(addr);
         let prev = word.fetch_add(delta);
-        if self.mem.mode == Mode::PrivateCache {
+        if self.mode == Mode::PrivateCache {
             word.persist_now();
         }
         if self.opts.izraelevitz {
@@ -420,9 +484,13 @@ impl<'m> PThread<'m> {
     /// model this is a counted no-op (shared memory is already durable).
     #[inline]
     pub fn flush(&self, addr: PAddr) {
-        self.bump(Instr::Flush);
-        if self.mem.mode == Mode::SharedCache {
-            self.mem.arena().flush_line(addr);
+        self.bump(&self.stats.flushes);
+        if self.mode == Mode::SharedCache {
+            // Resolve the segment once for the whole 8-word line (and usually for
+            // free, out of the per-thread segment cache).
+            for word in self.line_at(addr) {
+                word.persist_now();
+            }
         }
     }
 
@@ -432,7 +500,7 @@ impl<'m> PThread<'m> {
     /// the simulation does not reorder more than the modelled machine would).
     #[inline]
     pub fn fence(&self) {
-        self.bump(Instr::Fence);
+        self.bump(&self.stats.fences);
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -449,7 +517,7 @@ impl<'m> PThread<'m> {
     /// Allocate `nwords` consecutive persistent words (zero-initialised, and the
     /// zero state is already durable).
     pub fn alloc(&self, nwords: u64) -> PAddr {
-        self.stats.borrow_mut().words_allocated += nwords;
+        StatCells::add(&self.stats.words_allocated, nwords);
         self.mem.arena().alloc(nwords)
     }
 
@@ -457,7 +525,7 @@ impl<'m> PThread<'m> {
     /// boundary, so that the record's flush behaviour is independent of what was
     /// allocated before it (used for capsule frames).
     pub fn alloc_aligned(&self, nwords: u64) -> PAddr {
-        self.stats.borrow_mut().words_allocated += nwords;
+        StatCells::add(&self.stats.words_allocated, nwords);
         self.mem.arena().alloc_aligned(nwords)
     }
 

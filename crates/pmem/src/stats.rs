@@ -9,6 +9,66 @@
 //! `u64`s behind a `Cell`, so counting costs a couple of adds per simulated
 //! instruction and the overhead is identical for every algorithm under test).
 
+use std::cell::Cell;
+
+/// The live, per-thread counter block: one [`Cell<u64>`] per [`Stats`] field.
+///
+/// This is the accounting structure on the instruction hot path. Each counted
+/// instruction is a single non-atomic load/add/store on the one counter it
+/// touches — no `RefCell` borrow-flag bookkeeping, no branch on a shared
+/// discriminant. [`PThread`](crate::PThread) owns one and snapshots it into a
+/// plain [`Stats`] on demand.
+#[derive(Debug, Default)]
+pub(crate) struct StatCells {
+    pub(crate) reads: Cell<u64>,
+    pub(crate) writes: Cell<u64>,
+    pub(crate) cas: Cell<u64>,
+    pub(crate) cas_success: Cell<u64>,
+    pub(crate) flushes: Cell<u64>,
+    pub(crate) fences: Cell<u64>,
+    pub(crate) words_allocated: Cell<u64>,
+    pub(crate) recovery_steps: Cell<u64>,
+    pub(crate) crashes: Cell<u64>,
+}
+
+impl StatCells {
+    /// Add `n` to a counter cell (the per-instruction accounting step).
+    #[inline]
+    pub(crate) fn add(cell: &Cell<u64>, n: u64) {
+        cell.set(cell.get() + n);
+    }
+
+    /// Copy the live counters into an immutable snapshot.
+    pub(crate) fn snapshot(&self) -> Stats {
+        Stats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            cas: self.cas.get(),
+            cas_success: self.cas_success.get(),
+            flushes: self.flushes.get(),
+            fences: self.fences.get(),
+            words_allocated: self.words_allocated.get(),
+            recovery_steps: self.recovery_steps.get(),
+            crashes: self.crashes.get(),
+        }
+    }
+
+    /// Snapshot and zero the live counters.
+    pub(crate) fn take(&self) -> Stats {
+        let snap = self.snapshot();
+        self.reads.set(0);
+        self.writes.set(0);
+        self.cas.set(0);
+        self.cas_success.set(0);
+        self.flushes.set(0);
+        self.fences.set(0);
+        self.words_allocated.set(0);
+        self.recovery_steps.set(0);
+        self.crashes.set(0);
+        snap
+    }
+}
+
 /// A snapshot of the instructions a simulated process has executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -62,6 +122,14 @@ impl Stats {
     /// Total simulated steps: shared memory plus persistence instructions.
     pub fn steps(&self) -> u64 {
         self.shared_ops() + self.persistence_ops()
+    }
+
+    /// Total counted instructions: every category the per-instruction accounting
+    /// path increments (shared-memory plus persistence instructions — the same
+    /// quantity as [`steps`](Stats::steps), named for the instruction-overhead
+    /// microbench which asserts its loops were fully counted).
+    pub fn total_instructions(&self) -> u64 {
+        self.steps()
     }
 
     /// Element-wise sum of two snapshots.

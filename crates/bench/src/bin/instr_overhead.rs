@@ -62,6 +62,7 @@ fn run(
         mops,
         flushes_per_op: stats.flushes as f64 / iters as f64,
         fences_per_op: stats.fences as f64 / iters as f64,
+        extra: Vec::new(),
     }
 }
 

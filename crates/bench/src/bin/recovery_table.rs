@@ -8,8 +8,17 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin recovery_table
+//! DF_JSON=1 cargo run -p bench --release --bin recovery_table  # also write JSON
 //! ```
+//!
+//! With `DF_JSON` set, emits `BENCH_recovery_table.json` (schema
+//! `delayfree-bench-v1`, like the figure binaries): one row per
+//! (variant, queue length), with the measured instruction count in the
+//! row's `recovery_steps` / `queue_len` extra fields.
 
+use std::time::Instant;
+
+use bench::json::{emit, JsonRow};
 use capsules::BoundaryStyle;
 use delayfree::RecoveryProbe;
 use pmem::{MemConfig, Mode, PMem};
@@ -17,6 +26,8 @@ use queues::{Durability, GeneralQueue, LogQueue, NormalizedQueue, QueueHandle};
 
 fn main() {
     let sizes = [10u64, 100, 1_000, 10_000, 100_000];
+    let wall = Instant::now();
+    let mut rows = Vec::new();
     println!("# Table S2 — recovery steps after a crash, by queue length");
     println!(
         "{:<12} {:>16} {:>16} {:>16}",
@@ -27,10 +38,27 @@ fn main() {
         let normalized = normalized_recovery_steps(n);
         let log = log_recovery_steps(n);
         println!("{n:<12} {general:>16} {normalized:>16} {log:>16}");
+        for (variant, steps) in [
+            ("General", general),
+            ("Normalized", normalized),
+            ("LogQueue", log),
+        ] {
+            rows.push(
+                JsonRow::new(variant, 1, 0.0)
+                    .with("queue_len", n as f64)
+                    .with("recovery_steps", steps as f64),
+            );
+        }
     }
     println!();
     println!("# The transformed queues recover in constant time regardless of queue length;");
     println!("# the LogQueue's recovery walks the queue, so its cost grows linearly.");
+    emit(
+        "recovery_table",
+        &[("max_queue_len", *sizes.last().unwrap()), ("threads", 1)],
+        wall.elapsed().as_secs_f64(),
+        &rows,
+    );
 }
 
 /// Fill a General queue with `n` nodes, simulate a restart, and count the steps of

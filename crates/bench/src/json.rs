@@ -36,6 +36,31 @@ pub struct JsonRow {
     pub flushes_per_op: f64,
     /// Fences per operation.
     pub fences_per_op: f64,
+    /// Additional benchmark-specific key/value pairs appended to the row object
+    /// (e.g. `recovery_steps` for the recovery table, `crash_points` for the
+    /// `dfck` coverage report). Additive with respect to the schema: readers of
+    /// `delayfree-bench-v1` that only know the fixed fields keep working.
+    pub extra: Vec<(&'static str, f64)>,
+}
+
+impl JsonRow {
+    /// A row with the fixed fields set and no extras.
+    pub fn new(variant: impl Into<String>, threads: usize, mops: f64) -> JsonRow {
+        JsonRow {
+            variant: variant.into(),
+            threads,
+            mops,
+            flushes_per_op: 0.0,
+            fences_per_op: 0.0,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Append a benchmark-specific key/value pair.
+    pub fn with(mut self, key: &'static str, value: f64) -> JsonRow {
+        self.extra.push((key, value));
+        self
+    }
 }
 
 impl From<&Measurement> for JsonRow {
@@ -46,6 +71,7 @@ impl From<&Measurement> for JsonRow {
             mops: m.mops,
             flushes_per_op: m.flushes_per_op,
             fences_per_op: m.fences_per_op,
+            extra: Vec::new(),
         }
     }
 }
@@ -106,13 +132,18 @@ pub fn render(bench: &str, params: &[(&str, u64)], wall_clock_secs: f64, rows: &
     out.push_str(&format!("  \"wall_clock_secs\": {},\n", number(wall_clock_secs)));
     out.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
+        let mut extras = String::new();
+        for (k, v) in &row.extra {
+            extras.push_str(&format!(", \"{}\": {}", escape(k), number(*v)));
+        }
         out.push_str(&format!(
-            "    {{\"variant\": \"{}\", \"threads\": {}, \"mops\": {}, \"flushes_per_op\": {}, \"fences_per_op\": {}}}{}\n",
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"mops\": {}, \"flushes_per_op\": {}, \"fences_per_op\": {}{}}}{}\n",
             escape(&row.variant),
             row.threads,
             number(row.mops),
             number(row.flushes_per_op),
             number(row.fences_per_op),
+            extras,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -120,17 +151,32 @@ pub fn render(bench: &str, params: &[(&str, u64)], wall_clock_secs: f64, rows: &
     out
 }
 
+/// Extra-field keys that count as a *measured* signal for the
+/// `DF_REQUIRE_NONZERO` guard. Parameter-like extras (`queue_len`,
+/// `crash_points`, …) are deliberately excluded: they are non-zero by
+/// construction, so accepting them would let a broken measurement upload a
+/// "green" baseline — the exact failure the guard exists to stop.
+const NONZERO_METRIC_KEYS: [&str; 2] = ["recovery_steps", "crashes_injected"];
+
 /// Write `BENCH_<name>.json` if `DF_JSON` is set; returns the path written.
 ///
-/// When `DF_REQUIRE_NONZERO` is set, exits with an error if any row reports zero
-/// (or negative) throughput — the CI bench-smoke job uses this as its pass/fail
-/// criterion so a silently broken variant cannot upload a "green" baseline.
+/// When `DF_REQUIRE_NONZERO` is set, exits with an error if any row reports no
+/// measured signal — zero (or negative) throughput and, for rows that carry
+/// benchmark-specific `extra` metrics instead of a throughput (the recovery
+/// table, the dfck coverage report), every [`NONZERO_METRIC_KEYS`] extra zero
+/// as well. The CI bench-smoke job uses this as its pass/fail criterion so a
+/// silently broken variant cannot upload a "green" baseline.
 pub fn emit(bench: &str, params: &[(&str, u64)], wall_clock_secs: f64, rows: &[JsonRow]) -> Option<PathBuf> {
     if std::env::var_os("DF_REQUIRE_NONZERO").is_some() {
         for row in rows {
+            let has_signal = row.mops > 0.0
+                || row
+                    .extra
+                    .iter()
+                    .any(|(k, v)| NONZERO_METRIC_KEYS.contains(k) && *v > 0.0);
             assert!(
-                row.mops > 0.0,
-                "DF_REQUIRE_NONZERO: {} @ {} threads reported {} Mops/s",
+                has_signal,
+                "DF_REQUIRE_NONZERO: {} @ {} threads reported {} Mops/s and no non-zero metric extra",
                 row.variant,
                 row.threads,
                 row.mops
@@ -157,6 +203,7 @@ mod tests {
             mops,
             flushes_per_op: 1.5,
             fences_per_op: 0.5,
+            extra: Vec::new(),
         }
     }
 
@@ -174,6 +221,18 @@ mod tests {
         assert!(doc.contains("\"variant\": \"LogQueue\""));
         assert!(!doc.contains(",\n  ]"));
         assert!(doc.contains("\"wall_clock_secs\": 1.250000"));
+    }
+
+    #[test]
+    fn render_appends_extra_fields_per_row() {
+        let r = JsonRow::new("General/pair", 1, 2.5)
+            .with("crash_points", 321.0)
+            .with("oracle_failures", 0.0);
+        let doc = render("dfck", &[("ops", 2)], 0.5, &[r]);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.contains("\"crash_points\": 321.000000"));
+        assert!(doc.contains("\"oracle_failures\": 0.000000"));
+        assert!(doc.contains("\"variant\": \"General/pair\""));
     }
 
     #[test]

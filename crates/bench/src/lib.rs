@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dfck;
 pub mod json;
 
 use std::sync::Barrier;

@@ -26,6 +26,56 @@
 //!
 //! Everything is expressed against the simulated machine of the [`pmem`] crate, so
 //! boundaries cost real (simulated) flushes and fences that show up in [`pmem::Stats`].
+//!
+//! ## Quick tour
+//!
+//! An encapsulated operation is a state machine over the persisted program counter;
+//! [`CapsuleRuntime::run_op`] drives it to completion across any number of simulated
+//! crashes. Here a sum is computed one addend per capsule while a deterministic
+//! [`pmem::CrashPlan`] crashes the process mid-operation — and then once more inside
+//! the recovery triggered by the first crash:
+//!
+//! ```
+//! use capsules::{BoundaryStyle, CapsuleRuntime, CapsuleStep};
+//! use pmem::{CrashPlan, PMem};
+//!
+//! fn sum_to_ten(rt: &mut CapsuleRuntime<'_, '_>) -> u64 {
+//!     rt.run_op(0, |rt| {
+//!         let i = rt.pc() as u64;
+//!         if i == 10 {
+//!             return CapsuleStep::Done(rt.local(0));
+//!         }
+//!         let acc = rt.local(0);
+//!         rt.set_local(0, acc + i + 1);
+//!         rt.boundary(rt.pc() + 1);
+//!         CapsuleStep::Continue
+//!     })
+//! }
+//!
+//! pmem::install_quiet_crash_hook();
+//!
+//! // Crash points are counted, never guessed: run once crash-free and read the
+//! // operation's crash-point count from the thread's statistics.
+//! let mem = PMem::with_threads(1);
+//! let t = mem.thread(0);
+//! let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 1);
+//! let _ = t.take_stats();
+//! assert_eq!(sum_to_ten(&mut rt), 55);
+//! let points = t.stats().crash_points;
+//!
+//! // Replay on a fresh machine, crashing mid-operation and then again at the
+//! // very first instruction of the resulting recovery (a nested schedule).
+//! let mem = PMem::with_threads(1);
+//! let t = mem.thread(0);
+//! let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 1);
+//! t.set_crash_schedule(CrashPlan::new(vec![points / 2, 0]));
+//! let total = sum_to_ten(&mut rt);
+//! t.disarm_crashes();
+//!
+//! assert_eq!(total, 55);                       // 1 + 2 + … + 10, exactly once
+//! assert!(rt.metrics().recoveries >= 1);       // the capsule was re-executed…
+//! assert!(rt.metrics().recovery_crashes >= 1); // …and recovery itself was interrupted
+//! ```
 
 #![warn(missing_docs)]
 

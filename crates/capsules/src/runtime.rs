@@ -39,6 +39,18 @@ pub struct CapsuleMetrics {
     pub boundaries: u64,
     /// Recoveries performed (frame reloads after a crash).
     pub recoveries: u64,
+    /// Crashes that interrupted a recovery in progress (the nested
+    /// crash-during-recovery path of [`CapsuleRuntime::run_op`]): the recovery was
+    /// restarted from scratch, which is safe because it only reads. Exhaustive
+    /// crash-point sweeps assert on this counter to prove the nested path ran.
+    pub recovery_crashes: u64,
+    /// Crashes that interrupted the operation-entry boundary, which `run_op`
+    /// retries directly (no frame recovery needed: the arguments still live in
+    /// the runtime's volatile mirrors and a torn boundary is unpublished).
+    /// Together with `recoveries` this accounts for every crash an operation
+    /// absorbed, which is how the `dfck` sweeper proves a crash point was
+    /// actually handled rather than silently skipped.
+    pub entry_retries: u64,
 }
 
 /// Per-process capsule state: a persistent [`Frame`] plus its volatile mirrors.
@@ -62,6 +74,11 @@ pub struct CapsuleRuntime<'t, 'm> {
     /// Whether compact-frame boundaries assert the absence of write-after-read
     /// hazards (enabled by default; benchmarks may disable it).
     war_check: bool,
+    /// Crash flavour simulated when `run_op` catches a [`CrashSignal`]: per-process
+    /// (`false`, the default — volatile thread state lost, shared cache intact) or
+    /// full-system (`true` — every unflushed cache line rolls back too). See
+    /// [`set_system_crashes`](Self::set_system_crashes).
+    system_crashes: bool,
     metrics: CapsuleMetrics,
 }
 
@@ -84,6 +101,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             entry_boundary: true,
             final_boundary: true,
             war_check: true,
+            system_crashes: false,
             metrics: CapsuleMetrics::default(),
         }
     }
@@ -109,6 +127,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             entry_boundary: true,
             final_boundary: true,
             war_check: true,
+            system_crashes: false,
             metrics: CapsuleMetrics::default(),
         };
         rt.recover();
@@ -165,6 +184,33 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
     /// Enable or disable the compact-frame write-after-read hazard assertion.
     pub fn set_war_check(&mut self, enabled: bool) {
         self.war_check = enabled;
+    }
+
+    /// Select which crash flavour [`run_op`](Self::run_op) simulates when it
+    /// catches a crash. By default an injected crash is a *per-process* fault
+    /// (the PPM model of §2.1): the thread's volatile state is lost but the
+    /// shared cache survives. With system crashes enabled, every caught crash
+    /// also rolls the whole machine's unflushed cache lines back to their
+    /// durable contents ([`PMem::crash_all`](pmem::PMem::crash_all)) before
+    /// recovery runs — the shared-cache model's full-system power failure, which
+    /// additionally verifies the algorithm's flush placement.
+    ///
+    /// Only sound when no *other* thread is executing simulated instructions at
+    /// any crash point (`crash_all` requires quiescence), i.e. in single-threaded
+    /// harnesses like the `dfck` sweeper's replays.
+    pub fn set_system_crashes(&mut self, enabled: bool) {
+        self.system_crashes = enabled;
+    }
+
+    /// Record the caught crash with the machine: full-system rollback in system
+    /// mode, per-process fault otherwise.
+    fn apply_crash(&self) {
+        self.thread.note_crash();
+        if self.system_crashes {
+            self.thread.mem().crash_all();
+        } else {
+            self.thread.mem().crash_thread(self.thread.pid());
+        }
     }
 
     // ----- persisted locals ----------------------------------------------------
@@ -296,8 +342,8 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
                 match catch_crash(|| self.boundary(entry_pc)) {
                     Ok(()) => break,
                     Err(_) => {
-                        self.thread.note_crash();
-                        self.thread.mem().crash_thread(self.thread.pid());
+                        self.metrics.entry_retries += 1;
+                        self.apply_crash();
                         self.pc = entry_pc;
                     }
                 }
@@ -318,10 +364,13 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
                     // recovery itself may be interrupted by a further crash — the
                     // model allows crashes at any instruction — so retry it until
                     // it completes (recovery is idempotent: it only reads).
-                    self.thread.note_crash();
-                    self.thread.mem().crash_thread(self.thread.pid());
+                    self.apply_crash();
                     while catch_crash(|| self.recover()).is_err() {
-                        self.thread.note_crash();
+                        // A crash interrupted the recovery itself (the model allows
+                        // crashes at any instruction); count it so sweeps can assert
+                        // the nested path was exercised, then restart the recovery.
+                        self.metrics.recovery_crashes += 1;
+                        self.apply_crash();
                     }
                 }
             }
@@ -433,6 +482,34 @@ mod tests {
             "the crash policy should have interrupted at least one capsule"
         );
         assert!(t.stats().crashes >= rt.metrics().recoveries);
+    }
+
+    #[test]
+    fn nested_crash_during_recovery_is_retried_and_counted() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+        rt.set_local(0, 9);
+        // Crash inside the capsule body, then again at the first instruction of
+        // each of the next two recovery attempts (deterministic nested schedule).
+        t.set_crash_schedule(pmem::CrashPlan::new(vec![10, 0, 0]));
+        let out = rt.run_op(0, |rt| {
+            let probe = rt.thread().alloc(1);
+            for _ in 0..8 {
+                let _ = rt.thread().read(probe);
+            }
+            CapsuleStep::Done(rt.local(0))
+        });
+        t.disarm_crashes();
+        assert_eq!(out, 9, "result must be exact despite crash-during-recovery");
+        assert_eq!(
+            rt.metrics().recovery_crashes,
+            2,
+            "both nested crashes must hit (and be retried inside) recovery"
+        );
+        assert!(rt.metrics().recoveries >= 1);
+        assert_eq!(t.stats().crashes, 3);
     }
 
     #[test]

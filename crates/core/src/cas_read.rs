@@ -163,6 +163,61 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_crash_point_sweep_is_exact() {
+        // dfck-style enumeration at the simulator level: learn the crash-point
+        // count of a crash-free run from Stats, then replay once per point k
+        // (and once per nested [k, 0] crash-during-recovery schedule) asserting
+        // the counter is exact every time.
+        install_quiet_crash_hook();
+        let run = |plan: Option<pmem::CrashPlan>| -> (u64, u64) {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let space = RcasSpace::with_default_layout(&t, 1);
+            let x = space.create(&t, 0).addr();
+            let sim = CasReadSimulator::new(space);
+            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+            let _ = t.take_stats();
+            if let Some(p) = plan {
+                t.set_crash_schedule(p);
+            }
+            for _ in 0..3 {
+                rt.run_op(0, |rt| match rt.pc() {
+                    0 => {
+                        let v = sim.read(rt, x);
+                        rt.set_local(0, v);
+                        rt.boundary(1);
+                        CapsuleStep::Continue
+                    }
+                    1 => {
+                        let v = rt.local(0);
+                        if sim.capsule_cas(rt, x, v, v + 1) {
+                            rt.boundary(2);
+                            CapsuleStep::Done(())
+                        } else {
+                            rt.boundary(0);
+                            CapsuleStep::Continue
+                        }
+                    }
+                    2 => CapsuleStep::Done(()),
+                    pc => unreachable!("pc {pc}"),
+                });
+            }
+            let points = t.stats().crash_points;
+            t.disarm_crashes();
+            (space.read(&t, x), points)
+        };
+        let (value, n) = run(None);
+        assert_eq!(value, 3);
+        assert!(n > 0);
+        for k in 0..n {
+            let (v, _) = run(Some(pmem::CrashPlan::once(k)));
+            assert_eq!(v, 3, "crash at point {k} changed the result");
+            let (v, _) = run(Some(pmem::CrashPlan::new(vec![k, 0])));
+            assert_eq!(v, 3, "nested crash at point {k} changed the result");
+        }
+    }
+
+    #[test]
     fn uses_fewer_boundaries_than_constant_delay() {
         // Both simulators execute the same 20 uncontended increments; the CAS-Read
         // encapsulation needs 2 boundaries per op (read capsule + CAS capsule +

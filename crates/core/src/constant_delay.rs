@@ -119,14 +119,21 @@ mod tests {
     use pmem::{install_quiet_crash_hook, CrashPolicy, PMem};
 
     /// A tiny "program": increment a shared counter `n` times, every instruction in
-    /// its own capsule (read; cas; repeat).
-    fn run_counter(mem: &PMem, pid: usize, space: &RcasSpace, x: PAddr, n: u64, policy: CrashPolicy) -> u64 {
+    /// its own capsule (read; cas; repeat). `arm` installs the crash schedule once
+    /// the runtime's frame exists (so set-up is never interrupted).
+    fn run_counter_with(
+        mem: &PMem,
+        pid: usize,
+        space: &RcasSpace,
+        x: PAddr,
+        n: u64,
+        arm: impl FnOnce(&pmem::PThread<'_>),
+    ) -> u64 {
         let t = mem.thread(pid);
         let sim = ConstantDelaySimulator::new(*space);
         let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
-        // Arm crash injection only after the runtime's frame exists.
-        t.set_crash_policy(policy);
-        let mut boundaries = 0u64;
+        let _ = t.take_stats();
+        arm(&t);
         for _ in 0..n {
             rt.run_op(0, |rt| match rt.pc() {
                 0 => {
@@ -146,10 +153,14 @@ mod tests {
                 2 => CapsuleStep::Done(()),
                 pc => unreachable!("pc {pc}"),
             });
-            boundaries += 1;
         }
         t.disarm_crashes();
-        boundaries
+        t.stats().crash_points
+    }
+
+    /// Policy-based wrapper kept for the torture tests below.
+    fn run_counter(mem: &PMem, pid: usize, space: &RcasSpace, x: PAddr, n: u64, policy: CrashPolicy) -> u64 {
+        run_counter_with(mem, pid, space, x, n, |t| t.set_crash_policy(policy))
     }
 
     #[test]
@@ -209,6 +220,36 @@ mod tests {
             }
         });
         assert_eq!(space.read(&mem.thread(0), x), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn exhaustive_crash_point_sweep_is_exact() {
+        // Enumerate every crash point of a 3-increment run (count taken from
+        // Stats) and replay with a single crash at k, then with a nested
+        // crash-during-recovery schedule [k, 0]. Theorem 5.1 says every replay
+        // must be invisible.
+        install_quiet_crash_hook();
+        let run = |plan: Option<pmem::CrashPlan>| -> (u64, u64) {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let space = RcasSpace::with_default_layout(&t, 1);
+            let x = space.create(&t, 0).addr();
+            let points = run_counter_with(&mem, 0, &space, x, 3, |t| {
+                if let Some(p) = plan {
+                    t.set_crash_schedule(p);
+                }
+            });
+            (space.read(&t, x), points)
+        };
+        let (value, n) = run(None);
+        assert_eq!(value, 3);
+        assert!(n > 0);
+        for k in 0..n {
+            let (v, _) = run(Some(pmem::CrashPlan::once(k)));
+            assert_eq!(v, 3, "crash at point {k} changed the result");
+            let (v, _) = run(Some(pmem::CrashPlan::new(vec![k, 0])));
+            assert_eq!(v, 3, "nested crash at point {k} changed the result");
+        }
     }
 
     #[test]

@@ -599,6 +599,50 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_crash_point_sweep_is_exact() {
+        // dfck-style enumeration for the normalized simulator: every crash point
+        // of a 3-add run (count from Stats), single and nested [k, 0] schedules.
+        // The nested replays deterministically exercise the recovery-interrupted
+        // path of `CapsuleRuntime::run_op` under Algorithm 4.
+        install_quiet_crash_hook();
+        let run = |plan: Option<pmem::CrashPlan>| -> (u64, u64, u64, u64) {
+            let (mem, space) = setup(1);
+            let t = mem.thread(0);
+            let x = space.create(&t, 0).addr();
+            let sim = NormalizedSimulator::new(space, false);
+            let op = NormalizedCounter { x };
+            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, NORMALIZED_LOCALS);
+            let _ = t.take_stats();
+            if let Some(p) = plan {
+                t.set_crash_schedule(p);
+            }
+            let mut sum_of_olds = 0;
+            for _ in 0..3 {
+                sum_of_olds += sim.run(&mut rt, &op, &1);
+            }
+            let points = t.stats().crash_points;
+            t.disarm_crashes();
+            let m = rt.metrics();
+            (space.read(&t, x) * 10 + sum_of_olds, points, m.recoveries, m.recovery_crashes)
+        };
+        let (history, n, _, _) = run(None);
+        assert_eq!(history, 33, "3 adds, old values 0+1+2");
+        assert!(n > 0);
+        let mut nested_recovery_crashes = 0;
+        for k in 0..n {
+            let (h, _, _, _) = run(Some(pmem::CrashPlan::once(k)));
+            assert_eq!(h, 33, "crash at point {k} changed the history");
+            let (h, _, _, rc) = run(Some(pmem::CrashPlan::new(vec![k, 0])));
+            assert_eq!(h, 33, "nested crash at point {k} changed the history");
+            nested_recovery_crashes += rc;
+        }
+        assert!(
+            nested_recovery_crashes > 0,
+            "the nested sweep must interrupt at least one recovery"
+        );
+    }
+
+    #[test]
     fn multi_cas_list_executes_each_entry_once_despite_crashes() {
         install_quiet_crash_hook();
         let (mem, space) = setup(1);

@@ -1,12 +1,30 @@
-//! Crash injection.
+//! Crash injection: the crash-schedule layer.
 //!
 //! The PPM model lets any process crash at any instruction, losing its volatile
 //! state. The simulator reproduces this by having every instrumented persistent
-//! memory access consult the thread's [`CrashPolicy`]; when the policy fires, the
-//! access panics with a [`CrashSignal`] payload. Unwinding destroys the thread's
-//! Rust locals — exactly the volatile state the model says is lost — and the capsule
-//! runtime (or [`catch_crash`]) catches the signal and restarts execution from the
-//! process's restart pointer.
+//! memory access pass a *crash point* that consults the thread's [`CrashSchedule`];
+//! when the schedule fires, the access panics with a [`CrashSignal`] payload.
+//! Unwinding destroys the thread's Rust locals — exactly the volatile state the
+//! model says is lost — and the capsule runtime (or [`catch_crash`]) catches the
+//! signal and restarts execution from the process's restart pointer.
+//!
+//! Two layers make up the API:
+//!
+//! * [`CrashSchedule`] — the pluggable decision procedure consulted at every crash
+//!   point. Anything implementing it can be installed with
+//!   [`PThread::set_crash_schedule`](crate::PThread::set_crash_schedule); the
+//!   simulator only touches it behind the pre-computed `crash_armed` fast flag, so
+//!   a schedule that reports [`is_armed`](CrashSchedule::is_armed)` == false`
+//!   (notably [`CrashPolicy::Never`]) costs a single predictable branch per
+//!   instruction.
+//! * [`CrashPolicy`] — the declarative configurations the torture tests use
+//!   (never / at-step / countdown / random). A policy is *armed* into one
+//!   particular [`CrashSchedule`] implementation when installed.
+//!
+//! For exhaustive crash-point enumeration (the `dfck` sweeper in the `bench`
+//! crate), [`CrashPlan`] schedules a *scripted sequence* of crashes by
+//! crash-point countdowns — including crashes that land inside the recovery code
+//! executed after an earlier crash (nested schedules).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,12 +48,34 @@ pub struct Crashed {
     pub signal: CrashSignal,
 }
 
+/// A pluggable crash schedule: decides, at every crash point, whether a simulated
+/// crash fires on the thread it is installed on.
+///
+/// Crash points are each instrumented persistent memory access plus every explicit
+/// [`PThread::crash_point`](crate::PThread::crash_point) call. The schedule is
+/// consulted with the thread's monotonically increasing step counter.
+///
+/// Schedules are consulted only while [`is_armed`](CrashSchedule::is_armed)
+/// reports `true` (the thread caches that answer in its `crash_armed` fast flag
+/// and refreshes it after every consultation), so a schedule that can no longer
+/// fire costs nothing on the instruction hot path.
+pub trait CrashSchedule: std::fmt::Debug {
+    /// Returns `true` if a crash should fire at this crash point. `step` is the
+    /// thread's step counter (monotone over the thread's lifetime).
+    fn should_crash(&mut self, step: u64) -> bool;
+
+    /// Whether the schedule can still fire. Once this returns `false` the thread
+    /// stops consulting the schedule entirely (until a new one is installed).
+    fn is_armed(&self) -> bool;
+}
+
 /// Decides when a simulated crash fires on a thread.
 ///
-/// Policies are evaluated at every *crash point*: each instrumented persistent
-/// memory access plus every explicit [`PThread::crash_point`](crate::PThread::crash_point)
-/// call. The policy is consulted with the thread's monotonically increasing step
-/// counter.
+/// This is the declarative configuration layer: installing a policy with
+/// [`PThread::set_crash_policy`](crate::PThread::set_crash_policy) *arms* it into
+/// a concrete [`CrashSchedule`] implementation. For scripted multi-crash
+/// schedules (exhaustive sweeps, crash-during-recovery tests) install a
+/// [`CrashPlan`] directly instead.
 #[derive(Clone, Debug, Default)]
 pub enum CrashPolicy {
     /// Never crash (the default; used for throughput benchmarks).
@@ -47,6 +87,11 @@ pub enum CrashPolicy {
     Countdown(u64),
     /// Crash at each crash point independently with probability `prob`
     /// (seeded for reproducibility). Fires repeatedly — each catch re-arms it.
+    ///
+    /// The seed names a *family* of RNG streams, not one stream: arming the policy
+    /// mixes the installing thread's pid into the seed, so cloning one `Random`
+    /// policy across the threads of a torture test yields independent crash
+    /// sequences instead of crashing every thread in lockstep.
     Random {
         /// Per-crash-point crash probability in `[0, 1]`.
         prob: f64,
@@ -55,7 +100,19 @@ pub enum CrashPolicy {
     },
 }
 
-/// Internal, armed state of a crash policy (holds the RNG for `Random`).
+/// Mix a user-provided seed with a thread's pid into an independent RNG-stream
+/// seed (splitmix64 finalizer over the pair, so neighbouring pids land far apart).
+pub(crate) fn derive_stream_seed(seed: u64, pid: usize) -> u64 {
+    let mut z = seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Armed state of a [`CrashPolicy`] (holds the RNG for `Random`); the built-in
+/// [`CrashSchedule`] implementation. Internal: external callers install
+/// policies via [`PThread::set_crash_policy`](crate::PThread::set_crash_policy)
+/// or their own [`CrashSchedule`] via `set_crash_schedule`.
 #[derive(Debug)]
 pub(crate) enum ArmedPolicy {
     Never,
@@ -67,21 +124,24 @@ pub(crate) enum ArmedPolicy {
 }
 
 impl ArmedPolicy {
-    pub(crate) fn arm(policy: CrashPolicy) -> ArmedPolicy {
+    /// Arm a policy for the thread with the given pid (the pid picks the RNG
+    /// stream of a `Random` policy; see [`CrashPolicy::Random`]).
+    pub(crate) fn arm(policy: CrashPolicy, pid: usize) -> ArmedPolicy {
         match policy {
             CrashPolicy::Never => ArmedPolicy::Never,
             CrashPolicy::AtStep(s) => ArmedPolicy::AtStep(s),
             CrashPolicy::Countdown(n) => ArmedPolicy::Countdown(n),
             CrashPolicy::Random { prob, seed } => ArmedPolicy::Random {
                 prob,
-                rng: SmallRng::seed_from_u64(seed),
+                rng: SmallRng::seed_from_u64(derive_stream_seed(seed, pid)),
             },
         }
     }
+}
 
-    /// Returns `true` if a crash should fire at this step.
+impl CrashSchedule for ArmedPolicy {
     #[inline]
-    pub(crate) fn should_crash(&mut self, step: u64) -> bool {
+    fn should_crash(&mut self, step: u64) -> bool {
         match self {
             ArmedPolicy::Never | ArmedPolicy::Spent => false,
             ArmedPolicy::AtStep(s) => {
@@ -109,8 +169,68 @@ impl ArmedPolicy {
     /// `crash_armed` fast flag so the per-instruction crash point is a single
     /// branch when nothing can crash (every throughput run, and any one-shot
     /// policy after it has spent itself).
-    pub(crate) fn is_armed(&self) -> bool {
+    fn is_armed(&self) -> bool {
         !matches!(self, ArmedPolicy::Never | ArmedPolicy::Spent)
+    }
+}
+
+/// A scripted sequence of crashes, expressed as crash-point countdowns: the
+/// schedule fires after `gaps[0]` further crash points pass, then re-arms and
+/// fires again after `gaps[1]` more crash points, and so on until the script is
+/// exhausted.
+///
+/// Each element follows [`CrashPolicy::Countdown`] semantics: a gap of `0` fires
+/// at the very next crash point. Because the countdown for element `i + 1` starts
+/// at the crash point *after* crash `i` fired, later elements naturally land
+/// inside whatever code runs next — including the recovery code executed in
+/// response to crash `i`. This is how the `dfck` sweeper enumerates nested
+/// crash-during-recovery schedules: `CrashPlan::new([k, m])` crashes at workload
+/// crash point `k` and then again `m` points into the recovery/re-execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Remaining countdowns, in firing order (`gaps[cursor]` is live).
+    gaps: Vec<u64>,
+    cursor: usize,
+}
+
+impl CrashPlan {
+    /// A plan that fires once per element of `gaps` (see the type docs for the
+    /// countdown semantics). An empty script never fires.
+    pub fn new(gaps: impl Into<Vec<u64>>) -> CrashPlan {
+        CrashPlan {
+            gaps: gaps.into(),
+            cursor: 0,
+        }
+    }
+
+    /// A plan with a single crash after `gap` further crash points — equivalent
+    /// to [`CrashPolicy::Countdown`]`(gap)`.
+    pub fn once(gap: u64) -> CrashPlan {
+        CrashPlan::new(vec![gap])
+    }
+
+    /// How many crashes of the script have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.gaps.len() - self.cursor
+    }
+}
+
+impl CrashSchedule for CrashPlan {
+    fn should_crash(&mut self, _step: u64) -> bool {
+        let Some(gap) = self.gaps.get_mut(self.cursor) else {
+            return false;
+        };
+        if *gap == 0 {
+            self.cursor += 1;
+            true
+        } else {
+            *gap -= 1;
+            false
+        }
+    }
+
+    fn is_armed(&self) -> bool {
+        self.cursor < self.gaps.len()
     }
 }
 
@@ -167,7 +287,7 @@ mod tests {
 
     #[test]
     fn never_policy_never_fires() {
-        let mut p = ArmedPolicy::arm(CrashPolicy::Never);
+        let mut p = ArmedPolicy::arm(CrashPolicy::Never, 0);
         for step in 0..1000 {
             assert!(!p.should_crash(step));
         }
@@ -176,7 +296,7 @@ mod tests {
 
     #[test]
     fn at_step_fires_once() {
-        let mut p = ArmedPolicy::arm(CrashPolicy::AtStep(5));
+        let mut p = ArmedPolicy::arm(CrashPolicy::AtStep(5), 0);
         assert!(!p.should_crash(3));
         assert!(!p.should_crash(4));
         assert!(p.should_crash(5));
@@ -187,7 +307,7 @@ mod tests {
 
     #[test]
     fn countdown_fires_after_n_points() {
-        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(3));
+        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(3), 0);
         assert!(!p.should_crash(0));
         assert!(!p.should_crash(1));
         assert!(!p.should_crash(2));
@@ -197,7 +317,7 @@ mod tests {
 
     #[test]
     fn countdown_zero_fires_immediately() {
-        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(0));
+        let mut p = ArmedPolicy::arm(CrashPolicy::Countdown(0), 0);
         assert!(p.should_crash(0));
         assert!(!p.should_crash(1));
     }
@@ -205,15 +325,77 @@ mod tests {
     #[test]
     fn random_policy_is_reproducible() {
         let run = |seed| {
-            let mut p = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.25, seed });
+            let mut p = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.25, seed }, 0);
             (0..64).map(|s| p.should_crash(s)).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         // Probability 0 and 1 are exact.
-        let mut never = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.0, seed: 1 });
+        let mut never = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.0, seed: 1 }, 0);
         assert!((0..100).all(|s| !never.should_crash(s)));
-        let mut always = ArmedPolicy::arm(CrashPolicy::Random { prob: 1.0, seed: 1 });
+        let mut always = ArmedPolicy::arm(CrashPolicy::Random { prob: 1.0, seed: 1 }, 0);
         assert!((0..100).all(|s| always.should_crash(s)));
+    }
+
+    #[test]
+    fn random_policy_streams_differ_per_pid() {
+        // The same declarative policy cloned across threads must not crash them
+        // in lockstep: each pid arms an independent stream of the seed family.
+        let fire_steps = |pid: usize| {
+            let mut p = ArmedPolicy::arm(CrashPolicy::Random { prob: 0.2, seed: 7 }, pid);
+            (0..256).filter(|&s| p.should_crash(s)).collect::<Vec<u64>>()
+        };
+        let a0 = fire_steps(0);
+        let a1 = fire_steps(1);
+        let a2 = fire_steps(2);
+        assert!(!a0.is_empty() && !a1.is_empty() && !a2.is_empty());
+        assert_ne!(a0, a1, "pids 0 and 1 crash at identical points");
+        assert_ne!(a1, a2, "pids 1 and 2 crash at identical points");
+        // Still reproducible per pid.
+        assert_eq!(a1, fire_steps(1));
+    }
+
+    #[test]
+    fn derive_stream_seed_separates_neighbouring_pids() {
+        let s: Vec<u64> = (0..8).map(|pid| derive_stream_seed(42, pid)).collect();
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), s.len(), "stream seeds collide: {s:?}");
+    }
+
+    #[test]
+    fn crash_plan_fires_per_script_element() {
+        // Gaps [2, 0, 1]: fire at the 3rd point, then immediately at the next,
+        // then one point later. Countdown semantics per element.
+        let mut p = CrashPlan::new(vec![2, 0, 1]);
+        assert!(p.is_armed());
+        assert_eq!(p.remaining(), 3);
+        let fired: Vec<bool> = (0..8).map(|s| p.should_crash(s)).collect();
+        assert_eq!(fired, vec![false, false, true, true, false, true, false, false]);
+        assert!(!p.is_armed());
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn crash_plan_once_matches_countdown() {
+        for gap in [0u64, 1, 5] {
+            let mut plan = CrashPlan::once(gap);
+            let mut countdown = ArmedPolicy::arm(CrashPolicy::Countdown(gap), 0);
+            for step in 0..16 {
+                assert_eq!(
+                    plan.should_crash(step),
+                    countdown.should_crash(step),
+                    "gap {gap} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_crash_plan_is_disarmed() {
+        let mut p = CrashPlan::new(Vec::new());
+        assert!(!p.is_armed());
+        assert!((0..32).all(|s| !p.should_crash(s)));
     }
 
     #[test]

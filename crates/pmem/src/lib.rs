@@ -73,7 +73,10 @@ pub mod stats;
 pub mod typed;
 
 pub use addr::PAddr;
-pub use crash::{catch_crash, install_quiet_crash_hook, CrashPolicy, CrashSignal, Crashed};
+pub use crash::{
+    catch_crash, install_quiet_crash_hook, CrashPlan, CrashPolicy, CrashSchedule, CrashSignal,
+    Crashed,
+};
 pub use mem::{MemConfig, PMem, PThread, ThreadOptions};
 pub use mode::Mode;
 pub use stats::Stats;

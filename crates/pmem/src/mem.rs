@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::addr::PAddr;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
-use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy};
+use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy, CrashSchedule};
 use crate::mode::Mode;
 use crate::stats::{StatCells, Stats};
 use crate::LINE_WORDS;
@@ -115,9 +115,10 @@ impl PMem {
             mode: self.mode,
             opts,
             stats: StatCells::default(),
-            policy: RefCell::new(ArmedPolicy::arm(CrashPolicy::Never)),
+            schedule: RefCell::new(Box::new(ArmedPolicy::arm(CrashPolicy::Never, pid))),
             crash_armed: Cell::new(false),
             step: Cell::new(0),
+            step_base: Cell::new(0),
             in_recovery: Cell::new(false),
             seg_cache: Cell::new(None),
         }
@@ -232,14 +233,20 @@ pub struct PThread<'m> {
     mode: Mode,
     opts: ThreadOptions,
     stats: StatCells,
-    /// Armed crash-policy state. Only consulted when `crash_armed` is set, so the
-    /// `RefCell` borrow bookkeeping is off the throughput path entirely.
-    policy: RefCell<ArmedPolicy>,
-    /// Pre-computed fast flag: `true` iff `policy` can still fire. Maintained by
-    /// [`set_crash_policy`](PThread::set_crash_policy) and cleared when a one-shot
-    /// policy spends itself.
+    /// Installed crash schedule. Only consulted when `crash_armed` is set, so both
+    /// the `RefCell` borrow bookkeeping and the dynamic dispatch are off the
+    /// throughput path entirely.
+    schedule: RefCell<Box<dyn CrashSchedule>>,
+    /// Pre-computed fast flag: `true` iff `schedule` can still fire. Maintained by
+    /// [`set_crash_schedule`](PThread::set_crash_schedule) and cleared when a
+    /// schedule reports itself disarmed after a consultation.
     crash_armed: Cell<bool>,
     step: Cell<u64>,
+    /// Value of `step` at the last [`take_stats`](PThread::take_stats), so the
+    /// `crash_points` field of a snapshot is windowed like every other counter
+    /// while the step counter itself stays monotone (absolute [`CrashPolicy::AtStep`]
+    /// schedules depend on that).
+    step_base: Cell<u64>,
     in_recovery: Cell<bool>,
     /// Per-thread cache of the last resolved arena segment `(index, slice)`.
     /// Segments never move once created (boxed slices behind `OnceLock`s owned by
@@ -265,11 +272,21 @@ impl<'m> PThread<'m> {
         self.opts
     }
 
-    /// Install a crash policy. Replaces (and re-arms) any previous policy.
+    /// Install a crash policy. Replaces (and re-arms) any previous schedule. A
+    /// [`CrashPolicy::Random`] policy is armed with a pid-derived RNG stream, so
+    /// installing the same policy on every thread of a torture test yields
+    /// independent crash sequences.
     pub fn set_crash_policy(&self, policy: CrashPolicy) {
-        let armed = ArmedPolicy::arm(policy);
-        self.crash_armed.set(armed.is_armed());
-        *self.policy.borrow_mut() = armed;
+        self.set_crash_schedule(ArmedPolicy::arm(policy, self.pid));
+    }
+
+    /// Install an arbitrary [`CrashSchedule`] (e.g. a scripted
+    /// [`CrashPlan`](crate::CrashPlan)). Replaces any previous schedule; the
+    /// pre-computed fast flag is refreshed so a disarmed schedule keeps the
+    /// per-instruction crash point branch-free.
+    pub fn set_crash_schedule(&self, schedule: impl CrashSchedule + 'static) {
+        self.crash_armed.set(schedule.is_armed());
+        *self.schedule.borrow_mut() = Box::new(schedule);
     }
 
     /// Disable crash injection (equivalent to installing [`CrashPolicy::Never`]).
@@ -277,14 +294,32 @@ impl<'m> PThread<'m> {
         self.set_crash_policy(CrashPolicy::Never);
     }
 
-    /// Snapshot of this thread's statistics.
+    /// Snapshot of this thread's statistics. The `crash_points` field is sourced
+    /// from the step counter: every counted instruction plus every explicit
+    /// [`crash_point`](PThread::crash_point) call passed one crash point.
     pub fn stats(&self) -> Stats {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.crash_points = self.step.get() - self.step_base.get();
+        snap
     }
 
-    /// Snapshot and reset this thread's statistics.
+    /// Snapshot and reset this thread's statistics (including the `crash_points`
+    /// window; the underlying step counter stays monotone so absolute
+    /// [`CrashPolicy::AtStep`] schedules are unaffected).
     pub fn take_stats(&self) -> Stats {
-        self.stats.take()
+        let mut snap = self.stats.take();
+        let step = self.step.get();
+        snap.crash_points = step - self.step_base.get();
+        self.step_base.set(step);
+        snap
+    }
+
+    /// Total crash points this thread has passed over its lifetime (the step
+    /// counter): one per counted instruction plus one per explicit
+    /// [`crash_point`](PThread::crash_point) call. The exhaustive `dfck` sweeper
+    /// enumerates exactly this range.
+    pub fn crash_points(&self) -> u64 {
+        self.step.get()
     }
 
     /// Record that this thread observed a simulated crash (increments the crash
@@ -329,17 +364,21 @@ impl<'m> PThread<'m> {
         }
     }
 
-    /// Slow path of a crash point: consult the armed policy, raise the crash if it
-    /// fires, and drop the fast flag once a one-shot policy has spent itself.
+    /// Slow path of a crash point: consult the installed schedule, raise the crash
+    /// if it fires, and drop the fast flag once the schedule has spent itself.
     #[cold]
     fn consult_policy(&self, step: u64) {
-        let mut policy = self.policy.borrow_mut();
-        if policy.should_crash(step) {
-            drop(policy);
+        let mut schedule = self.schedule.borrow_mut();
+        if schedule.should_crash(step) {
+            // Refresh the fast flag *before* unwinding so that a spent one-shot
+            // schedule stops costing the slow path once the crash is caught, while
+            // a multi-crash CrashPlan stays armed for its next script element.
+            self.crash_armed.set(schedule.is_armed());
+            drop(schedule);
             raise_crash(self.pid, step);
         }
-        if !policy.is_armed() {
-            drop(policy);
+        if !schedule.is_armed() {
+            drop(schedule);
             self.crash_armed.set(false);
         }
     }
@@ -723,6 +762,70 @@ mod tests {
     fn out_of_range_pid_panics() {
         let mem = PMem::with_threads(2);
         let _ = mem.thread(2);
+    }
+
+    #[test]
+    fn stats_report_crash_points_windowed() {
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 1);
+        t.read(a);
+        t.crash_point(); // explicit crash points count too
+        assert_eq!(t.stats().crash_points, 3);
+        assert_eq!(t.crash_points(), 3);
+        let taken = t.take_stats();
+        assert_eq!(taken.crash_points, 3);
+        // The window resets; the lifetime counter (and AtStep semantics) do not.
+        assert_eq!(t.stats().crash_points, 0);
+        t.read(a);
+        assert_eq!(t.stats().crash_points, 1);
+        assert_eq!(t.crash_points(), 4);
+    }
+
+    #[test]
+    fn crash_plan_schedule_fires_per_script_element() {
+        use crate::crash::CrashPlan;
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        // Crash after 3 more crash points, then immediately at the next one
+        // (the first crash point of the "recovery" code).
+        t.set_crash_schedule(CrashPlan::new(vec![3, 0]));
+        let first = catch_crash(|| {
+            for i in 0..100 {
+                t.write(a, i);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(first.signal.pid, 0);
+        // The very next instruction (nested schedule element) crashes again.
+        let second = catch_crash(|| t.read(a)).unwrap_err();
+        assert_eq!(second.signal.at_step, first.signal.at_step + 1);
+        // Script exhausted: execution proceeds normally and the fast flag drops.
+        assert_eq!(catch_crash(|| t.read(a)).unwrap(), t.read(a));
+    }
+
+    #[test]
+    fn same_random_policy_on_two_pids_crashes_at_different_points() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(2);
+        let steps_until_crash = |pid: usize| {
+            let t = mem.thread(pid);
+            let a = t.alloc(1);
+            t.set_crash_policy(CrashPolicy::Random { prob: 0.01, seed: 1234 });
+            let crashed = catch_crash(|| {
+                loop {
+                    t.read(a);
+                }
+            })
+            .unwrap_err();
+            crashed.signal.at_step
+        };
+        // Identical declarative policy, fresh handles, identical instruction
+        // sequences — but pid-derived RNG streams, so the crash points differ.
+        assert_ne!(steps_until_crash(0), steps_until_crash(1));
     }
 
     #[test]

@@ -38,9 +38,11 @@ impl StatCells {
         cell.set(cell.get() + n);
     }
 
-    /// Copy the live counters into an immutable snapshot.
+    /// Copy the live counters into an immutable snapshot. The `crash_points`
+    /// field is not a cell here — `PThread` fills it in from its step counter.
     pub(crate) fn snapshot(&self) -> Stats {
         Stats {
+            crash_points: 0,
             reads: self.reads.get(),
             writes: self.writes.get(),
             cas: self.cas.get(),
@@ -72,6 +74,11 @@ impl StatCells {
 /// A snapshot of the instructions a simulated process has executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
+    /// Crash points passed in this window: one per counted instruction plus one
+    /// per explicit [`PThread::crash_point`](crate::PThread::crash_point) call.
+    /// Sourced from the thread's step counter at snapshot time (no extra work on
+    /// the instruction hot path); the `dfck` sweeper enumerates `0..crash_points`.
+    pub crash_points: u64,
     /// Shared-memory reads.
     pub reads: u64,
     /// Shared-memory writes.
@@ -97,6 +104,7 @@ impl Stats {
     /// A zeroed statistics block.
     pub const fn new() -> Stats {
         Stats {
+            crash_points: 0,
             reads: 0,
             writes: 0,
             cas: 0,
@@ -135,6 +143,7 @@ impl Stats {
     /// Element-wise sum of two snapshots.
     pub fn merge(&self, other: &Stats) -> Stats {
         Stats {
+            crash_points: self.crash_points + other.crash_points,
             reads: self.reads + other.reads,
             writes: self.writes + other.writes,
             cas: self.cas + other.cas,
@@ -152,6 +161,7 @@ impl Stats {
     /// Saturates at zero so that a window around a `take_stats` reset does not wrap.
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
+            crash_points: self.crash_points.saturating_sub(earlier.crash_points),
             reads: self.reads.saturating_sub(earlier.reads),
             writes: self.writes.saturating_sub(earlier.writes),
             cas: self.cas.saturating_sub(earlier.cas),
@@ -200,7 +210,7 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={}",
+            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={}",
             self.reads,
             self.writes,
             self.cas,
@@ -209,7 +219,8 @@ impl std::fmt::Display for Stats {
             self.fences,
             self.words_allocated,
             self.recovery_steps,
-            self.crashes
+            self.crashes,
+            self.crash_points
         )
     }
 }
@@ -220,6 +231,7 @@ mod tests {
 
     fn sample() -> Stats {
         Stats {
+            crash_points: 24,
             reads: 10,
             writes: 5,
             cas: 3,
@@ -246,6 +258,7 @@ mod tests {
         assert_eq!(s.reads, 20);
         assert_eq!(s.flushes, 8);
         assert_eq!(s.crashes, 2);
+        assert_eq!(s.crash_points, 48);
     }
 
     #[test]
@@ -281,5 +294,6 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("flushes=4"));
         assert!(text.contains("crashes=1"));
+        assert!(text.contains("crash_points=24"));
     }
 }

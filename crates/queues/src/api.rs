@@ -30,6 +30,23 @@ pub trait QueueHandle {
     fn enqueue(&mut self, value: u64);
     /// Remove and return the value at the head of the queue, or `None` if empty.
     fn dequeue(&mut self) -> Option<u64>;
+
+    /// Dequeue until the queue is empty, returning the values in FIFO order.
+    ///
+    /// This is the uniform history hook the exhaustive crash-point sweeper
+    /// (`dfck` in the `bench` crate) uses to read off the final queue state of
+    /// every variant after a crash-and-recovery replay: the drained sequence plus
+    /// the per-operation return values form the history its exactly-once /
+    /// durable-linearizability oracle checks. Quiescent use only — like `dequeue`
+    /// it is per-thread and the result is only meaningful once concurrent
+    /// operations have stopped.
+    fn drain(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(v) = self.dequeue() {
+            out.push(v);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -40,5 +57,24 @@ mod tests {
     fn durability_flags() {
         assert!(!Durability::None.manual());
         assert!(Durability::Manual.manual());
+    }
+
+    #[test]
+    fn drain_default_impl_empties_in_fifo_order() {
+        struct VecQueue(std::collections::VecDeque<u64>);
+        impl QueueHandle for VecQueue {
+            fn enqueue(&mut self, value: u64) {
+                self.0.push_back(value);
+            }
+            fn dequeue(&mut self) -> Option<u64> {
+                self.0.pop_front()
+            }
+        }
+        let mut q = VecQueue(std::collections::VecDeque::new());
+        for i in 0..5 {
+            q.enqueue(i);
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.drain(), Vec::<u64>::new());
     }
 }

@@ -35,6 +35,6 @@ pub mod normalized;
 
 pub use api::{Durability, QueueHandle};
 pub use general::{GeneralQueue, GeneralQueueHandle};
-pub use log_queue::{LogQueue, LogQueueHandle};
+pub use log_queue::{LogQueue, LogQueueHandle, RecoveredOp};
 pub use msq::{MsQueue, MsqHandle};
 pub use normalized::{NormalizedQueue, NormalizedQueueHandle};

@@ -26,6 +26,16 @@ const LOG_NODE: u64 = 2; // enqueue: the node being inserted
 const LOG_DONE: u64 = 3; // 1 once the operation completed
 const LOG_RESULT: u64 = 4; // dequeue: encoded result (Option<u64> as (v<<1)|1, 0 = None)
 
+/// The value a dequeuer CASes into a claimed node's `dequeuer` word: the claiming
+/// operation's sequence number in the high bits, `pid + 1` in the low 16. Non-zero
+/// by construction (so "unclaimed" stays the all-zero word), and unique per
+/// (thread, operation) so recovery never mistakes an earlier operation's claim for
+/// the interrupted one.
+fn claim_tag(pid: usize, seq: u64) -> u64 {
+    debug_assert!(pid < (1 << 16) - 1);
+    (seq << 16) | (pid as u64 + 1)
+}
+
 /// What the recovery procedure concluded about a thread's interrupted operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveredOp {
@@ -100,6 +110,33 @@ impl LogQueue {
         self.len(thread) == 0
     }
 
+    /// The operation sequence number currently recorded in `thread`'s log entry.
+    ///
+    /// The crash-replay driver protocol (used by the `dfck` sweeper): read this
+    /// *before* starting an operation; after a crash, if it is unchanged the
+    /// interrupted operation never completed its `log_begin` and therefore never
+    /// touched the queue — re-run it from scratch without consulting
+    /// [`recover`](Self::recover) (whose verdict could be computed from a torn
+    /// record). If it advanced, the log record is fully this operation's and the
+    /// recovery verdict is reliable; [`RecoveredOp::None`] then means the
+    /// operation *completed* (its log entry was marked done) and a dequeue's
+    /// return value is available from [`logged_result`](Self::logged_result).
+    pub fn logged_seq(&self, thread: &PThread<'_>) -> u64 {
+        thread.read(self.log_addr(thread.pid(), LOG_SEQ))
+    }
+
+    /// The completed-operation result recorded in `thread`'s log entry (only
+    /// meaningful for a dequeue whose log entry is marked done): `None` for an
+    /// empty-queue dequeue, `Some(v)` for a dequeue that returned `v`.
+    pub fn logged_result(&self, thread: &PThread<'_>) -> Option<u64> {
+        let word = thread.read(self.log_addr(thread.pid(), LOG_RESULT));
+        if word & 1 == 0 {
+            None
+        } else {
+            Some(word >> 1)
+        }
+    }
+
     /// Post-crash recovery for one thread: decide whether its logged, unfinished
     /// operation took effect. For an enqueue this requires traversing the queue to
     /// look for the logged node, so the cost grows with the queue length.
@@ -133,12 +170,17 @@ impl LogQueue {
                 RecoveredOp::EnqueueNotApplied
             }
         } else {
-            // Dequeue: applied iff some node is marked with this thread's id but is
-            // no longer reachable as the first node... Friedman et al. record the
-            // dequeuer in the node; we walk from the logged node marker instead:
-            // the claimed node stores pid+1 in its dequeuer word.
+            // Dequeue: applied iff the node this operation logged as its claim
+            // candidate carries *this operation's* claim tag. The tag encodes the
+            // operation sequence number as well as the pid (Friedman et al.'s
+            // deqThreadID trick): a bare pid marker would make a node claimed by
+            // one of this thread's *earlier*, already-completed dequeues look
+            // like a successful claim of the interrupted one, double-returning
+            // its value. The candidate is logged *before* the claim CAS, so the
+            // log always names the node whose dequeuer word is the verdict.
             let node = PAddr::from_raw(thread.read(self.log_addr(pid, LOG_NODE)));
-            if !node.is_null() && thread.read(dequeuer_addr(node)) == (pid as u64) + 1 {
+            let seq = thread.read(self.log_addr(pid, LOG_SEQ));
+            if !node.is_null() && thread.read(dequeuer_addr(node)) == claim_tag(pid, seq) {
                 RecoveredOp::DequeueApplied(thread.read(value_addr(node)))
             } else {
                 RecoveredOp::DequeueNotApplied
@@ -157,17 +199,27 @@ pub struct LogQueueHandle<'q, 't, 'm> {
 }
 
 impl LogQueueHandle<'_, '_, '_> {
-    fn log_begin(&self, kind: u64, node: PAddr) {
+    /// Persist the operation's log record; returns the operation's sequence
+    /// number (so callers need not re-read it).
+    fn log_begin(&self, kind: u64, node: PAddr) -> u64 {
         let t = self.thread;
         let q = self.queue;
         let pid = t.pid();
         let seq = t.read(q.log_addr(pid, LOG_SEQ)) + 1;
-        t.write(q.log_addr(pid, LOG_SEQ), seq);
+        // The sequence number is written *last*: a crash anywhere inside this
+        // function may leave the other fields torn (mixing this record with the
+        // previous operation's), but then the old sequence number is still in
+        // place, and "seq unchanged ⇒ the operation never began" is the invariant
+        // the post-crash driver protocol relies on (see [`LogQueue::logged_seq`]).
+        // Once the sequence number has advanced, every other field belongs fully
+        // to this operation and [`LogQueue::recover`]'s verdict is reliable.
         t.write(q.log_addr(pid, LOG_KIND), kind);
         t.write(q.log_addr(pid, LOG_NODE), node.to_raw());
         t.write(q.log_addr(pid, LOG_DONE), 0);
+        t.write(q.log_addr(pid, LOG_SEQ), seq);
         // One line, one flush, one fence.
         t.persist(q.log_addr(pid, 0));
+        seq
     }
 
     fn log_finish(&self, result: u64) {
@@ -212,7 +264,8 @@ impl QueueHandle for LogQueueHandle<'_, '_, '_> {
     fn dequeue(&mut self) -> Option<u64> {
         let t = self.thread;
         let q = self.queue;
-        self.log_begin(2, PAddr::NULL);
+        let seq = self.log_begin(2, PAddr::NULL);
+        let tag = claim_tag(t.pid(), seq);
         let result = loop {
             let first = PAddr::from_raw(t.read(q.head));
             let last = PAddr::from_raw(t.read(q.tail));
@@ -228,14 +281,18 @@ impl QueueHandle for LogQueueHandle<'_, '_, '_> {
                 let _ = t.cas(q.tail, last.to_raw(), next.to_raw());
                 t.flush(q.tail);
             } else {
-                // Claim the node for detectability, then swing the head.
                 let value = t.read(value_addr(next));
-                if t.cas(dequeuer_addr(next), 0, (t.pid() as u64) + 1) {
+                // Log which node this operation is about to claim *before* the
+                // claim CAS. Logging after a successful claim leaves a window in
+                // which the claim is in the queue but the log does not name it:
+                // a crash there makes recovery report not-applied, the re-run
+                // then skips (helps past) the claimed node, and its value is
+                // lost. The exhaustive dfck sweep catches exactly this window.
+                t.write(q.log_addr(t.pid(), LOG_NODE), next.to_raw());
+                t.flush(q.log_addr(t.pid(), 0));
+                // Claim the node for detectability, then swing the head.
+                if t.cas(dequeuer_addr(next), 0, tag) {
                     t.persist(dequeuer_addr(next));
-                    // Record which node we claimed before completing, so recovery
-                    // can find it.
-                    t.write(q.log_addr(t.pid(), LOG_NODE), next.to_raw());
-                    t.flush(q.log_addr(t.pid(), 0));
                     let _ = t.cas(q.head, first.to_raw(), next.to_raw());
                     t.persist(q.head);
                     break Some(value);

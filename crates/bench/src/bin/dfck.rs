@@ -1,11 +1,17 @@
 //! `dfck` — exhaustive crash-point sweep over every queue variant.
 //!
-//! For each of MSQ-Izraelevitz, General, Normalized and LogQueue, runs the
-//! seeded single-pair and multi-op workloads once per possible crash point
-//! (count taken from [`pmem::Stats::crash_points`], never hard-coded), plus a
-//! nested sweep that injects a second crash inside the recovery triggered by the
-//! first, and checks the exactly-once / durable-linearizability oracle after
-//! every replay. Exits non-zero on any oracle violation.
+//! For each of MSQ-Izraelevitz, General, General-Opt, Normalized,
+//! Normalized-Opt and LogQueue, runs the seeded single-pair and multi-op
+//! workloads once per possible crash point (count taken from
+//! [`pmem::Stats::crash_points`], never hard-coded) under *both* crash
+//! flavours — per-process faults (the PPM model) and full-system power
+//! failures (`/system`: unflushed cache lines roll back, verifying flush
+//! placement) — plus a nested sweep that injects a second crash inside the
+//! recovery triggered by the first. Every replay runs with the
+//! [`pmem::FlushAuditor`] armed and is checked against the exactly-once /
+//! durable-linearizability oracle. Exits non-zero on any oracle violation or
+//! auditor flag. The per-crash-point replays fan out across worker threads
+//! (`DF_DFCK_THREADS`), keeping the full matrix inside the CI budget.
 //!
 //! ```text
 //! cargo run -p bench --release --bin dfck
@@ -18,6 +24,7 @@
 //! | `DF_DFCK_OPS`  | operations in the seeded multi-op workload | 8 |
 //! | `DF_DFCK_SEED` | seed of the multi-op workload | 42 |
 //! | `DF_DFCK_GAP`  | crash-point gap of the nested (crash-during-recovery) sweep | 0 |
+//! | `DF_DFCK_THREADS` | sweep worker threads | `available_parallelism`, ≤ 8 |
 
 use std::time::Instant;
 
@@ -28,10 +35,11 @@ use bench::json::{emit, JsonRow};
 /// The sweep's display/JSON label, shared by the console table and the emitted
 /// rows so the committed baseline can be cross-referenced with CI logs.
 fn label(report: &SweepReport) -> String {
-    let mut label = match report.nested_gap {
-        None => format!("{}/{}", report.variant.label(), report.workload),
-        Some(gap) => format!("{}/{}/nested{}", report.variant.label(), report.workload, gap),
-    };
+    let mut label = format!("{}/{}", report.variant.label(), report.workload);
+    if !report.nested.is_empty() {
+        let gaps: Vec<String> = report.nested.iter().map(|g| g.to_string()).collect();
+        label.push_str(&format!("/nested{}", gaps.join("-")));
+    }
     if report.system {
         label.push_str("/system");
     }
@@ -48,6 +56,7 @@ fn row(report: &SweepReport) -> JsonRow {
         .with("recoveries", report.recoveries as f64)
         .with("entry_retries", report.entry_retries as f64)
         .with("recovery_crashes", report.recovery_crashes as f64)
+        .with("audit_flags", report.audit_flags as f64)
         .with("oracle_failures", report.violations.len() as f64)
 }
 
@@ -59,8 +68,8 @@ fn main() {
 
     println!("# dfck — exhaustive crash-point sweep (multi-op seed {seed}, {ops} ops, nested gap {gap})");
     println!(
-        "{:<42} {:>12} {:>9} {:>9} {:>11} {:>9} {:>10}",
-        "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "violations"
+        "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
+        "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "audit", "violations"
     );
 
     let wall = Instant::now();
@@ -70,31 +79,26 @@ fn main() {
     for variant in SweepVariant::all() {
         for workload in &workloads {
             for nested in [None, Some(gap)] {
+                // Per-process (PPM) sweeps, then the full-system sweeps that
+                // additionally roll unflushed lines back — every variant's
+                // flush discipline is now complete (DESIGN.md §7), so the whole
+                // matrix runs under both crash flavours.
                 reports.push(sweep(variant, workload, nested));
-                // Full-system sweeps (unflushed lines roll back) additionally
-                // verify flush placement. The capsule variants cannot pass them
-                // yet — the recoverable-CAS descriptor flush gap this sweeper
-                // exposed, tracked in ROADMAP.md — so they are swept with the
-                // variants whose flush discipline is complete.
-                if matches!(
-                    variant,
-                    SweepVariant::IzraelevitzMsq | SweepVariant::LogQueue
-                ) {
-                    reports.push(sweep_system(variant, workload, nested));
-                }
+                reports.push(sweep_system(variant, workload, nested));
             }
         }
     }
     for report in &reports {
         let label = label(report);
         println!(
-            "{:<42} {:>12} {:>9} {:>9} {:>11} {:>9} {:>10}",
+            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
             label,
             report.crash_points,
             report.replays,
             report.crashes_injected,
             report.recoveries + report.entry_retries,
             report.recovery_crashes,
+            report.audit_flags,
             report.violations.len()
         );
         for v in &report.violations {
@@ -119,5 +123,7 @@ fn main() {
         eprintln!("dfck: {failures} oracle violation(s)");
         std::process::exit(1);
     }
-    println!("# all sweeps passed the exactly-once / durable-linearizability oracle");
+    println!(
+        "# all sweeps passed the exactly-once / durable-linearizability oracle (flush auditor armed, 0 flags)"
+    );
 }

@@ -36,15 +36,21 @@ use queues::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// The queue variants the sweeper covers, one per recovery discipline.
+/// The queue variants the sweeper covers, one per recovery discipline (plus the
+/// hand-optimised capsule configurations, whose compact single-copy frames have
+/// their own flush-ordering obligations worth sweeping separately).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SweepVariant {
     /// MSQ + Izraelevitz construction: durably linearizable, *not* detectable.
     IzraelevitzMsq,
     /// The CAS-Read (General) transformation: detectable via capsules.
     General,
+    /// General with compact frames (the paper's General-Opt configuration).
+    GeneralOpt,
     /// The Normalized transformation: detectable via capsules.
     Normalized,
+    /// Normalized with compact frames + inline CAS lists (Normalized-Opt).
+    NormalizedOpt,
     /// Friedman et al.'s LogQueue: detectable via its operation log.
     LogQueue,
 }
@@ -55,7 +61,9 @@ impl SweepVariant {
         match self {
             SweepVariant::IzraelevitzMsq => "MSQ-Izraelevitz",
             SweepVariant::General => "General",
+            SweepVariant::GeneralOpt => "General-Opt",
             SweepVariant::Normalized => "Normalized",
+            SweepVariant::NormalizedOpt => "Normalized-Opt",
             SweepVariant::LogQueue => "LogQueue",
         }
     }
@@ -65,7 +73,9 @@ impl SweepVariant {
         vec![
             SweepVariant::IzraelevitzMsq,
             SweepVariant::General,
+            SweepVariant::GeneralOpt,
             SweepVariant::Normalized,
+            SweepVariant::NormalizedOpt,
             SweepVariant::LogQueue,
         ]
     }
@@ -111,8 +121,17 @@ impl Workload {
     /// A seeded multi-op workload: `nops` operations, each independently an
     /// enqueue (fresh value) or a dequeue, drawn from a reproducible RNG.
     pub fn seeded(seed: u64, nops: usize) -> Workload {
+        Workload::seeded_full(seed, nops, 3, 0)
+    }
+
+    /// The fully parameterised seeded workload generator (the surface the
+    /// property-based tests sample): `nops` operations on a queue prefilled with
+    /// `prefill` values, with every value offset by `value_base` so distinct
+    /// property cases produce disjoint value ranges. `seeded(seed, n)` is
+    /// `seeded_full(seed, n, 3, 0)`.
+    pub fn seeded_full(seed: u64, nops: usize, prefill: usize, value_base: u64) -> Workload {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut next_value = 1;
+        let mut next_value = value_base + 1;
         let ops = (0..nops)
             .map(|_| {
                 if rng.gen_bool(0.5) {
@@ -126,7 +145,7 @@ impl Workload {
             .collect();
         Workload {
             name: "multi",
-            prefill: (0..3).map(|i| 10_000 + i).collect(),
+            prefill: (0..prefill as u64).map(|i| value_base + 10_000 + i).collect(),
             ops,
         }
     }
@@ -159,6 +178,12 @@ struct Replay {
     entry_retries: u64,
     /// Crashes that landed inside recovery itself (the nested path).
     recovery_crashes: u64,
+    /// Flush-order violations the armed [`pmem::FlushAuditor`] flagged during
+    /// this replay (cross-thread reads of published-unflushed lines, or such
+    /// lines destroyed by a full-system rollback).
+    audit_flags: u64,
+    /// The auditor's human-readable reports for those flags.
+    audit_reports: Vec<String>,
 }
 
 /// Aggregate result of sweeping one (variant, workload) combination.
@@ -168,9 +193,12 @@ pub struct SweepReport {
     pub variant: SweepVariant,
     /// Workload name ("pair" / "multi").
     pub workload: &'static str,
-    /// Crash schedule family: `None` for the single-crash sweep, `Some(gap)` for
-    /// the nested sweep that crashes again `gap` crash points after the first.
-    pub nested_gap: Option<u64>,
+    /// Crash schedule family: the gaps injected *after* the swept crash point.
+    /// Empty for the single-crash sweep; `[m]` for the nested sweep that crashes
+    /// again `m` crash points into the recovery the first crash triggered;
+    /// `[m, n]` for the depth-2 schedules that crash a third time `n` points
+    /// into the recovery-of-recovery; and so on.
+    pub nested: Vec<u64>,
     /// Whether crashes were full-system power failures (unflushed lines rolled
     /// back) rather than per-process faults.
     pub system: bool,
@@ -186,6 +214,9 @@ pub struct SweepReport {
     pub entry_retries: u64,
     /// Crashes that interrupted recovery itself (proof the nested path ran).
     pub recovery_crashes: u64,
+    /// Flush-order violations the armed auditor flagged across all replays
+    /// (also folded into `violations`). Must be zero.
+    pub audit_flags: u64,
     /// Oracle violations, as human-readable descriptions. Must be empty.
     pub violations: Vec<String>,
 }
@@ -211,11 +242,18 @@ fn crash_machine(mem: &PMem, system: bool) {
 }
 
 /// Run one replay of `workload` on `variant` with the given crash script
-/// (`gaps` empty ⇒ crash-free baseline). `system` selects full-system crash
-/// semantics (see [`crash_machine`] and [`sweep`]).
-fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool) -> Replay {
+/// (a disarmed/empty plan ⇒ crash-free baseline). `system` selects full-system
+/// crash semantics (see [`crash_machine`] and [`sweep`]).
+///
+/// Every replay runs with the [`pmem::FlushAuditor`] armed: on top of the
+/// history oracle, any flush-ordering violation is caught *at the faulting
+/// instruction* and reported with the replay (all swept variants claim a
+/// complete flush discipline, so the auditor must stay silent).
+fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: bool) -> Replay {
     pmem::install_quiet_crash_hook();
     let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+    mem.flush_auditor().arm();
+    let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
     match variant {
         SweepVariant::IzraelevitzMsq => {
             let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
@@ -226,8 +264,8 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             }
             mem.persist_everything();
             let _ = t.take_stats();
-            if !gaps.is_empty() {
-                t.set_crash_schedule(CrashPlan::new(gaps.to_vec()));
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
             }
             let mut outcomes = Vec::with_capacity(workload.ops.len());
             for &op in &workload.ops {
@@ -254,6 +292,7 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             let window = t.stats();
             t.disarm_crashes();
             let drained = h.drain();
+            let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
                 drained,
@@ -262,9 +301,14 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
                 recoveries: 0,
                 entry_retries: 0,
                 recovery_crashes: 0,
+                audit_flags,
+                audit_reports,
             }
         }
-        SweepVariant::General | SweepVariant::Normalized => {
+        SweepVariant::General
+        | SweepVariant::GeneralOpt
+        | SweepVariant::Normalized
+        | SweepVariant::NormalizedOpt => {
             enum H<'q, 't, 'm> {
                 G(queues::GeneralQueueHandle<'q, 't, 'm>),
                 N(queues::NormalizedQueueHandle<'q, 't, 'm>),
@@ -300,13 +344,18 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             let general;
             let normalized;
             let mut h = match variant {
-                SweepVariant::General => {
-                    general =
-                        GeneralQueue::new(&t, 1, Durability::Manual, BoundaryStyle::General);
+                SweepVariant::General | SweepVariant::GeneralOpt => {
+                    let style = if variant == SweepVariant::GeneralOpt {
+                        BoundaryStyle::Compact
+                    } else {
+                        BoundaryStyle::General
+                    };
+                    general = GeneralQueue::new(&t, 1, Durability::Manual, style);
                     H::G(general.handle(&t))
                 }
                 _ => {
-                    normalized = NormalizedQueue::new(&t, 1, Durability::Manual, false);
+                    let optimised = variant == SweepVariant::NormalizedOpt;
+                    normalized = NormalizedQueue::new(&t, 1, Durability::Manual, optimised);
                     H::N(normalized.handle(&t))
                 }
             };
@@ -320,8 +369,8 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             mem.persist_everything();
             let metrics_before = h.metrics();
             let _ = t.take_stats();
-            if !gaps.is_empty() {
-                t.set_crash_schedule(CrashPlan::new(gaps.to_vec()));
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
             }
             // The capsule runtime absorbs every crash inside `run_op`: the
             // operation completes with its exact result no matter where the
@@ -336,6 +385,7 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             t.disarm_crashes();
             let drained = h.drain();
             let metrics = h.metrics();
+            let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
                 drained,
@@ -344,6 +394,8 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
                 recoveries: metrics.recoveries - metrics_before.recoveries,
                 entry_retries: metrics.entry_retries - metrics_before.entry_retries,
                 recovery_crashes: metrics.recovery_crashes - metrics_before.recovery_crashes,
+                audit_flags,
+                audit_reports,
             }
         }
         SweepVariant::LogQueue => {
@@ -355,8 +407,8 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             }
             mem.persist_everything();
             let _ = t.take_stats();
-            if !gaps.is_empty() {
-                t.set_crash_schedule(CrashPlan::new(gaps.to_vec()));
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
             }
             let recoveries = std::cell::Cell::new(0u64);
             let recovery_crashes = std::cell::Cell::new(0u64);
@@ -443,6 +495,7 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
             let window = t.stats();
             t.disarm_crashes();
             let drained = h.drain();
+            let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
                 drained,
@@ -451,6 +504,8 @@ fn replay(variant: SweepVariant, workload: &Workload, gaps: &[u64], system: bool
                 recoveries: recoveries.get(),
                 entry_retries: 0,
                 recovery_crashes: recovery_crashes.get(),
+                audit_flags,
+                audit_reports,
             }
         }
     }
@@ -524,42 +579,64 @@ fn check_history(workload: &Workload, r: &Replay) -> Result<(), String> {
 /// for `gap` near zero lands inside the recovery triggered by the first crash —
 /// the crash-during-recovery schedules of the issue's Definition 2.2 argument.
 pub fn sweep(variant: SweepVariant, workload: &Workload, nested_gap: Option<u64>) -> SweepReport {
-    sweep_with(variant, workload, nested_gap, false)
+    let nested: Vec<u64> = nested_gap.into_iter().collect();
+    sweep_plan(variant, workload, &nested, false)
 }
 
 /// Like [`sweep`] but with *full-system* crashes: every injected crash also
 /// rolls unflushed cache lines back to their durable contents, so the sweep
-/// additionally verifies the variant's flush placement.
-///
-/// Currently sound for `IzraelevitzMsq` and `LogQueue`. The capsule-based
-/// variants (`General`/`Normalized`) do not yet pass it: the recoverable-CAS
-/// layer publishes indirect descriptors whose contents are not flushed before
-/// the publishing CAS, so a rollback zeroes a published descriptor and
-/// `check_recovery` re-applies the operation (a duplicate) — a genuine
-/// durability gap this sweeper exposed, tracked in ROADMAP.md as the flush
-/// discipline follow-up.
+/// additionally verifies the variant's flush placement. Sound for every
+/// variant since the recoverable-CAS layer adopted the durable-announcement
+/// flush discipline ([`rcas::RcasSpace::with_durability`], DESIGN.md §7) —
+/// before that, the capsule variants failed exactly here (a rollback zeroed
+/// published-but-unflushed announcement state and `check_recovery` re-applied
+/// the CAS, duplicating an element).
 pub fn sweep_system(
     variant: SweepVariant,
     workload: &Workload,
     nested_gap: Option<u64>,
 ) -> SweepReport {
-    sweep_with(variant, workload, nested_gap, true)
+    let nested: Vec<u64> = nested_gap.into_iter().collect();
+    sweep_plan(variant, workload, &nested, true)
 }
 
-fn sweep_with(
+/// The general sweep entry point: replay once per crash point `k`, each replay
+/// running the scripted schedule `[k, nested[0], nested[1], …]` — so `nested =
+/// [m]` is the crash-during-recovery sweep and `nested = [m, n]` the depth-2
+/// crash-during-recovery-of-recovery sweep. `system` selects full-system crash
+/// semantics (every crash also rolls unflushed cache lines back).
+///
+/// The per-`k` replays are independent (each builds a fresh machine), so the
+/// sweep fans them out across OS threads — `DF_DFCK_THREADS` bounds the worker
+/// count (default: `available_parallelism`, capped at 8). Results are merged in
+/// `k` order, so reports are deterministic regardless of the worker count.
+pub fn sweep_plan(
     variant: SweepVariant,
     workload: &Workload,
-    nested_gap: Option<u64>,
+    nested: &[u64],
     system: bool,
 ) -> SweepReport {
+    sweep_plan_with_workers(variant, workload, nested, system, None)
+}
+
+/// [`sweep_plan`] with an explicit worker count (`None` ⇒ [`sweep_workers`]);
+/// lets tests compare sequential and parallel runs without racing on the
+/// process environment.
+fn sweep_plan_with_workers(
+    variant: SweepVariant,
+    workload: &Workload,
+    nested: &[u64],
+    system: bool,
+    workers_override: Option<usize>,
+) -> SweepReport {
     // Crash-free baseline: defines the sweep range and the reference history.
-    let baseline = replay(variant, workload, &[], system);
+    let baseline = replay(variant, workload, &CrashPlan::new(Vec::new()), system);
     assert_eq!(baseline.crashes, 0);
     let strict = variant.detectable();
     let mut report = SweepReport {
         variant,
         workload: workload.name,
-        nested_gap,
+        nested: nested.to_vec(),
         system,
         crash_points: baseline.crash_points,
         replays: 1,
@@ -567,6 +644,7 @@ fn sweep_with(
         recoveries: 0,
         entry_retries: 0,
         recovery_crashes: 0,
+        audit_flags: baseline.audit_flags,
         violations: Vec::new(),
     };
     if let Err(e) = check_history(workload, &baseline) {
@@ -574,23 +652,70 @@ fn sweep_with(
             .violations
             .push(format!("baseline (crash-free): {e}"));
     }
-    for k in 0..baseline.crash_points {
-        let gaps: Vec<u64> = match nested_gap {
-            None => vec![k],
-            Some(gap) => vec![k, gap],
-        };
+    if baseline.audit_flags > 0 {
+        report.violations.push(format!(
+            "baseline (crash-free): {} flush-audit flag(s): {:?}",
+            baseline.audit_flags, baseline.audit_reports
+        ));
+    }
+    // One source of truth for the scripted schedule shape: `CrashPlan::nested`
+    // builds `[k, nested…]`, and `script()` is what the reports print.
+    let plan_for = |k: u64| CrashPlan::nested(k, nested);
+    let run_one = |k: u64| -> (u64, Replay) {
+        let plan = plan_for(k);
         if std::env::var_os("DF_DFCK_TRACE").is_some() {
             eprintln!(
-                "dfck trace: {:?} {} k={k} gaps={gaps:?} system={system}",
-                variant, workload.name
+                "dfck trace: {:?} {} k={k} gaps={:?} system={system}",
+                variant,
+                workload.name,
+                plan.script()
             );
         }
-        let r = replay(variant, workload, &gaps, system);
+        (k, replay(variant, workload, &plan, system))
+    };
+    let n = baseline.crash_points;
+    let workers = workers_override
+        .map(|w| w.max(1))
+        .unwrap_or_else(|| sweep_workers(n));
+    let results: Vec<(u64, Replay)> = if workers <= 1 {
+        (0..n).map(run_one).collect()
+    } else {
+        // Stripe the crash points over the workers; replays share nothing (each
+        // builds its own machine), so plain fan-out is sound.
+        let mut all: Vec<(u64, Replay)> = std::thread::scope(|s| {
+            let run_one = &run_one;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        (w as u64..n)
+                            .step_by(workers)
+                            .map(run_one)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dfck sweep worker panicked"))
+                .collect()
+        });
+        all.sort_by_key(|&(k, _)| k);
+        all
+    };
+    for (k, r) in results {
+        let gaps = plan_for(k).script().to_vec();
         report.replays += 1;
         report.crashes_injected += r.crashes;
         report.recoveries += r.recoveries;
         report.entry_retries += r.entry_retries;
         report.recovery_crashes += r.recovery_crashes;
+        report.audit_flags += r.audit_flags;
+        if r.audit_flags > 0 {
+            report.violations.push(format!(
+                "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
+                r.audit_flags, r.audit_reports
+            ));
+        }
         if r.crashes == 0 {
             report.violations.push(format!(
                 "k={k}: the schedule never fired (swept range disagrees with the replay)"
@@ -623,6 +748,17 @@ fn sweep_with(
     report
 }
 
+/// Worker-thread count for the sweep fan-out: `DF_DFCK_THREADS`, defaulting to
+/// `available_parallelism` capped at 8, never more than one per crash point.
+fn sweep_workers(crash_points: u64) -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let configured = crate::env_u64("DF_DFCK_THREADS", default as u64).max(1) as usize;
+    configured.min(crash_points.max(1) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,7 +767,7 @@ mod tests {
     fn baseline_pair_history_is_consistent() {
         for variant in SweepVariant::all() {
             let w = Workload::pair();
-            let r = replay(variant, &w, &[], false);
+            let r = replay(variant, &w, &CrashPlan::new(Vec::new()), false);
             assert_eq!(r.crashes, 0);
             assert!(
                 r.crash_points > 0,
@@ -644,7 +780,7 @@ mod tests {
     #[test]
     fn oracle_rejects_lost_and_duplicated_elements() {
         let w = Workload::pair();
-        let good = replay(SweepVariant::General, &w, &[], false);
+        let good = replay(SweepVariant::General, &w, &CrashPlan::new(Vec::new()), false);
         check_history(&w, &good).unwrap();
         // Lost element: drop the first drained value.
         let mut lost = good.clone();
@@ -682,6 +818,8 @@ mod tests {
             recoveries: 0,
             entry_retries: 0,
             recovery_crashes: 0,
+            audit_flags: 0,
+            audit_reports: Vec::new(),
         };
         check_history(&w, &base).unwrap();
         let mut not_applied = base.clone();
@@ -704,5 +842,45 @@ mod tests {
         assert!(a.ops.iter().any(|o| matches!(o, Op::Enqueue(_))));
         assert!(a.ops.iter().any(|o| matches!(o, Op::Dequeue)));
         assert_ne!(Workload::seeded(10, 12).ops, a.ops);
+    }
+
+    #[test]
+    fn seeded_full_offsets_values_and_prefill() {
+        let w = Workload::seeded_full(9, 12, 5, 1_000_000);
+        assert_eq!(w.prefill.len(), 5);
+        assert!(w.prefill.iter().all(|&v| v >= 1_000_000));
+        assert!(w
+            .ops
+            .iter()
+            .all(|o| !matches!(o, Op::Enqueue(v) if *v <= 1_000_000)));
+        // Same seed/ops as the plain generator, just shifted ranges.
+        assert_eq!(w.ops.len(), Workload::seeded(9, 12).ops.len());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        // The fan-out must not change what is verified: run the same sweep with
+        // one worker and with several, and compare every aggregate.
+        let w = Workload::pair();
+        let seq = sweep_plan_with_workers(SweepVariant::General, &w, &[0], false, Some(1));
+        let par = sweep_plan_with_workers(SweepVariant::General, &w, &[0], false, Some(4));
+        assert_eq!(seq.crash_points, par.crash_points);
+        assert_eq!(seq.replays, par.replays);
+        assert_eq!(seq.crashes_injected, par.crashes_injected);
+        assert_eq!(seq.recoveries, par.recoveries);
+        assert_eq!(seq.entry_retries, par.entry_retries);
+        assert_eq!(seq.recovery_crashes, par.recovery_crashes);
+        assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.violations, par.violations);
+        assert!(seq.passed());
+    }
+
+    #[test]
+    fn opt_variants_are_swept_and_pass_the_pair_sweep() {
+        for variant in [SweepVariant::GeneralOpt, SweepVariant::NormalizedOpt] {
+            let report = sweep(variant, &Workload::pair(), None);
+            assert!(report.passed(), "{variant:?}: {:?}", report.violations);
+            assert!(report.crash_points > 0);
+        }
     }
 }

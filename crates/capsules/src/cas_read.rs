@@ -170,6 +170,73 @@ mod tests {
     }
 
     #[test]
+    fn durable_space_survives_full_system_crashes_at_every_crash_point() {
+        // The capsule-level form of the flush-discipline guarantee: a CAS-Read
+        // increment driven by `run_op` with system crashes (every caught crash
+        // rolls unflushed cache lines back) must be exactly-once at *every*
+        // crash point — which requires the recoverable-CAS space to flush its
+        // announcement lines before each publishing CAS
+        // (`RcasSpace::with_durability`; DESIGN.md §7). The crash-point count
+        // comes from Stats, never a constant.
+        use pmem::{CrashPlan, MemConfig, Mode};
+        install_quiet_crash_hook();
+        let run = |plan: Option<CrashPlan>| -> u64 {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+            let t = mem.thread(0);
+            let space = RcasSpace::with_default_layout(&t, 1).with_durability(true);
+            let x = space.create(&t, 0).addr();
+            t.persist(x);
+            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+            rt.set_system_crashes(true);
+            mem.persist_everything();
+            let _ = t.take_stats();
+            if let Some(p) = plan {
+                t.set_crash_schedule(p);
+            }
+            for _ in 0..3 {
+                rt.run_op(0, |rt| match rt.pc() {
+                    0 => {
+                        let v = space.read(rt.thread(), x);
+                        rt.set_local(0, v);
+                        rt.boundary(1);
+                        CapsuleStep::Continue
+                    }
+                    1 => {
+                        let v = rt.local(0);
+                        let ok = recoverable_cas(rt, &space, x, v, v + 1);
+                        if ok {
+                            rt.thread().persist(x);
+                            rt.boundary(2);
+                            CapsuleStep::Done(())
+                        } else {
+                            rt.boundary(0);
+                            CapsuleStep::Continue
+                        }
+                    }
+                    2 => CapsuleStep::Done(()),
+                    pc => unreachable!("pc {pc}"),
+                });
+            }
+            let points = t.stats().crash_points;
+            t.disarm_crashes();
+            assert_eq!(
+                space.read(&t, x),
+                3,
+                "each increment must apply exactly once under full-system crashes"
+            );
+            points
+        };
+        let n = run(None);
+        assert!(n > 0);
+        for k in 0..n {
+            let _ = run(Some(CrashPlan::once(k)));
+            // And the nested flavour: crash again at the first instruction of
+            // the recovery the first crash triggered.
+            let _ = run(Some(CrashPlan::new(vec![k, 0])));
+        }
+    }
+
+    #[test]
     fn anonymous_cas_preserves_recoverability_of_named_cas() {
         let mem = PMem::with_threads(2);
         let t0 = mem.thread(0);

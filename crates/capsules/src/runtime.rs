@@ -333,6 +333,14 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
     ) -> R {
         self.metrics.operations += 1;
         self.pc = entry_pc;
+        // Reads recorded since the previous operation's final boundary belong to
+        // that *completed* operation — typically its result-reporting capsule
+        // (re-)reading a persisted local after a crash. They are out of scope for
+        // the compact-frame write-after-read check on this operation's entry
+        // boundary: a crash inside the entry boundary is retried in place below
+        // (the arguments still live in this runtime), never resumed from the
+        // stale program counter, so overwriting those locals is safe.
+        self.read_mask = 0;
         if self.entry_boundary {
             // A crash during the entry boundary itself is retried directly: the
             // operation arguments still live in the caller (this runtime's volatile

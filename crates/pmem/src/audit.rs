@@ -1,0 +1,341 @@
+//! The flush-order auditor: a machine-checked durability-ordering oracle.
+//!
+//! The `dfck` sweeper finds flush-discipline bugs by *enumeration*: replay a
+//! workload once per crash point and look for a history the queue oracle rejects.
+//! That catches the bug, but far from the faulting instruction — the violation
+//! surfaces as a duplicate element many operations later. The auditor turns the
+//! same bug class into one caught *deterministically at the instruction that
+//! commits it*, following the ordering view of durable linearizability (D'Osualdo
+//! et al., *The Path to Durable Linearizability*) and the detectability
+//! discipline of Cho et al. (*Practical Detectability for Persistent Lock-Free
+//! Data Structures*): state that a successful CAS makes reachable — or that a
+//! recovery procedure will consult — must be durable *before* the CAS.
+//!
+//! ## What is tracked
+//!
+//! Per cache line, two facts (in a registry keyed by line base, populated only
+//! while the auditor is armed):
+//!
+//! * **dirty-by(p)** — process `p` was the last to store to the line and the line
+//!   has not been flushed since (its cached contents differ, or may differ, from
+//!   its durable contents);
+//! * **exposed-by(p)** — while the line was still dirty-by(p), process `p`
+//!   performed a *successful CAS on some other line*. Under the publish-last
+//!   flush discipline this must never happen: everything a process wrote before
+//!   a publishing CAS must already be flushed (and fenced), because the CAS may
+//!   make it reachable — and recovery may depend on it — the moment it lands.
+//!
+//! ## What is flagged
+//!
+//! 1. a **cross-thread read** of a line that is exposed and still unflushed —
+//!    another process is consuming state whose durability was never ordered
+//!    before its reachability (counted in the reading thread's
+//!    [`Stats::audit_flags`](crate::Stats)); and
+//! 2. a **full-system crash** ([`PMem::crash_all`](crate::PMem)) that rolls back
+//!    a line still exposed-unflushed — the power failure just destroyed state a
+//!    durable pointer may reference, which is exactly how the rcas descriptor
+//!    flush gap manifested (DESIGN.md §7).
+//!
+//! A flush clears both facts for its line (this simulator persists eagerly at
+//! the flush; the fence contributes ordering on real hardware but no extra state
+//! transition here). Plain writes are *not* treated as publications: the frame
+//! layer legitimately publishes boundary control words with plain stores after
+//! flushing, and data-structure code constantly writes multi-line private
+//! records, so a write-as-publish rule would drown the signal in false
+//! positives. Plain-write publication ordering remains covered end-to-end by the
+//! `dfck` system sweeps.
+//!
+//! ## Cost model
+//!
+//! The auditor sits behind a per-thread `Cell<bool>` mirrored from the machine's
+//! armed flag — the same pattern as the `crash_armed` crash-point fast flag — so
+//! a disarmed run pays one predictable never-taken branch per instruction and
+//! the `instr_overhead` disarmed rows regress 0%. Armed, every instrumented
+//! access takes a mutex on the registry; arm it in single-threaded sweeps and
+//! correctness suites (`DF_FLUSH_AUDIT=1`), not in throughput runs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Upper bound on retained human-readable reports (the flag *count* is exact).
+const MAX_REPORTS: usize = 32;
+
+/// Per-line audit state (see the module docs).
+#[derive(Clone, Copy, Debug)]
+struct LineState {
+    /// Bitmask of processes that stored to the line since its last flush (bit
+    /// `pid % 64`; with ≥ 64 simulated processes distinct pids can share a bit,
+    /// which only ever *adds* exposure — the auditor stays sound, conservatively
+    /// so). A mask rather than a single owner: announcement lines are
+    /// cross-thread CAS targets by design (notify), and a second writer must
+    /// not launder the first writer's unflushed data out of the audit.
+    dirty_mask: u64,
+    /// Set when some process in `dirty_mask` performed a successful CAS
+    /// elsewhere while this line was still unflushed.
+    exposed_by: Option<usize>,
+}
+
+/// The `dirty_mask` bit for a process.
+fn pid_bit(pid: usize) -> u64 {
+    1 << (pid % 64)
+}
+
+#[derive(Default)]
+struct AuditInner {
+    /// Line base (word index of the first word of the line) → state. Only lines
+    /// with unflushed stores appear; a flush removes the entry.
+    lines: HashMap<u64, LineState>,
+    /// Human-readable descriptions of the first [`MAX_REPORTS`] violations.
+    reports: Vec<String>,
+}
+
+/// The per-machine flush-order auditor. Obtain it via
+/// [`PMem::flush_auditor`](crate::PMem::flush_auditor); arm it before creating
+/// thread handles (or call
+/// [`PThread::refresh_flush_audit`](crate::PThread::refresh_flush_audit) on
+/// existing ones).
+pub struct FlushAuditor {
+    armed: AtomicBool,
+    /// Total violations flagged (cross-thread reads + lines lost at crash).
+    flags: AtomicU64,
+    inner: Mutex<AuditInner>,
+}
+
+impl FlushAuditor {
+    pub(crate) fn new() -> FlushAuditor {
+        FlushAuditor {
+            armed: AtomicBool::new(false),
+            flags: AtomicU64::new(0),
+            inner: Mutex::new(AuditInner::default()),
+        }
+    }
+
+    /// Arm the auditor. Existing thread handles keep their cached disarmed flag
+    /// until [`PThread::refresh_flush_audit`](crate::PThread::refresh_flush_audit)
+    /// is called; handles created afterwards pick the armed state up on creation.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm the auditor (state and past flags are retained).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the auditor is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+
+    /// Total violations flagged so far on this machine.
+    pub fn flags(&self) -> u64 {
+        self.flags.load(Ordering::SeqCst)
+    }
+
+    /// Drain the retained violation descriptions (at most [`MAX_REPORTS`] are
+    /// kept; the [`flags`](FlushAuditor::flags) count is exact).
+    pub fn take_reports(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.lock().reports)
+    }
+
+    /// Forget all per-line state (used when the harness declares everything
+    /// durable, e.g. [`PMem::persist_everything`](crate::PMem::persist_everything)).
+    /// Past flags and reports are retained.
+    pub(crate) fn clear_state(&self) {
+        self.inner.lock().lines.clear();
+    }
+
+    fn report(inner: &mut AuditInner, flags: &AtomicU64, msg: String) {
+        flags.fetch_add(1, Ordering::SeqCst);
+        if inner.reports.len() < MAX_REPORTS {
+            inner.reports.push(msg);
+        }
+    }
+
+    /// A store by `pid` landed on the line at `line_base` (shared-cache mode:
+    /// the line is now dirty until flushed).
+    pub(crate) fn note_store(&self, pid: usize, line_base: u64) {
+        let mut inner = self.inner.lock();
+        inner
+            .lines
+            .entry(line_base)
+            .or_insert(LineState {
+                dirty_mask: 0,
+                exposed_by: None,
+            })
+            .dirty_mask |= pid_bit(pid);
+    }
+
+    /// A successful CAS by `pid` landed on the line at `line_base`: every *other*
+    /// line `pid` dirtied and has not flushed becomes exposed (published while
+    /// unflushed), and the CAS's own line becomes dirty.
+    pub(crate) fn note_publish(&self, pid: usize, line_base: u64) {
+        let mut inner = self.inner.lock();
+        let bit = pid_bit(pid);
+        for (&line, state) in inner.lines.iter_mut() {
+            if line != line_base && state.dirty_mask & bit != 0 && state.exposed_by.is_none() {
+                state.exposed_by = Some(pid);
+            }
+        }
+        inner
+            .lines
+            .entry(line_base)
+            .or_insert(LineState {
+                dirty_mask: 0,
+                exposed_by: None,
+            })
+            .dirty_mask |= bit;
+    }
+
+    /// A read by `pid` of the line at `line_base`. Returns `true` (and records a
+    /// report) if the line is exposed-unflushed by a *different* process — the
+    /// reader is consuming state whose durability was never ordered before its
+    /// reachability.
+    pub(crate) fn note_read(&self, pid: usize, line_base: u64, step: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(state) = inner.lines.get(&line_base) else {
+            return false;
+        };
+        match state.exposed_by {
+            Some(exposer) if exposer != pid => {
+                let msg = format!(
+                    "flush-audit: pid {pid} read line {line_base:#x} at step {step}, \
+                     published unflushed by pid {exposer} (CAS before flush)"
+                );
+                Self::report(&mut inner, &self.flags, msg);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The line at `line_base` was flushed: it is durable, clear its state.
+    pub(crate) fn note_flush(&self, line_base: u64) {
+        self.inner.lock().lines.remove(&line_base);
+    }
+
+    /// A full-system crash is rolling every unflushed line back: any line still
+    /// exposed-unflushed is a violation (a durable pointer may reference the
+    /// state the rollback just destroyed). All per-line state is then cleared —
+    /// after the rollback nothing is dirty. Returns the number of lines flagged.
+    pub(crate) fn note_system_crash(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let lines = std::mem::take(&mut inner.lines);
+        let mut flagged = 0;
+        for (line, state) in lines {
+            if let Some(exposer) = state.exposed_by {
+                flagged += 1;
+                let msg = format!(
+                    "flush-audit: full-system crash rolled back line {line:#x} that pid \
+                     {exposer} published (CAS) while still unflushed"
+                );
+                Self::report(&mut inner, &self.flags, msg);
+            }
+        }
+        flagged
+    }
+}
+
+impl std::fmt::Debug for FlushAuditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlushAuditor")
+            .field("armed", &self.is_armed())
+            .field("flags", &self.flags())
+            .field("tracked_lines", &self.inner.lock().lines.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_cross_thread_read_is_flagged_once_per_read() {
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        a.note_publish(0, 128); // CAS on another line: 64 becomes exposed
+        assert!(!a.note_read(0, 64, 1), "the exposer's own reads are fine");
+        assert!(a.note_read(1, 64, 2), "cross-thread read must flag");
+        assert!(a.note_read(2, 64, 3));
+        assert_eq!(a.flags(), 2);
+        let reports = a.take_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].contains("published unflushed by pid 0"));
+    }
+
+    #[test]
+    fn flush_before_publish_is_clean() {
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        a.note_flush(64); // the discipline: flush before the CAS
+        a.note_publish(0, 128);
+        assert!(!a.note_read(1, 64, 1));
+        assert_eq!(a.flags(), 0);
+    }
+
+    #[test]
+    fn flush_after_exposure_clears_the_hazard() {
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        a.note_publish(0, 128);
+        a.note_flush(64); // late, but durable before anyone read it
+        assert!(!a.note_read(1, 64, 1));
+        assert_eq!(a.note_system_crash(), 0);
+    }
+
+    #[test]
+    fn system_crash_flags_exposed_lines_and_clears_state() {
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        a.note_store(0, 192);
+        a.note_publish(0, 128);
+        assert_eq!(a.note_system_crash(), 2);
+        assert_eq!(a.flags(), 2);
+        // Rolled back: nothing dirty any more.
+        assert!(!a.note_read(1, 64, 9));
+        assert_eq!(a.note_system_crash(), 0);
+    }
+
+    #[test]
+    fn second_writer_does_not_launder_the_first_writers_dirt() {
+        // Pid 0 stores to a line; pid 1 then CASes *that same line* (the notify
+        // pattern on announcement lines). Pid 0's later publish elsewhere must
+        // still expose the line — a single-owner tracker would have handed the
+        // line to pid 1 and missed it.
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        a.note_publish(1, 64); // pid 1's CAS lands on the dirty line itself
+        a.note_publish(0, 128); // pid 0 publishes elsewhere: 64 must expose
+        assert!(a.note_read(2, 64, 1), "pid 0's unflushed data was published");
+        assert_eq!(a.note_system_crash(), 1);
+    }
+
+    #[test]
+    fn unexposed_dirty_lines_do_not_flag_at_crash() {
+        // Private scratch that was never followed by a CAS is allowed to be lost.
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, 64);
+        assert_eq!(a.note_system_crash(), 0);
+        assert_eq!(a.flags(), 0);
+    }
+
+    #[test]
+    fn the_cas_target_line_itself_is_not_exposed() {
+        // The published word's own durability is the caller's post-CAS persist
+        // responsibility; a crash before it simply un-publishes.
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_publish(0, 128);
+        assert!(!a.note_read(1, 128, 1));
+        assert_eq!(a.note_system_crash(), 0);
+    }
+}

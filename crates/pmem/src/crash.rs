@@ -209,9 +209,30 @@ impl CrashPlan {
         CrashPlan::new(vec![gap])
     }
 
+    /// A nested crash-during-recovery schedule: crash after `gap` further crash
+    /// points, then once per element of `recovery_gaps`, each counting from the
+    /// crash point after the previous crash — so small elements land inside the
+    /// recovery code the previous crash triggered. `nested(k, &[m])` is the
+    /// depth-1 schedule `[k, m]`; `nested(k, &[m, n])` is the depth-2 schedule
+    /// `[k, m, n]` whose third crash interrupts the *recovery of the recovery*
+    /// (the `dfck` sweeper's deepest scripted flavour).
+    pub fn nested(gap: u64, recovery_gaps: &[u64]) -> CrashPlan {
+        let mut gaps = Vec::with_capacity(1 + recovery_gaps.len());
+        gaps.push(gap);
+        gaps.extend_from_slice(recovery_gaps);
+        CrashPlan::new(gaps)
+    }
+
     /// How many crashes of the script have not fired yet.
     pub fn remaining(&self) -> usize {
         self.gaps.len() - self.cursor
+    }
+
+    /// The remaining script, live countdowns included (on a freshly built plan:
+    /// the full script). Lets harnesses label a sweep's replays without
+    /// re-deriving the gap vector they scheduled.
+    pub fn script(&self) -> &[u64] {
+        &self.gaps[self.cursor..]
     }
 }
 
@@ -389,6 +410,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn nested_constructor_scripts_depth2_schedules() {
+        let mut p = CrashPlan::nested(2, &[0, 1]);
+        assert_eq!(p.remaining(), 3);
+        // Fires at the 3rd point, immediately at the next (inside "recovery"),
+        // then one point later (inside "recovery of recovery").
+        let fired: Vec<bool> = (0..8).map(|s| p.should_crash(s)).collect();
+        assert_eq!(fired, vec![false, false, true, true, false, true, false, false]);
+        assert_eq!(
+            CrashPlan::nested(5, &[]),
+            CrashPlan::once(5),
+            "no recovery gaps degenerates to a single crash"
+        );
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 pub mod addr;
 pub mod arena;
+pub mod audit;
 pub mod crash;
 pub mod mem;
 pub mod mode;
@@ -73,6 +74,7 @@ pub mod stats;
 pub mod typed;
 
 pub use addr::PAddr;
+pub use audit::FlushAuditor;
 pub use crash::{
     catch_crash, install_quiet_crash_hook, CrashPlan, CrashPolicy, CrashSchedule, CrashSignal,
     Crashed,

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::addr::PAddr;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
+use crate::audit::FlushAuditor;
 use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy, CrashSchedule};
 use crate::mode::Mode;
 use crate::stats::{StatCells, Stats};
@@ -63,6 +64,7 @@ pub struct PMem {
     crashed: Vec<AtomicBool>,
     restart_base: PAddr,
     crash_events: AtomicU64,
+    auditor: FlushAuditor,
 }
 
 impl PMem {
@@ -81,7 +83,19 @@ impl PMem {
             crashed: (0..config.threads).map(|_| AtomicBool::new(false)).collect(),
             restart_base,
             crash_events: AtomicU64::new(0),
+            auditor: FlushAuditor::new(),
         };
+        // `DF_FLUSH_AUDIT=1` arms the flush-order auditor on every machine the
+        // process creates — the switch the CI audit-armed tier-1 run uses. Only
+        // meaningful in the shared-cache model (the private-cache model has no
+        // flush ordering to audit).
+        if config.mode == Mode::SharedCache {
+            if let Some(v) = std::env::var_os("DF_FLUSH_AUDIT") {
+                if v != "0" && !v.is_empty() {
+                    mem.auditor.arm();
+                }
+            }
+        }
         mem.arena.persist_all();
         mem
     }
@@ -117,11 +131,19 @@ impl PMem {
             stats: StatCells::default(),
             schedule: RefCell::new(Box::new(ArmedPolicy::arm(CrashPolicy::Never, pid))),
             crash_armed: Cell::new(false),
+            audit_armed: Cell::new(self.mode == Mode::SharedCache && self.auditor.is_armed()),
             step: Cell::new(0),
             step_base: Cell::new(0),
             in_recovery: Cell::new(false),
             seg_cache: Cell::new(None),
         }
+    }
+
+    /// The machine's [`FlushAuditor`]. Arm it *before* creating thread handles
+    /// (or call [`PThread::refresh_flush_audit`] on existing ones) so the
+    /// per-thread fast flag picks the armed state up.
+    pub fn flush_auditor(&self) -> &FlushAuditor {
+        &self.auditor
     }
 
     /// The persistent word holding process `pid`'s restart pointer (§2.1). The
@@ -140,6 +162,12 @@ impl PMem {
     /// [`CrashSignal`](crate::CrashSignal) before the harness calls this).
     pub fn crash_all(&self) {
         if self.mode == Mode::SharedCache {
+            if self.auditor.is_armed() {
+                // Any line still published-but-unflushed at this instant is
+                // about to be destroyed while a durable pointer may reference
+                // it — the deterministic form of the descriptor flush gap.
+                self.auditor.note_system_crash();
+            }
             self.arena.rollback_all();
         }
         for flag in &self.crashed {
@@ -196,6 +224,8 @@ impl PMem {
     /// crashes exercise only the algorithm under test.
     pub fn persist_everything(&self) {
         self.arena.persist_all();
+        // Everything is durable: no line is dirty (or exposed) any more.
+        self.auditor.clear_state();
     }
 
     pub(crate) fn arena(&self) -> &Arena {
@@ -241,6 +271,11 @@ pub struct PThread<'m> {
     /// [`set_crash_schedule`](PThread::set_crash_schedule) and cleared when a
     /// schedule reports itself disarmed after a consultation.
     crash_armed: Cell<bool>,
+    /// Pre-computed fast flag for the flush-order auditor (same pattern as
+    /// `crash_armed`): mirrors the machine's [`FlushAuditor`] armed state at
+    /// handle creation, refreshed by [`refresh_flush_audit`](PThread::refresh_flush_audit).
+    /// Always `false` in the private-cache model.
+    audit_armed: Cell<bool>,
     step: Cell<u64>,
     /// Value of `step` at the last [`take_stats`](PThread::take_stats), so the
     /// `crash_points` field of a snapshot is windowed like every other counter
@@ -292,6 +327,13 @@ impl<'m> PThread<'m> {
     /// Disable crash injection (equivalent to installing [`CrashPolicy::Never`]).
     pub fn disarm_crashes(&self) {
         self.set_crash_policy(CrashPolicy::Never);
+    }
+
+    /// Re-mirror the machine's [`FlushAuditor`] armed state into this handle's
+    /// fast flag (for handles created before the auditor was armed/disarmed).
+    pub fn refresh_flush_audit(&self) {
+        self.audit_armed
+            .set(self.mode == Mode::SharedCache && self.mem.auditor.is_armed());
     }
 
     /// Snapshot of this thread's statistics. The `crash_points` field is sourced
@@ -441,6 +483,34 @@ impl<'m> PThread<'m> {
         self.step.get()
     }
 
+    // ----- flush-order auditor hooks (behind the `audit_armed` fast flag) -----
+
+    #[cold]
+    fn audit_read(&self, addr: PAddr) {
+        if self
+            .mem
+            .auditor
+            .note_read(self.pid, addr.line_base().0, self.step.get())
+        {
+            StatCells::add(&self.stats.audit_flags, 1);
+        }
+    }
+
+    #[cold]
+    fn audit_store(&self, addr: PAddr) {
+        self.mem.auditor.note_store(self.pid, addr.line_base().0);
+    }
+
+    #[cold]
+    fn audit_publish(&self, addr: PAddr) {
+        self.mem.auditor.note_publish(self.pid, addr.line_base().0);
+    }
+
+    #[cold]
+    fn audit_flush(&self, addr: PAddr) {
+        self.mem.auditor.note_flush(addr.line_base().0);
+    }
+
     // ----- shared-memory instructions ---------------------------------------
 
     /// Atomic read of a persistent word.
@@ -448,6 +518,9 @@ impl<'m> PThread<'m> {
     pub fn read(&self, addr: PAddr) -> u64 {
         self.bump(&self.stats.reads);
         let v = self.word_at(addr).load();
+        if self.audit_armed.get() {
+            self.audit_read(addr);
+        }
         if self.opts.izraelevitz {
             // The automatic construction flushes the line after every access.
             self.flush(addr);
@@ -466,6 +539,9 @@ impl<'m> PThread<'m> {
         word.store(value);
         if self.mode == Mode::PrivateCache {
             word.persist_now();
+        }
+        if self.audit_armed.get() {
+            self.audit_store(addr);
         }
         if self.opts.izraelevitz {
             self.flush(addr);
@@ -492,6 +568,12 @@ impl<'m> PThread<'m> {
         if result.is_ok() && self.mode == Mode::PrivateCache {
             word.persist_now();
         }
+        if result.is_ok() && self.audit_armed.get() {
+            // A successful CAS is a publication: everything this thread wrote
+            // and has not flushed may now be reachable by other processes (and
+            // by recovery), which is exactly what the auditor polices.
+            self.audit_publish(addr);
+        }
         if self.opts.izraelevitz {
             self.flush(addr);
             self.fence();
@@ -509,6 +591,9 @@ impl<'m> PThread<'m> {
         let prev = word.fetch_add(delta);
         if self.mode == Mode::PrivateCache {
             word.persist_now();
+        }
+        if self.audit_armed.get() {
+            self.audit_publish(addr);
         }
         if self.opts.izraelevitz {
             self.flush(addr);
@@ -529,6 +614,9 @@ impl<'m> PThread<'m> {
             // free, out of the per-thread segment cache).
             for word in self.line_at(addr) {
                 word.persist_now();
+            }
+            if self.audit_armed.get() {
+                self.audit_flush(addr);
             }
         }
     }
@@ -826,6 +914,93 @@ mod tests {
         // Identical declarative policy, fresh handles, identical instruction
         // sequences — but pid-derived RNG streams, so the crash points differ.
         assert_ne!(steps_until_crash(0), steps_until_crash(1));
+    }
+
+    #[test]
+    fn flush_auditor_flags_publish_before_flush_at_system_crash() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.flush_auditor().arm();
+        let t = mem.thread(0);
+        let rec = t.alloc(LINE_WORDS); // the "descriptor"
+        let ptr = t.alloc(LINE_WORDS); // the word that publishes it
+        t.write(rec, 7); // descriptor contents, never flushed
+        assert!(t.cas(ptr, 0, rec.to_raw())); // publish while unflushed
+        t.persist(ptr); // the pointer itself is durable — the bug shape
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 1, "{:?}", mem.flush_auditor().take_reports());
+        let reports = mem.flush_auditor().take_reports();
+        assert!(reports[0].contains("full-system crash"), "{reports:?}");
+    }
+
+    #[test]
+    fn flush_auditor_flags_cross_thread_read_of_exposed_line() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.flush_auditor().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let rec = t0.alloc(LINE_WORDS);
+        let ptr = t0.alloc(LINE_WORDS);
+        t0.write(rec, 7);
+        assert!(t0.cas(ptr, 0, rec.to_raw()));
+        assert_eq!(t0.read(rec), 7, "the publisher's own read is fine");
+        assert_eq!(t0.stats().audit_flags, 0);
+        let _ = t1.read(rec); // cross-thread read of published-unflushed state
+        assert_eq!(t1.stats().audit_flags, 1);
+        assert_eq!(mem.flush_auditor().flags(), 1);
+    }
+
+    #[test]
+    fn flush_auditor_accepts_the_flush_before_publish_discipline() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.flush_auditor().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let rec = t0.alloc(LINE_WORDS);
+        let ptr = t0.alloc(LINE_WORDS);
+        t0.write(rec, 7);
+        t0.persist(rec); // discipline: durable before reachable
+        assert!(t0.cas(ptr, 0, rec.to_raw()));
+        t0.persist(ptr);
+        let _ = t1.read(rec);
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 0, "{:?}", mem.flush_auditor().take_reports());
+    }
+
+    #[test]
+    fn flush_auditor_disarmed_or_refreshed_handles_track_arming() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        // Start disarmed explicitly (DF_FLUSH_AUDIT=1 may have armed it at
+        // construction; this test is about the per-handle fast flag).
+        mem.flush_auditor().disarm();
+        let t = mem.thread(0); // created before arming: fast flag is off
+        t.refresh_flush_audit();
+        let rec = t.alloc(LINE_WORDS);
+        let ptr = t.alloc(LINE_WORDS);
+        mem.flush_auditor().arm();
+        t.write(rec, 1);
+        assert!(t.cas(ptr, 0, 1));
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 0, "stale handle must not audit");
+        // After a refresh the same handle participates. (The earlier crash
+        // rolled the unflushed CAS back, so `ptr` reads 0 again.)
+        t.refresh_flush_audit();
+        t.write(rec, 2);
+        assert!(t.cas(ptr, 0, 2));
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 1);
+    }
+
+    #[test]
+    fn flush_auditor_is_inert_in_the_private_cache_model() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::PrivateCache));
+        mem.flush_auditor().arm();
+        let t = mem.thread(0);
+        let a = t.alloc(LINE_WORDS);
+        let b = t.alloc(LINE_WORDS);
+        t.write(a, 1);
+        assert!(t.cas(b, 0, 1)); // every store is already durable: no exposure
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 0);
     }
 
     #[test]

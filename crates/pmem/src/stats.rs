@@ -29,6 +29,7 @@ pub(crate) struct StatCells {
     pub(crate) words_allocated: Cell<u64>,
     pub(crate) recovery_steps: Cell<u64>,
     pub(crate) crashes: Cell<u64>,
+    pub(crate) audit_flags: Cell<u64>,
 }
 
 impl StatCells {
@@ -52,6 +53,7 @@ impl StatCells {
             words_allocated: self.words_allocated.get(),
             recovery_steps: self.recovery_steps.get(),
             crashes: self.crashes.get(),
+            audit_flags: self.audit_flags.get(),
         }
     }
 
@@ -67,6 +69,7 @@ impl StatCells {
         self.words_allocated.set(0);
         self.recovery_steps.set(0);
         self.crashes.set(0);
+        self.audit_flags.set(0);
         snap
     }
 }
@@ -98,6 +101,10 @@ pub struct Stats {
     pub recovery_steps: u64,
     /// Number of simulated crashes this thread has experienced.
     pub crashes: u64,
+    /// Flush-order violations flagged against this thread's reads by the
+    /// [`FlushAuditor`](crate::FlushAuditor) (zero unless the auditor is armed;
+    /// crash-time flags are machine-level and counted on the auditor itself).
+    pub audit_flags: u64,
 }
 
 impl Stats {
@@ -114,6 +121,7 @@ impl Stats {
             words_allocated: 0,
             recovery_steps: 0,
             crashes: 0,
+            audit_flags: 0,
         }
     }
 
@@ -153,6 +161,7 @@ impl Stats {
             words_allocated: self.words_allocated + other.words_allocated,
             recovery_steps: self.recovery_steps + other.recovery_steps,
             crashes: self.crashes + other.crashes,
+            audit_flags: self.audit_flags + other.audit_flags,
         }
     }
 
@@ -171,6 +180,7 @@ impl Stats {
             words_allocated: self.words_allocated.saturating_sub(earlier.words_allocated),
             recovery_steps: self.recovery_steps.saturating_sub(earlier.recovery_steps),
             crashes: self.crashes.saturating_sub(earlier.crashes),
+            audit_flags: self.audit_flags.saturating_sub(earlier.audit_flags),
         }
     }
 
@@ -210,7 +220,7 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={}",
+            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={}",
             self.reads,
             self.writes,
             self.cas,
@@ -220,7 +230,8 @@ impl std::fmt::Display for Stats {
             self.words_allocated,
             self.recovery_steps,
             self.crashes,
-            self.crash_points
+            self.crash_points,
+            self.audit_flags
         )
     }
 }
@@ -241,6 +252,7 @@ mod tests {
             words_allocated: 7,
             recovery_steps: 1,
             crashes: 1,
+            audit_flags: 2,
         }
     }
 
@@ -295,5 +307,6 @@ mod tests {
         assert!(text.contains("flushes=4"));
         assert!(text.contains("crashes=1"));
         assert!(text.contains("crash_points=24"));
+        assert!(text.contains("audit_flags=2"));
     }
 }

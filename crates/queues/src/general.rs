@@ -64,7 +64,12 @@ impl GeneralQueue {
         durability: Durability,
         style: BoundaryStyle,
     ) -> GeneralQueue {
-        let space = RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT);
+        // Under manual durability the recoverable-CAS layer itself must follow
+        // the flush discipline (announcement lines durable before every
+        // publishing CAS) — `persist_line` after the CAS is not enough once
+        // full-system crashes can roll back unflushed announcement state.
+        let space =
+            RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT).with_durability(durability.manual());
         let sentinel = thread.alloc(NODE_WORDS);
         space.init_word(thread, next_addr(sentinel), 0);
         let head = thread.alloc(1);

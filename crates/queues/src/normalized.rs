@@ -47,7 +47,10 @@ impl NormalizedQueue {
         durability: Durability,
         optimised: bool,
     ) -> NormalizedQueue {
-        let space = RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT);
+        // See GeneralQueue::new: the recoverable-CAS layer follows the durable
+        // flush discipline whenever the queue issues manual flushes.
+        let space =
+            RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT).with_durability(durability.manual());
         let sentinel = thread.alloc(NODE_WORDS);
         space.init_word(thread, next_addr(sentinel), 0);
         let head = thread.alloc(1);

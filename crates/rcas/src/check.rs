@@ -4,6 +4,13 @@
 //! the sequence number the interrupted capsule was using, decide whether the CAS has
 //! already taken effect (in which case it must *not* be repeated) or not (in which
 //! case repeating it is safe — any earlier partial attempt is invisible).
+//!
+//! The verdict is only as durable as the announcement word it reads. Under
+//! full-system crashes (the shared-cache model's power failure) the space must
+//! therefore run with [`RcasSpace::with_durability`]: without it, a rollback can
+//! durably keep the installed triple while reverting the announcement, and
+//! `check_recovery` reports *not done* for a CAS that is already in memory — the
+//! duplicate-element bug the `dfck` full-system sweep exposed (DESIGN.md §7).
 
 use pmem::{PAddr, PThread};
 

@@ -17,6 +17,20 @@
 //! paper's double-word CAS. The price is one extra cache line per successful CAS
 //! and a pointer chase on reads; the `micro` benchmark quantifies it against the
 //! packed encoding.
+//!
+//! ## Choosing `durable_records`
+//!
+//! With `durable_records = false` no flushes are issued. That mode is **only
+//! correct in the private-cache (PPM) model**, where every store is immediately
+//! durable by definition: per-process crashes never roll memory back, so a
+//! published record can never be observed zeroed and the announcement always
+//! reflects the last notify — the exhaustive per-crash-point PPM sweep in this
+//! module's tests pins that down. In the shared-cache model a full-system crash
+//! rolls unflushed lines back, so relaxed mode durably publishes pointers to
+//! records that revert to zero (and loses recovery verdicts); shared-cache
+//! callers must pass `durable_records = true`, which flushes the record *and*
+//! the announcement lines and fences before the pointer CAS (DESIGN.md §7; the
+//! deterministic reproduction lives in `tests/flush_discipline.rs`).
 
 use pmem::{PAddr, PThread, LINE_WORDS};
 
@@ -32,10 +46,12 @@ const REC_SEQ: u64 = 2;
 pub struct IndirectRcas {
     ann_base: PAddr,
     nprocs: usize,
-    /// When true, descriptor records are flushed (and fenced) before being
-    /// installed, so that a full-system crash can never leave `x` pointing at a
-    /// record whose contents are not durable. Durable-queue callers want this;
-    /// private-cache-model callers can skip it.
+    /// When true, descriptor records *and the announcement lines the CAS depends
+    /// on* are flushed (and fenced) before the pointer CAS publishes them, so
+    /// that a full-system crash can never leave `x` durably pointing at a record
+    /// whose contents — or whose recovery evidence — are not durable (the same
+    /// discipline as [`RcasSpace::with_durability`](crate::RcasSpace::with_durability)).
+    /// Durable-queue callers want this; private-cache-model callers can skip it.
     durable_records: bool,
 }
 
@@ -68,7 +84,10 @@ impl IndirectRcas {
         thread.write(rec.offset(REC_PID), pid as u64);
         thread.write(rec.offset(REC_SEQ), seq);
         if self.durable_records {
-            thread.persist(rec);
+            // One flush covers the whole record: sub-line allocations never
+            // straddle a cache line (Arena::alloc). The caller fences before the
+            // record becomes reachable.
+            thread.flush(rec);
         }
         rec
     }
@@ -77,6 +96,9 @@ impl IndirectRcas {
     /// `initial`.
     pub fn init_word(&self, thread: &PThread<'_>, addr: PAddr, initial: u64) {
         let rec = self.alloc_record(thread, initial, self.anonymous_pid(), 0);
+        if self.durable_records {
+            thread.fence();
+        }
         thread.write(addr, rec.to_raw());
     }
 
@@ -106,9 +128,21 @@ impl IndirectRcas {
         }
         let ann = self.ann_addr(owner);
         let _ = thread.cas(ann, owner_seq << 1, (owner_seq << 1) | 1);
+        if self.durable_records {
+            // The owner's announcement state (this notify, an earlier notifier's,
+            // or the owner's own) must be durable before the triple backing it up
+            // is overwritten — flushed whether or not the CAS above won.
+            thread.flush(ann);
+        }
     }
 
     /// Recoverable CAS with full 64-bit expected/new values.
+    ///
+    /// In durable mode the descriptor record *and* the caller's announcement are
+    /// flushed, and a fence issued, before the pointer CAS — the publish-last
+    /// flush discipline that makes a `crash_all` rollback between the CAS and the
+    /// caller's own `persist` of `x` unable to zero a reachable record or to
+    /// destroy the evidence `check_recovery` needs.
     pub fn cas(&self, thread: &PThread<'_>, x: PAddr, expected: u64, new: u64, seq: u64) -> bool {
         let me = thread.pid();
         debug_assert!(me < self.nprocs);
@@ -118,8 +152,15 @@ impl IndirectRcas {
             return false;
         }
         self.notify(thread, owner, owner_seq);
-        thread.write(self.ann_addr(me), seq << 1);
+        let ann = self.ann_addr(me);
+        thread.write(ann, seq << 1);
         let new_rec = self.alloc_record(thread, new, me, seq);
+        if self.durable_records {
+            // The record was flushed by `alloc_record`; one fence orders it, the
+            // announcement flush and the notify flush before the publishing CAS.
+            thread.flush(ann);
+            thread.fence();
+        }
         thread.cas(x, old_rec.to_raw(), new_rec.to_raw())
     }
 
@@ -185,6 +226,54 @@ mod tests {
         mem.crash_all();
         let t = mem.thread(0);
         assert_eq!(fam.read(&t, x), 4);
+    }
+
+    #[test]
+    fn relaxed_mode_is_exact_at_every_crash_point_in_the_private_cache_model() {
+        // dfck-style exhaustive enumeration for `durable_records = false` under
+        // the PPM model (per-process crashes, stores immediately durable):
+        // learn the crash-point count of one recoverable increment from Stats,
+        // then replay once per point, recover, and require exactly-once every
+        // time. This is the documented boundary of the relaxed mode — the
+        // shared-cache counterpart (where it is *not* correct) is pinned in
+        // tests/flush_discipline.rs.
+        use pmem::{catch_crash, install_quiet_crash_hook, CrashPlan};
+        install_quiet_crash_hook();
+        let run = |plan: Option<CrashPlan>| -> u64 {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::PrivateCache));
+            let t = mem.thread(0);
+            let fam = IndirectRcas::new(&t, 1, false);
+            let x = fam.create(&t, 0);
+            let _ = t.take_stats();
+            if let Some(p) = plan {
+                t.set_crash_schedule(p);
+            }
+            let attempt = catch_crash(|| {
+                assert!(fam.cas(&t, x, 0, 1, 1));
+                let _ = fam.read(&t, x);
+            });
+            if attempt.is_err() {
+                mem.crash_thread(0); // independent process fault: memory intact
+                let _ = mem.take_crashed(0);
+                if !fam.check_recovery(&t, x, 1) {
+                    // Not applied: repeating the same ⟨seq, a, b⟩ CAS is safe.
+                    if !fam.cas(&t, x, 0, 1, 1) {
+                        // Stale expected: the interrupted CAS did land; the
+                        // restart must observe it rather than reapply.
+                        assert_eq!(fam.read(&t, x), 1);
+                    }
+                }
+            }
+            let points = t.stats().crash_points;
+            t.disarm_crashes();
+            assert_eq!(fam.read(&t, x), 1, "exactly-once increment");
+            points
+        };
+        let n = run(None);
+        assert!(n > 0);
+        for k in 0..n {
+            let _ = run(Some(CrashPlan::once(k)));
+        }
     }
 
     #[test]

@@ -36,6 +36,34 @@
 //! installing the reserved pid [`RcasSpace::anonymous_pid`] and sequence number 0,
 //! and by skipping the announce step. Such CASes must only be used where the
 //! surrounding algorithm guarantees they are safe to repeat (parallelizable methods).
+//!
+//! ## Durable announcements (the shared-cache flush discipline)
+//!
+//! In the private-cache model every store is immediately durable, so the protocol
+//! above is complete as written. In the *shared-cache* model the announcement words
+//! live in the (volatile) cache like everything else, and the protocol's recovery
+//! guarantee silently depends on a flush-ordering invariant: **no state reachable
+//! after a full-system crash may durably point past announcement state that is not
+//! itself durable.** Concretely, two lines must be flushed (and fenced) *before*
+//! the publishing CAS on `x`:
+//!
+//! * the caller's own announcement ⟨seq, 0⟩ — otherwise a crash after the caller
+//!   persisted `x` rolls the announcement back, `Recover` finds a stale word,
+//!   `checkRecovery` reports *not done*, and the capsule re-executes a CAS that is
+//!   already durable (the duplicate-element bug the `dfck` full-system sweep found);
+//! * the *previous winner's* announcement line — the notify CAS (or an earlier
+//!   notifier's, or the owner's own self-notify) may have set the flag in cache
+//!   only, and overwriting the ⟨value, pid, seq⟩ triple destroys the only other
+//!   durable evidence that the owner's CAS succeeded. The flush is issued whether
+//!   or not this call's notify CAS won: the *current cache state* of that line is
+//!   what must be durable before the triple is overwritten.
+//!
+//! [`RcasSpace::with_durability`] enables this discipline (one extra flush+fence
+//! per recoverable CAS, plus one flush when a non-anonymous owner is notified);
+//! durable-queue callers under `Durability::Manual` semantics want it, while
+//! private-cache and Izraelevitz-construction callers can skip it. The fence
+//! before the CAS is *not* elidable by the `-Opt` fence-elision rule: it orders
+//! the announcement flushes before the publish, which a subsequent CAS does not.
 
 use pmem::{PAddr, PThread, LINE_WORDS};
 
@@ -74,6 +102,11 @@ pub struct RcasSpace {
     ann_base: PAddr,
     nprocs: usize,
     layout: RcasLayout,
+    /// Shared-cache flush discipline: flush (and fence) the announcement lines a
+    /// CAS depends on *before* the publishing CAS (see the module docs). Off by
+    /// default — private-cache and Izraelevitz-construction callers need no
+    /// explicit flushes.
+    durable: bool,
 }
 
 impl RcasSpace {
@@ -94,12 +127,27 @@ impl RcasSpace {
             ann_base,
             nprocs,
             layout,
+            durable: false,
         }
     }
 
     /// Create a space with the default layout.
     pub fn with_default_layout(thread: &PThread<'_>, nprocs: usize) -> RcasSpace {
         RcasSpace::new(thread, nprocs, RcasLayout::DEFAULT)
+    }
+
+    /// Enable (or disable) the durable-announcement flush discipline of the module
+    /// docs: announcement lines are flushed, and a fence issued, before every
+    /// publishing CAS, so that a full-system crash can never leave a durable
+    /// ⟨value, pid, seq⟩ triple whose recovery evidence was still volatile.
+    pub fn with_durability(mut self, durable: bool) -> RcasSpace {
+        self.durable = durable;
+        self
+    }
+
+    /// Whether the durable-announcement flush discipline is enabled.
+    pub fn durable(&self) -> bool {
+        self.durable
     }
 
     /// The packed-word layout used by this space.
@@ -172,6 +220,13 @@ impl RcasSpace {
         // The CAS may fail if the owner has already announced a newer operation or
         // has already been notified — both are fine (Lemma A.1).
         let _ = thread.cas(ann, old, new);
+        if self.durable {
+            // Make the owner's announcement state durable before any caller
+            // overwrites (and persists) the triple that backs it up. Issued even
+            // when the CAS above lost: the flag may have been set earlier and
+            // still be sitting unflushed in the cache (module docs).
+            thread.flush(ann);
+        }
     }
 
     /// `Cas(a, b, seq, i)` — recoverable compare-and-swap by the calling thread.
@@ -201,6 +256,13 @@ impl RcasSpace {
             }
             .pack(),
         );
+        if self.durable {
+            // The announcement must be durable before the CAS can be: a crash
+            // that rolls it back while the installed triple survives makes
+            // `checkRecovery` re-execute a CAS that already took effect.
+            thread.flush(ann);
+            thread.fence();
+        }
         let desired = self.layout.pack(new, pid, seq);
         thread.cas(x, observed, desired)
     }
@@ -217,6 +279,11 @@ impl RcasSpace {
             return false;
         }
         self.notify(thread, owner_pid, owner_seq);
+        if self.durable && owner_pid != self.anonymous_pid() {
+            // Order the notify flush before the publish (no announcement of our
+            // own to persist — anonymous CASes skip the announce step).
+            thread.fence();
+        }
         let desired = self.layout.pack(new, self.anonymous_pid(), 0);
         thread.cas(x, observed, desired)
     }

@@ -35,6 +35,12 @@ pub struct WritableCasArray {
     p: usize,
     /// Spare locations owned by each process.
     per_proc: usize,
+    /// Shared-cache flush discipline: flush (and fence) a freshly written backing
+    /// location before the `Ptr[j]` CAS publishes it, so a full-system crash can
+    /// never leave a durable pointer to a value that rolled back to garbage —
+    /// the same publish-last rule as
+    /// [`RcasSpace::with_durability`](crate::RcasSpace::with_durability).
+    durable: bool,
 }
 
 // --- packing helpers --------------------------------------------------------
@@ -73,12 +79,27 @@ impl WritableCasArray {
             m,
             p,
             per_proc,
+            durable: false,
         };
         // Ptr[j] = j: object j initially lives in B[j].
         for j in 0..m {
             thread.write(arr.ptr_addr(j), j as u64);
         }
         arr
+    }
+
+    /// Enable (or disable) the durable-write flush discipline: each `Write`
+    /// flushes + fences the fresh backing location before swinging `Ptr[j]` to
+    /// it. Only the *published value* is covered — the announcement/status
+    /// reclamation metadata is volatile bookkeeping that is rebuilt on restart.
+    pub fn with_durability(mut self, durable: bool) -> WritableCasArray {
+        self.durable = durable;
+        self
+    }
+
+    /// Whether the durable-write flush discipline is enabled.
+    pub fn durable(&self) -> bool {
+        self.durable
     }
 
     /// Number of logical objects.
@@ -187,6 +208,11 @@ impl WritableCasHandle {
         let new_ptr = self.free_ptr;
         // Nobody references B[new_ptr]: we own it and it is not linked from Ptr.
         thread.write(arr.b_addr(new_ptr), value);
+        if arr.durable {
+            // The value must be durable before the pointer swing can make it
+            // reachable (publish-last; see `with_durability`).
+            thread.persist(arr.b_addr(new_ptr));
+        }
         let old_ptr = thread.read(arr.ptr_addr(j));
         if thread.cas(arr.ptr_addr(j), old_ptr, new_ptr) {
             self.free_ptr = self.recycle(thread, old_ptr);
@@ -390,6 +416,44 @@ mod tests {
             v <= 5 * BASE + 3 * INCS_PER_THREAD,
             "final value has phantom increments: {v}"
         );
+    }
+
+    #[test]
+    fn durable_write_survives_full_system_crash_where_relaxed_does_not() {
+        use pmem::{MemConfig, Mode};
+        // Publish-last in action: a durable Write persists the fresh backing
+        // location before swinging Ptr[j], so once the caller persists the
+        // pointer word the value survives a power failure; the relaxed mode
+        // leaves the backing location to roll back to garbage under the same
+        // sequence. The auditor confirms the discipline at instruction level.
+        let run = |durable: bool| -> (u64, u64) {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+            mem.flush_auditor().arm();
+            let t = mem.thread(0);
+            // m = 8 spreads B and Ptr across distinct cache lines; with a tiny
+            // array they pack onto one line and the pointer persist below would
+            // accidentally cover the value, hiding the difference under test.
+            let arr = WritableCasArray::new(&t, 8, 1).with_durability(durable);
+            mem.persist_everything();
+            let mut h = arr.handle(&t);
+            h.write(&t, 0, 77);
+            let idx = t.read(arr.ptr_addr(0));
+            assert_ne!(
+                arr.b_addr(idx).line_base(),
+                arr.ptr_addr(0).line_base(),
+                "test geometry: the value and the pointer must not share a line"
+            );
+            // The pointer swing's own durability is the caller's post-publish
+            // responsibility, as for every CAS target in this crate.
+            t.persist(arr.ptr_addr(0));
+            mem.crash_all();
+            let idx = t.read(arr.ptr_addr(0));
+            (t.read(arr.b_addr(idx)), mem.flush_auditor().flags())
+        };
+        assert_eq!(run(true), (77, 0), "durable write + silent auditor");
+        let (value, flags) = run(false);
+        assert_eq!(value, 0, "relaxed mode rolls the published value back");
+        assert!(flags > 0, "the auditor must flag the unflushed publication");
     }
 
     #[test]

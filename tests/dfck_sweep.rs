@@ -5,7 +5,7 @@
 //! [`pmem::Stats::crash_points`], so the sweeps automatically track any change to
 //! the instruction footprint of the queues.
 
-use bench::dfck::{sweep, sweep_system, SweepVariant, Workload};
+use bench::dfck::{sweep, sweep_plan, sweep_system, SweepVariant, Workload};
 use capsules::{BoundaryStyle, CapsuleRuntime, CapsuleStep};
 use pmem::{CrashPlan, PMem};
 use queues::{Durability, GeneralQueue, NormalizedQueue, QueueHandle};
@@ -49,13 +49,13 @@ fn every_variant_passes_the_nested_crash_during_recovery_sweep() {
 }
 
 /// Full-system crash sweeps (every injected crash also rolls unflushed cache
-/// lines back) for the variants whose flush placement is complete. The capsule
-/// variants are excluded for now: the sweeper exposed that recoverable-CAS
-/// descriptors are published without being flushed (see ROADMAP.md), so their
-/// full-system sweeps fail by design until that flush discipline lands.
+/// lines back) for **every** variant: since the recoverable-CAS layer adopted
+/// the durable-announcement flush discipline (DESIGN.md §7), the capsule
+/// variants pass alongside MSQ-Izraelevitz and LogQueue. Each replay also runs
+/// with the flush-order auditor armed; `passed()` covers its flags too.
 #[test]
-fn system_crash_pair_sweep_passes_for_msq_and_log_queue() {
-    for variant in [SweepVariant::IzraelevitzMsq, SweepVariant::LogQueue] {
+fn system_crash_pair_sweep_passes_for_every_variant() {
+    for variant in SweepVariant::all() {
         for nested in [None, Some(0)] {
             let report = sweep_system(variant, &Workload::pair(), nested);
             assert!(
@@ -65,6 +65,44 @@ fn system_crash_pair_sweep_passes_for_msq_and_log_queue() {
                 report.violations
             );
             assert!(report.crash_points > 0);
+            assert_eq!(report.audit_flags, 0);
+            if variant.detectable() && nested.is_some() {
+                assert!(
+                    report.recovery_crashes > 0,
+                    "{}: no nested crash landed inside recovery",
+                    report.variant.label()
+                );
+            }
+        }
+    }
+}
+
+/// Depth-2 nested schedules (`[k, m, n]`: crash at point `k`, again `m` points
+/// into the triggered recovery, and a third time `n` points into the
+/// recovery-of-recovery), smoke-tested on the two recovery disciplines the
+/// issue names: the LogQueue's log-replay recovery and the Normalized
+/// simulator's frame recovery — under per-process *and* full-system crashes.
+#[test]
+fn depth2_nested_crash_schedules_pass_on_log_queue_and_normalized() {
+    for variant in [SweepVariant::LogQueue, SweepVariant::Normalized] {
+        for system in [false, true] {
+            let report = sweep_plan(variant, &Workload::pair(), &[0, 0], system);
+            assert!(
+                report.passed(),
+                "{} depth-2 sweep (system={system}): {:?}",
+                report.variant.label(),
+                report.violations
+            );
+            // Three schedule elements per replay: the nested elements must
+            // actually have interrupted recovery (recovery-of-recovery runs).
+            assert!(
+                report.recovery_crashes > report.crash_points,
+                "{} (system={system}): depth-2 schedules should interrupt recovery \
+                 more than once per swept point ({} vs {})",
+                report.variant.label(),
+                report.recovery_crashes,
+                report.crash_points
+            );
         }
     }
 }

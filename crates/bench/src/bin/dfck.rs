@@ -1,8 +1,12 @@
-//! `dfck` — exhaustive crash-point sweep over every queue variant.
+//! `dfck` — exhaustive crash-point sweep over every queue *and* structure
+//! variant.
 //!
 //! For each of MSQ-Izraelevitz, General, General-Opt, Normalized,
-//! Normalized-Opt and LogQueue, runs the seeded single-pair and multi-op
-//! workloads once per possible crash point (count taken from
+//! Normalized-Opt and LogQueue — plus the structure family of the `structs`
+//! crate (Treiber stack and linked-list set, each as Izraelevitz / General /
+//! Normalized, with LIFO- and membership-exactly-once oracles) — runs the
+//! seeded single-pair and multi-op workloads once per possible crash point
+//! (count taken from
 //! [`pmem::Stats::crash_points`], never hard-coded) under *both* crash
 //! flavours — per-process faults (the PPM model) and full-system power
 //! failures (`/system`: unflushed cache lines roll back, verifying flush
@@ -29,13 +33,69 @@
 use std::time::Instant;
 
 use bench::dfck::{sweep, sweep_system, SweepReport, SweepVariant, Workload};
+use bench::dfck_struct::{self, StructSweepReport, StructVariant, StructWorkload};
 use bench::env_u64;
 use bench::json::{emit, JsonRow};
 
+/// The queue and structure sweep reports share every aggregate the table and
+/// JSON rows need; this view lets one printer/row-builder serve both.
+struct ReportView<'a> {
+    variant_label: &'static str,
+    workload: &'static str,
+    nested: &'a [u64],
+    system: bool,
+    crash_points: u64,
+    replays: u64,
+    crashes_injected: u64,
+    recoveries: u64,
+    entry_retries: u64,
+    recovery_crashes: u64,
+    audit_flags: u64,
+    violations: &'a [String],
+}
+
+impl<'a> From<&'a SweepReport> for ReportView<'a> {
+    fn from(r: &'a SweepReport) -> Self {
+        ReportView {
+            variant_label: r.variant.label(),
+            workload: r.workload,
+            nested: &r.nested,
+            system: r.system,
+            crash_points: r.crash_points,
+            replays: r.replays,
+            crashes_injected: r.crashes_injected,
+            recoveries: r.recoveries,
+            entry_retries: r.entry_retries,
+            recovery_crashes: r.recovery_crashes,
+            audit_flags: r.audit_flags,
+            violations: &r.violations,
+        }
+    }
+}
+
+impl<'a> From<&'a StructSweepReport> for ReportView<'a> {
+    fn from(r: &'a StructSweepReport) -> Self {
+        ReportView {
+            variant_label: r.variant.label(),
+            workload: r.workload,
+            nested: &r.nested,
+            system: r.system,
+            crash_points: r.crash_points,
+            replays: r.replays,
+            crashes_injected: r.crashes_injected,
+            recoveries: r.recoveries,
+            entry_retries: r.entry_retries,
+            recovery_crashes: r.recovery_crashes,
+            audit_flags: r.audit_flags,
+            violations: &r.violations,
+        }
+    }
+}
+
 /// The sweep's display/JSON label, shared by the console table and the emitted
 /// rows so the committed baseline can be cross-referenced with CI logs.
-fn label(report: &SweepReport) -> String {
-    let mut label = format!("{}/{}", report.variant.label(), report.workload);
+fn label(report: &ReportView<'_>) -> String {
+    let mut label = format!("{}/{}", report.variant_label, report.workload);
     if !report.nested.is_empty() {
         let gaps: Vec<String> = report.nested.iter().map(|g| g.to_string()).collect();
         label.push_str(&format!("/nested{}", gaps.join("-")));
@@ -46,7 +106,7 @@ fn label(report: &SweepReport) -> String {
     label
 }
 
-fn row(report: &SweepReport) -> JsonRow {
+fn row(report: &ReportView<'_>) -> JsonRow {
     // Coverage rows have no throughput; `crashes_injected` is the
     // DF_REQUIRE_NONZERO signal (zero exactly when the sweep verified nothing).
     JsonRow::new(label(report), 1, 0.0)
@@ -88,7 +148,35 @@ fn main() {
             }
         }
     }
-    for report in &reports {
+    // The structure family (Treiber stack + linked-list set) under the same
+    // matrix: pair + seeded multi workloads, single + nested schedules, PPM +
+    // full-system crashes, flush auditor armed.
+    let mut struct_reports = Vec::new();
+    for variant in StructVariant::all() {
+        let struct_workloads = if variant.is_stack() {
+            [
+                StructWorkload::stack_pair(),
+                StructWorkload::stack_seeded(seed, ops),
+            ]
+        } else {
+            [
+                StructWorkload::set_pair(),
+                StructWorkload::set_seeded(seed, ops),
+            ]
+        };
+        for workload in &struct_workloads {
+            for nested in [None, Some(gap)] {
+                struct_reports.push(dfck_struct::sweep(variant, workload, nested));
+                struct_reports.push(dfck_struct::sweep_system(variant, workload, nested));
+            }
+        }
+    }
+    let views: Vec<ReportView<'_>> = reports
+        .iter()
+        .map(ReportView::from)
+        .chain(struct_reports.iter().map(ReportView::from))
+        .collect();
+    for report in &views {
         let label = label(report);
         println!(
             "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
@@ -101,7 +189,7 @@ fn main() {
             report.audit_flags,
             report.violations.len()
         );
-        for v in &report.violations {
+        for v in report.violations {
             eprintln!("VIOLATION [{label}]: {v}");
         }
         failures += report.violations.len();

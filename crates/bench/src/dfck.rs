@@ -166,6 +166,12 @@ enum OpOutcome {
 struct Replay {
     outcomes: Vec<OpOutcome>,
     drained: Vec<u64>,
+    /// The final drain returned more elements than the replay could possibly
+    /// have left in the queue (prefill + every enqueue in the window): the
+    /// next-pointer chain is corrupted — almost certainly cyclic. Reported as
+    /// an oracle violation; the bounded drain is what keeps the sweep from
+    /// hanging instead.
+    drain_overflow: bool,
     /// Crash points passed inside the swept window (meaningful for the crash-free
     /// baseline replay, where it defines the sweep range).
     crash_points: u64,
@@ -241,6 +247,21 @@ fn crash_machine(mem: &PMem, system: bool) {
     let _ = mem.take_crashed(0);
 }
 
+/// Upper bound on the elements a replay of `workload` can leave behind:
+/// the prefill plus every enqueue in the swept window (whether or not it
+/// completed — an interrupted enqueue may still have applied). Draining is
+/// bounded by this figure so a cyclic next-pointer chain produced by a
+/// recovery bug terminates the replay with an over-long drain (an oracle
+/// violation carrying the offending schedule) instead of hanging the sweep.
+fn drain_bound(workload: &Workload) -> usize {
+    workload.prefill.len()
+        + workload
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Enqueue(_)))
+            .count()
+}
+
 /// Run one replay of `workload` on `variant` with the given crash script
 /// (a disarmed/empty plan ⇒ crash-free baseline). `system` selects full-system
 /// crash semantics (see [`crash_machine`] and [`sweep`]).
@@ -254,6 +275,9 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
     let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
     mem.flush_auditor().arm();
     let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
+    // Every drain below is bounded: `bound + 1` dequeues is enough to prove a
+    // corrupted (cyclic) chain without ever spinning on it.
+    let bound = drain_bound(workload);
     match variant {
         SweepVariant::IzraelevitzMsq => {
             let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
@@ -291,10 +315,11 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
             }
             let window = t.stats();
             t.disarm_crashes();
-            let drained = h.drain();
+            let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
+                drain_overflow: drained.len() > bound,
                 drained,
                 crash_points: window.crash_points,
                 crashes: window.crashes,
@@ -327,10 +352,10 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
                         Op::Dequeue => h.dequeue(),
                     }
                 }
-                fn drain(&mut self) -> Vec<u64> {
+                fn drain_up_to(&mut self, max: usize) -> Vec<u64> {
                     match self {
-                        H::G(h) => h.drain(),
-                        H::N(h) => h.drain(),
+                        H::G(h) => h.drain_up_to(max),
+                        H::N(h) => h.drain_up_to(max),
                     }
                 }
                 fn metrics(&mut self) -> CapsuleMetrics {
@@ -383,11 +408,12 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
                 .collect();
             let window = t.stats();
             t.disarm_crashes();
-            let drained = h.drain();
+            let drained = h.drain_up_to(bound + 1);
             let metrics = h.metrics();
             let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
+                drain_overflow: drained.len() > bound,
                 drained,
                 crash_points: window.crash_points,
                 crashes: window.crashes,
@@ -494,10 +520,11 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
             }
             let window = t.stats();
             t.disarm_crashes();
-            let drained = h.drain();
+            let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
             Replay {
                 outcomes,
+                drain_overflow: drained.len() > bound,
                 drained,
                 crash_points: window.crash_points,
                 crashes: window.crashes,
@@ -519,6 +546,14 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
 /// branch reproduces every completed operation's return value *and* the final
 /// drained contents.
 fn check_history(workload: &Workload, r: &Replay) -> Result<(), String> {
+    if r.drain_overflow {
+        return Err(format!(
+            "drain returned {} elements but at most {} could have survived the \
+             replay — corrupted (cyclic?) next-pointer chain",
+            r.drained.len(),
+            drain_bound(workload)
+        ));
+    }
     // Branches: (model queue, still-consistent flag is implicit by presence).
     let mut branches: Vec<VecDeque<u64>> = vec![workload.prefill.iter().copied().collect()];
     for (i, (&op, outcome)) in workload.ops.iter().zip(&r.outcomes).enumerate() {
@@ -750,7 +785,7 @@ fn sweep_plan_with_workers(
 
 /// Worker-thread count for the sweep fan-out: `DF_DFCK_THREADS`, defaulting to
 /// `available_parallelism` capped at 8, never more than one per crash point.
-fn sweep_workers(crash_points: u64) -> usize {
+pub(crate) fn sweep_workers(crash_points: u64) -> usize {
     let default = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -813,6 +848,7 @@ mod tests {
         let base = Replay {
             outcomes: vec![OpOutcome::Interrupted],
             drained: vec![7, 42],
+            drain_overflow: false,
             crash_points: 1,
             crashes: 1,
             recoveries: 0,
@@ -833,6 +869,65 @@ mod tests {
     // The full pair sweeps (single + nested, every variant) live in
     // tests/dfck_sweep.rs; duplicating the multi-thousand-replay runs here
     // would double the cost of every `cargo test` for identical coverage.
+
+    /// Deterministic regression for the bounded-drain oracle path: an
+    /// artificially cycled queue (the shape a buggy recovery could splice)
+    /// must terminate the drain at the bound and fail the oracle — never hang.
+    #[test]
+    fn cyclic_next_chain_is_reported_as_violation_not_hang() {
+        use queues::node::next_addr;
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let q = MsQueue::new(&t);
+        let mut h = q.handle(&t);
+        for v in [1, 2, 3] {
+            h.enqueue(v);
+        }
+        // Walk sentinel -> n1 -> n2 -> n3 and splice n3.next back to n1.
+        let sentinel = pmem::PAddr::from_raw(t.read(q.head_addr()));
+        let n1 = pmem::PAddr::from_raw(t.read(next_addr(sentinel)));
+        let n2 = pmem::PAddr::from_raw(t.read(next_addr(n1)));
+        let n3 = pmem::PAddr::from_raw(t.read(next_addr(n2)));
+        assert!(!n3.is_null());
+        t.write(next_addr(n3), n1.to_raw());
+        let w = Workload {
+            name: "cycled",
+            prefill: Vec::new(),
+            ops: vec![Op::Enqueue(1), Op::Enqueue(2), Op::Enqueue(3)],
+        };
+        let bound = drain_bound(&w);
+        assert_eq!(bound, 3);
+        // The bounded drain stops after bound + 1 dequeues despite the cycle…
+        let drained = h.drain_up_to(bound + 1);
+        assert_eq!(drained.len(), bound + 1, "drain must stop at the bound");
+        // …and the oracle rejects the over-long history with the cycle diagnosis.
+        let r = Replay {
+            outcomes: vec![OpOutcome::Completed(None); 3],
+            drain_overflow: drained.len() > bound,
+            drained,
+            crash_points: 0,
+            crashes: 0,
+            recoveries: 0,
+            entry_retries: 0,
+            recovery_crashes: 0,
+            audit_flags: 0,
+            audit_reports: Vec::new(),
+        };
+        let err = check_history(&w, &r).unwrap_err();
+        assert!(err.contains("cyclic"), "diagnosis missing from: {err}");
+    }
+
+    #[test]
+    fn drain_bound_counts_prefill_plus_enqueues() {
+        let w = Workload::pair();
+        assert_eq!(drain_bound(&w), w.prefill.len() + 1);
+        let all_deq = Workload {
+            name: "deq",
+            prefill: vec![1, 2],
+            ops: vec![Op::Dequeue, Op::Dequeue],
+        };
+        assert_eq!(drain_bound(&all_deq), 2);
+    }
 
     #[test]
     fn seeded_workload_is_reproducible_and_mixed() {

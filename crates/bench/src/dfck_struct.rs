@@ -1,0 +1,868 @@
+//! `dfck_struct` — the exhaustive crash-point sweeper for the non-queue
+//! structure family (`structs`: Treiber stack, linked-list set).
+//!
+//! Same discipline as [`crate::dfck`]: run a seeded workload once crash-free to
+//! learn the crash-point count from [`pmem::Stats::crash_points`], then replay
+//! it once per point `k` with a scripted [`CrashPlan`] (optionally nested:
+//! crash again inside the triggered recovery), under per-process *and*
+//! full-system crash semantics, flush auditor armed. What changes per shape is
+//! the **oracle**:
+//!
+//! * **stack (LIFO exactly-once)** — detectable variants must reproduce the
+//!   crash-free history verbatim; the Izraelevitz stack runs under a forked
+//!   LIFO model (each interrupted push/pop may or may not have applied);
+//! * **set (membership exactly-once)** — every insert/remove/contains return
+//!   must agree with a sequential `BTreeSet` model, and the final ascending
+//!   snapshot must match a consistent fork.
+//!
+//! Drains are bounded by the replay's maximum possible survivors (prefill +
+//! pushes/inserts), so a corrupted cyclic chain surfaces as a violation
+//! carrying the offending schedule instead of a hung sweep.
+
+use std::collections::BTreeSet;
+
+use capsules::{BoundaryStyle, CapsuleMetrics};
+use pmem::{catch_crash, CrashPlan, MemConfig, Mode, PMem, ThreadOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use structs::{
+    GeneralSet, GeneralStack, ListSet, NormalizedSet, NormalizedStack, StructHandle, StructOp,
+    TreiberStack,
+};
+
+/// The structure variants the sweeper covers: each shape in the same matrix as
+/// the queues — Izraelevitz flush-everything (durable, not detectable),
+/// General capsules and the Normalized simulator (both detectable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StructVariant {
+    /// Treiber stack + Izraelevitz construction.
+    StackIzraelevitz,
+    /// Treiber stack through the CAS-Read (General) transformation.
+    StackGeneral,
+    /// Treiber stack through the Persistent Normalized Simulator.
+    StackNormalized,
+    /// Harris–Michael list set + Izraelevitz construction.
+    SetIzraelevitz,
+    /// List set through the CAS-Read (General) transformation.
+    SetGeneral,
+    /// List set through the Persistent Normalized Simulator.
+    SetNormalized,
+}
+
+impl StructVariant {
+    /// Short label for tables and JSON rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StructVariant::StackIzraelevitz => "Stack-Izraelevitz",
+            StructVariant::StackGeneral => "Stack-General",
+            StructVariant::StackNormalized => "Stack-Normalized",
+            StructVariant::SetIzraelevitz => "Set-Izraelevitz",
+            StructVariant::SetGeneral => "Set-General",
+            StructVariant::SetNormalized => "Set-Normalized",
+        }
+    }
+
+    /// Every swept variant.
+    pub fn all() -> Vec<StructVariant> {
+        vec![
+            StructVariant::StackIzraelevitz,
+            StructVariant::StackGeneral,
+            StructVariant::StackNormalized,
+            StructVariant::SetIzraelevitz,
+            StructVariant::SetGeneral,
+            StructVariant::SetNormalized,
+        ]
+    }
+
+    /// Whether the strict exactly-once oracle applies.
+    pub fn detectable(&self) -> bool {
+        !matches!(
+            self,
+            StructVariant::StackIzraelevitz | StructVariant::SetIzraelevitz
+        )
+    }
+
+    /// Whether this is a stack-shaped variant (LIFO oracle) rather than a set.
+    pub fn is_stack(&self) -> bool {
+        matches!(
+            self,
+            StructVariant::StackIzraelevitz
+                | StructVariant::StackGeneral
+                | StructVariant::StackNormalized
+        )
+    }
+}
+
+/// A deterministic workload over one shape: prefilled contents plus a fixed
+/// operation sequence (all ops must match the shape — [`StructOp`]).
+#[derive(Clone, Debug)]
+pub struct StructWorkload {
+    /// Name used in reports ("pair" / "multi").
+    pub name: &'static str,
+    /// `true` for stack-shaped workloads, `false` for set-shaped ones.
+    pub stack: bool,
+    /// Stack: values pushed bottom-up before the swept window. Set: keys
+    /// inserted before the window (must be distinct).
+    pub prefill: Vec<u64>,
+    /// The operations executed inside the swept window.
+    pub ops: Vec<StructOp>,
+}
+
+impl StructWorkload {
+    /// The canonical stack pair: one push, one pop, on a lightly prefilled
+    /// stack.
+    pub fn stack_pair() -> StructWorkload {
+        StructWorkload {
+            name: "pair",
+            stack: true,
+            prefill: (0..4).map(|i| 10_000 + i).collect(),
+            ops: vec![StructOp::Push(1), StructOp::Pop],
+        }
+    }
+
+    /// The canonical set pair: one insert that lands mid-list, one remove of a
+    /// prefilled key — both protocol paths (link CAS, mark + unlink) swept.
+    pub fn set_pair() -> StructWorkload {
+        StructWorkload {
+            name: "pair",
+            stack: false,
+            prefill: vec![10, 20, 30],
+            ops: vec![StructOp::Insert(15), StructOp::Remove(20)],
+        }
+    }
+
+    /// Seeded multi-op stack workload (`seeded_full` with default prefill).
+    pub fn stack_seeded(seed: u64, nops: usize) -> StructWorkload {
+        StructWorkload::stack_seeded_full(seed, nops, 3, 0)
+    }
+
+    /// Fully parameterised seeded stack workload: `nops` operations, each
+    /// independently a push (fresh value) or a pop, offset by `value_base`.
+    pub fn stack_seeded_full(
+        seed: u64,
+        nops: usize,
+        prefill: usize,
+        value_base: u64,
+    ) -> StructWorkload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut next_value = value_base + 1;
+        let ops = (0..nops)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    let v = next_value;
+                    next_value += 1;
+                    StructOp::Push(v)
+                } else {
+                    StructOp::Pop
+                }
+            })
+            .collect();
+        StructWorkload {
+            name: "multi",
+            stack: true,
+            prefill: (0..prefill as u64).map(|i| value_base + 10_000 + i).collect(),
+            ops,
+        }
+    }
+
+    /// Seeded multi-op set workload (`seeded_full` with default prefill).
+    pub fn set_seeded(seed: u64, nops: usize) -> StructWorkload {
+        StructWorkload::set_seeded_full(seed, nops, 3, 0)
+    }
+
+    /// Fully parameterised seeded set workload: keys are drawn from a small
+    /// range around `key_base` (every other key prefilled) so inserts, removes
+    /// and membership tests all hit both their *true* and *false* paths.
+    pub fn set_seeded_full(
+        seed: u64,
+        nops: usize,
+        prefill: usize,
+        key_base: u64,
+    ) -> StructWorkload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let span = (2 * prefill as u64 + 4).max(6);
+        let ops = (0..nops)
+            .map(|_| {
+                let k = key_base + rng.gen_range(0..span);
+                match rng.gen_range(0..3u64) {
+                    0 => StructOp::Insert(k),
+                    1 => StructOp::Remove(k),
+                    _ => StructOp::Contains(k),
+                }
+            })
+            .collect();
+        StructWorkload {
+            name: "multi",
+            stack: false,
+            prefill: (0..prefill as u64).map(|i| key_base + 2 * i).collect(),
+            ops,
+        }
+    }
+
+    /// The prefill as [`StructOp`]s of the right shape.
+    fn prefill_ops(&self) -> Vec<StructOp> {
+        self.prefill
+            .iter()
+            .map(|&v| {
+                if self.stack {
+                    StructOp::Push(v)
+                } else {
+                    StructOp::Insert(v)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Upper bound on the elements a replay can leave behind (prefill + every
+/// push/insert in the window). Same role as the queue sweeper's bound: drains
+/// run to `bound + 1` so corrupted cyclic chains terminate and fail.
+fn drain_bound(workload: &StructWorkload) -> usize {
+    workload.prefill.len()
+        + workload
+            .ops
+            .iter()
+            .filter(|op| matches!(op, StructOp::Push(_) | StructOp::Insert(_)))
+            .count()
+}
+
+/// What the replay driver observed for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpOutcome {
+    Completed(Option<u64>),
+    Interrupted,
+}
+
+/// Everything one replay produced.
+#[derive(Clone, Debug)]
+struct Replay {
+    outcomes: Vec<OpOutcome>,
+    drained: Vec<u64>,
+    drain_overflow: bool,
+    crash_points: u64,
+    crashes: u64,
+    recoveries: u64,
+    entry_retries: u64,
+    recovery_crashes: u64,
+    audit_flags: u64,
+    audit_reports: Vec<String>,
+}
+
+/// Aggregate result of sweeping one (variant, workload) combination; same
+/// shape as [`crate::dfck::SweepReport`] with the struct variant enum.
+#[derive(Clone, Debug)]
+pub struct StructSweepReport {
+    /// The swept variant.
+    pub variant: StructVariant,
+    /// Workload name ("pair" / "multi").
+    pub workload: &'static str,
+    /// Nested crash-schedule gaps (see [`crate::dfck::SweepReport::nested`]).
+    pub nested: Vec<u64>,
+    /// Whether crashes were full-system power failures.
+    pub system: bool,
+    /// Total crash points of the crash-free run.
+    pub crash_points: u64,
+    /// Replays executed (crash points + the crash-free baseline).
+    pub replays: u64,
+    /// Total simulated crashes injected across all replays.
+    pub crashes_injected: u64,
+    /// Total recoveries observed across all replays.
+    pub recoveries: u64,
+    /// Crashes absorbed by entry-boundary retries.
+    pub entry_retries: u64,
+    /// Crashes that interrupted recovery itself (nested path proof).
+    pub recovery_crashes: u64,
+    /// Flush-order auditor flags (also folded into `violations`). Must be zero.
+    pub audit_flags: u64,
+    /// Oracle violations. Must be empty.
+    pub violations: Vec<String>,
+}
+
+impl StructSweepReport {
+    /// Whether every replay satisfied the oracle.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn crash_machine(mem: &PMem, system: bool) {
+    if system {
+        mem.crash_all();
+    } else {
+        mem.crash_thread(0);
+    }
+    let _ = mem.take_crashed(0);
+}
+
+/// Run one replay of `workload` on `variant` with the given crash script.
+fn replay(
+    variant: StructVariant,
+    workload: &StructWorkload,
+    plan: &CrashPlan,
+    system: bool,
+) -> Replay {
+    assert_eq!(
+        variant.is_stack(),
+        workload.stack,
+        "workload shape must match the variant"
+    );
+    pmem::install_quiet_crash_hook();
+    let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+    mem.flush_auditor().arm();
+    let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
+    let bound = drain_bound(workload);
+    match variant {
+        StructVariant::StackIzraelevitz | StructVariant::SetIzraelevitz => {
+            let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
+            let stack;
+            let set;
+            let mut h: Box<dyn StructHandle + '_> = if variant.is_stack() {
+                stack = TreiberStack::new(&t);
+                Box::new(stack.handle(&t))
+            } else {
+                set = ListSet::new(&t);
+                Box::new(set.handle(&t))
+            };
+            for op in workload.prefill_ops() {
+                let _ = h.apply(op);
+            }
+            mem.persist_everything();
+            let _ = t.take_stats();
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
+            }
+            let mut outcomes = Vec::with_capacity(workload.ops.len());
+            for &op in &workload.ops {
+                // No recovery protocol: a crash unwinds to here and the
+                // process cannot tell whether the interrupted operation took
+                // effect. The forked-model oracle owns the ambiguity.
+                let outcome = catch_crash(|| h.apply(op));
+                outcomes.push(match outcome {
+                    Ok(ret) => OpOutcome::Completed(ret),
+                    Err(_) => {
+                        t.note_crash();
+                        crash_machine(&mem, system);
+                        OpOutcome::Interrupted
+                    }
+                });
+            }
+            let window = t.stats();
+            t.disarm_crashes();
+            // `truncated` covers the marked-node-cycle case, where the walk
+            // hits the node cap without collecting an over-long key list.
+            let drained = h.drain_up_to(bound + 1);
+            let (audit_flags, audit_reports) = audit_of(&mem);
+            Replay {
+                outcomes,
+                drain_overflow: drained.truncated || drained.items.len() > bound,
+                drained: drained.items,
+                crash_points: window.crash_points,
+                crashes: window.crashes,
+                recoveries: 0,
+                entry_retries: 0,
+                recovery_crashes: 0,
+                audit_flags,
+                audit_reports,
+            }
+        }
+        StructVariant::StackGeneral
+        | StructVariant::StackNormalized
+        | StructVariant::SetGeneral
+        | StructVariant::SetNormalized => {
+            enum H<'q, 't, 'm> {
+                Sg(structs::GeneralStackHandle<'q, 't, 'm>),
+                Sn(structs::NormalizedStackHandle<'q, 't, 'm>),
+                Tg(structs::GeneralSetHandle<'q, 't, 'm>),
+                Tn(structs::NormalizedSetHandle<'q, 't, 'm>),
+            }
+            impl H<'_, '_, '_> {
+                fn as_dyn(&mut self) -> &mut dyn StructHandle {
+                    match self {
+                        H::Sg(h) => h,
+                        H::Sn(h) => h,
+                        H::Tg(h) => h,
+                        H::Tn(h) => h,
+                    }
+                }
+                fn metrics(&mut self) -> CapsuleMetrics {
+                    match self {
+                        H::Sg(h) => h.runtime_mut().metrics(),
+                        H::Sn(h) => h.runtime_mut().metrics(),
+                        H::Tg(h) => h.runtime_mut().metrics(),
+                        H::Tn(h) => h.runtime_mut().metrics(),
+                    }
+                }
+                fn set_system_crashes(&mut self, system: bool) {
+                    match self {
+                        H::Sg(h) => h.runtime_mut().set_system_crashes(system),
+                        H::Sn(h) => h.runtime_mut().set_system_crashes(system),
+                        H::Tg(h) => h.runtime_mut().set_system_crashes(system),
+                        H::Tn(h) => h.runtime_mut().set_system_crashes(system),
+                    }
+                }
+            }
+            let t = mem.thread(0);
+            let gs;
+            let ns;
+            let gt;
+            let nt;
+            let mut h = match variant {
+                StructVariant::StackGeneral => {
+                    gs = GeneralStack::new(&t, 1, true, BoundaryStyle::General);
+                    H::Sg(gs.handle(&t))
+                }
+                StructVariant::StackNormalized => {
+                    ns = NormalizedStack::new(&t, 1, true, false);
+                    H::Sn(ns.handle(&t))
+                }
+                StructVariant::SetGeneral => {
+                    gt = GeneralSet::new(&t, 1, true, BoundaryStyle::General);
+                    H::Tg(gt.handle(&t))
+                }
+                _ => {
+                    nt = NormalizedSet::new(&t, 1, true, false);
+                    H::Tn(nt.handle(&t))
+                }
+            };
+            h.set_system_crashes(system);
+            for op in workload.prefill_ops() {
+                let _ = h.as_dyn().apply(op);
+            }
+            mem.persist_everything();
+            let metrics_before = h.metrics();
+            let _ = t.take_stats();
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
+            }
+            // The capsule runtime absorbs every crash: each operation completes
+            // with its exact result — that completion is the detectability
+            // claim the oracle verifies against the crash-free history.
+            let outcomes = workload
+                .ops
+                .iter()
+                .map(|&op| OpOutcome::Completed(h.as_dyn().apply(op)))
+                .collect();
+            let window = t.stats();
+            t.disarm_crashes();
+            let drained = h.as_dyn().drain_up_to(bound + 1);
+            let metrics = h.metrics();
+            let (audit_flags, audit_reports) = audit_of(&mem);
+            Replay {
+                outcomes,
+                drain_overflow: drained.truncated || drained.items.len() > bound,
+                drained: drained.items,
+                crash_points: window.crash_points,
+                crashes: window.crashes,
+                recoveries: metrics.recoveries - metrics_before.recoveries,
+                entry_retries: metrics.entry_retries - metrics_before.entry_retries,
+                recovery_crashes: metrics.recovery_crashes - metrics_before.recovery_crashes,
+                audit_flags,
+                audit_reports,
+            }
+        }
+    }
+}
+
+/// The forked sequential model: a LIFO stack or an ordered set.
+#[derive(Clone, PartialEq, Eq)]
+enum Model {
+    Stack(Vec<u64>),
+    Set(BTreeSet<u64>),
+}
+
+impl Model {
+    fn expected_drain(&self) -> Vec<u64> {
+        match self {
+            // Stacks drain top-down.
+            Model::Stack(items) => items.iter().rev().copied().collect(),
+            // Sets snapshot ascending.
+            Model::Set(keys) => keys.iter().copied().collect(),
+        }
+    }
+}
+
+/// Check one replayed history against the shape's oracle. For every
+/// interrupted operation (non-detectable variants only) the model forks into
+/// applied / not-applied branches; the replay passes iff at least one branch
+/// reproduces every completed return *and* the final drain.
+fn check_history(workload: &StructWorkload, r: &Replay) -> Result<(), String> {
+    if r.drain_overflow {
+        return Err(format!(
+            "drain returned {} elements but at most {} could have survived the \
+             replay — corrupted (cyclic?) chain",
+            r.drained.len(),
+            drain_bound(workload)
+        ));
+    }
+    let initial = if workload.stack {
+        Model::Stack(workload.prefill.clone())
+    } else {
+        Model::Set(workload.prefill.iter().copied().collect())
+    };
+    let mut branches = vec![initial];
+    for (i, (&op, outcome)) in workload.ops.iter().zip(&r.outcomes).enumerate() {
+        let mut next: Vec<Model> = Vec::with_capacity(branches.len() * 2);
+        for model in branches {
+            match (*outcome, op, model) {
+                (OpOutcome::Completed(ret), StructOp::Push(v), Model::Stack(mut s)) => {
+                    debug_assert_eq!(ret, None);
+                    s.push(v);
+                    next.push(Model::Stack(s));
+                }
+                (OpOutcome::Completed(ret), StructOp::Pop, Model::Stack(mut s)) => {
+                    if s.pop() == ret {
+                        next.push(Model::Stack(s));
+                    }
+                }
+                (OpOutcome::Completed(ret), StructOp::Insert(k), Model::Set(mut s)) => {
+                    if Some(s.insert(k) as u64) == ret {
+                        next.push(Model::Set(s));
+                    }
+                }
+                (OpOutcome::Completed(ret), StructOp::Remove(k), Model::Set(mut s)) => {
+                    if Some(s.remove(&k) as u64) == ret {
+                        next.push(Model::Set(s));
+                    }
+                }
+                (OpOutcome::Completed(ret), StructOp::Contains(k), Model::Set(s)) => {
+                    if Some(s.contains(&k) as u64) == ret {
+                        next.push(Model::Set(s));
+                    }
+                }
+                (OpOutcome::Interrupted, StructOp::Push(v), Model::Stack(s)) => {
+                    let mut applied = s.clone();
+                    applied.push(v);
+                    next.push(Model::Stack(applied));
+                    next.push(Model::Stack(s));
+                }
+                (OpOutcome::Interrupted, StructOp::Pop, Model::Stack(s)) => {
+                    let mut applied = s.clone();
+                    let _ = applied.pop(); // value was lost with the crash
+                    next.push(Model::Stack(applied));
+                    next.push(Model::Stack(s));
+                }
+                (OpOutcome::Interrupted, StructOp::Insert(k), Model::Set(s)) => {
+                    let mut applied = s.clone();
+                    applied.insert(k);
+                    next.push(Model::Set(applied));
+                    next.push(Model::Set(s));
+                }
+                (OpOutcome::Interrupted, StructOp::Remove(k), Model::Set(s)) => {
+                    let mut applied = s.clone();
+                    applied.remove(&k);
+                    next.push(Model::Set(applied));
+                    next.push(Model::Set(s));
+                }
+                (OpOutcome::Interrupted, StructOp::Contains(_), m) => {
+                    next.push(m); // read-only: no state fork
+                }
+                (_, op, _) => {
+                    return Err(format!("op {i} ({op:?}) does not match the workload shape"))
+                }
+            }
+        }
+        // Interrupted ops on an already-consistent state can fork into
+        // identical branches; dedup to keep the frontier small.
+        next.dedup();
+        if next.is_empty() {
+            return Err(format!(
+                "op {i} ({op:?}) returned {outcome:?}, inconsistent with every model branch"
+            ));
+        }
+        branches = next;
+    }
+    if branches.iter().any(|m| m.expected_drain() == r.drained) {
+        Ok(())
+    } else {
+        Err(format!(
+            "final drain {:?} matches no model branch (e.g. expected {:?})",
+            r.drained,
+            branches[0].expected_drain()
+        ))
+    }
+}
+
+/// Sweep every crash point under per-process crash semantics (the PPM model).
+pub fn sweep(
+    variant: StructVariant,
+    workload: &StructWorkload,
+    nested_gap: Option<u64>,
+) -> StructSweepReport {
+    let nested: Vec<u64> = nested_gap.into_iter().collect();
+    sweep_plan(variant, workload, &nested, false)
+}
+
+/// Like [`sweep`] but with full-system crashes (unflushed lines roll back), so
+/// the sweep additionally verifies the variant's flush placement.
+pub fn sweep_system(
+    variant: StructVariant,
+    workload: &StructWorkload,
+    nested_gap: Option<u64>,
+) -> StructSweepReport {
+    let nested: Vec<u64> = nested_gap.into_iter().collect();
+    sweep_plan(variant, workload, &nested, true)
+}
+
+/// The general entry point: replay once per crash point `k` with the scripted
+/// schedule `[k, nested…]`, fanning the independent replays out across worker
+/// threads exactly like [`crate::dfck::sweep_plan`] (`DF_DFCK_THREADS`).
+pub fn sweep_plan(
+    variant: StructVariant,
+    workload: &StructWorkload,
+    nested: &[u64],
+    system: bool,
+) -> StructSweepReport {
+    sweep_plan_with_workers(variant, workload, nested, system, None)
+}
+
+fn sweep_plan_with_workers(
+    variant: StructVariant,
+    workload: &StructWorkload,
+    nested: &[u64],
+    system: bool,
+    workers_override: Option<usize>,
+) -> StructSweepReport {
+    let baseline = replay(variant, workload, &CrashPlan::new(Vec::new()), system);
+    assert_eq!(baseline.crashes, 0);
+    let strict = variant.detectable();
+    let mut report = StructSweepReport {
+        variant,
+        workload: workload.name,
+        nested: nested.to_vec(),
+        system,
+        crash_points: baseline.crash_points,
+        replays: 1,
+        crashes_injected: 0,
+        recoveries: 0,
+        entry_retries: 0,
+        recovery_crashes: 0,
+        audit_flags: baseline.audit_flags,
+        violations: Vec::new(),
+    };
+    if let Err(e) = check_history(workload, &baseline) {
+        report.violations.push(format!("baseline (crash-free): {e}"));
+    }
+    if baseline.audit_flags > 0 {
+        report.violations.push(format!(
+            "baseline (crash-free): {} flush-audit flag(s): {:?}",
+            baseline.audit_flags, baseline.audit_reports
+        ));
+    }
+    let plan_for = |k: u64| CrashPlan::nested(k, nested);
+    let run_one = |k: u64| -> (u64, Replay) {
+        if std::env::var_os("DF_DFCK_TRACE").is_some() {
+            eprintln!(
+                "dfck_struct trace: {:?} {} k={k} gaps={:?} system={system}",
+                variant,
+                workload.name,
+                plan_for(k).script()
+            );
+        }
+        (k, replay(variant, workload, &plan_for(k), system))
+    };
+    let n = baseline.crash_points;
+    let workers = workers_override
+        .map(|w| w.max(1))
+        .unwrap_or_else(|| crate::dfck::sweep_workers(n));
+    let results: Vec<(u64, Replay)> = if workers <= 1 {
+        (0..n).map(run_one).collect()
+    } else {
+        let mut all: Vec<(u64, Replay)> = std::thread::scope(|s| {
+            let run_one = &run_one;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        (w as u64..n)
+                            .step_by(workers)
+                            .map(run_one)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dfck_struct sweep worker panicked"))
+                .collect()
+        });
+        all.sort_by_key(|&(k, _)| k);
+        all
+    };
+    for (k, r) in results {
+        let gaps = plan_for(k).script().to_vec();
+        report.replays += 1;
+        report.crashes_injected += r.crashes;
+        report.recoveries += r.recoveries;
+        report.entry_retries += r.entry_retries;
+        report.recovery_crashes += r.recovery_crashes;
+        report.audit_flags += r.audit_flags;
+        if r.audit_flags > 0 {
+            report.violations.push(format!(
+                "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
+                r.audit_flags, r.audit_reports
+            ));
+        }
+        if r.crashes == 0 {
+            report.violations.push(format!(
+                "k={k}: the schedule never fired (swept range disagrees with the replay)"
+            ));
+            continue;
+        }
+        if let Err(e) = check_history(workload, &r) {
+            report.violations.push(format!("k={k} gaps={gaps:?}: {e}"));
+            continue;
+        }
+        if strict {
+            if r.outcomes != baseline.outcomes || r.drained != baseline.drained {
+                report.violations.push(format!(
+                    "k={k} gaps={gaps:?}: history differs from the crash-free run \
+                     (outcomes {:?} vs {:?}, drain {:?} vs {:?})",
+                    r.outcomes, baseline.outcomes, r.drained, baseline.drained
+                ));
+            }
+            if r.recoveries + r.entry_retries == 0 {
+                report.violations.push(format!(
+                    "k={k}: a crash was injected but no recovery action ran"
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_pair_histories_are_consistent() {
+        for variant in StructVariant::all() {
+            let w = if variant.is_stack() {
+                StructWorkload::stack_pair()
+            } else {
+                StructWorkload::set_pair()
+            };
+            let r = replay(variant, &w, &CrashPlan::new(Vec::new()), false);
+            assert_eq!(r.crashes, 0);
+            assert!(
+                r.crash_points > 0,
+                "{variant:?}: workload passed no crash points"
+            );
+            check_history(&w, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn stack_oracle_rejects_corrupted_histories() {
+        let w = StructWorkload::stack_pair();
+        let good = replay(
+            StructVariant::StackGeneral,
+            &w,
+            &CrashPlan::new(Vec::new()),
+            false,
+        );
+        check_history(&w, &good).unwrap();
+        // Lost element.
+        let mut lost = good.clone();
+        lost.drained.remove(0);
+        assert!(check_history(&w, &lost).is_err());
+        // Duplicated element.
+        let mut dup = good.clone();
+        let v = dup.drained[0];
+        dup.drained.insert(0, v);
+        assert!(check_history(&w, &dup).is_err());
+        // FIFO instead of LIFO drain order.
+        let mut fifo = good.clone();
+        fifo.drained.reverse();
+        assert!(check_history(&w, &fifo).is_err());
+        // Over-long drain is diagnosed as a cycle.
+        let mut cycled = good.clone();
+        cycled.drain_overflow = true;
+        let err = check_history(&w, &cycled).unwrap_err();
+        assert!(err.contains("cyclic"), "diagnosis missing from: {err}");
+    }
+
+    #[test]
+    fn set_oracle_rejects_wrong_membership_answers() {
+        let w = StructWorkload::set_pair();
+        let good = replay(
+            StructVariant::SetGeneral,
+            &w,
+            &CrashPlan::new(Vec::new()),
+            false,
+        );
+        check_history(&w, &good).unwrap();
+        assert_eq!(good.drained, vec![10, 15, 30]);
+        // A flipped insert return (claims the key was present).
+        let mut flipped = good.clone();
+        flipped.outcomes[0] = OpOutcome::Completed(Some(0));
+        assert!(check_history(&w, &flipped).is_err());
+        // A remove that "succeeded" but left the key behind.
+        let mut stale = good.clone();
+        stale.drained = vec![10, 15, 20, 30];
+        assert!(check_history(&w, &stale).is_err());
+    }
+
+    #[test]
+    fn set_oracle_accepts_interrupted_ops_either_way() {
+        let w = StructWorkload {
+            name: "ambig",
+            stack: false,
+            prefill: vec![7],
+            ops: vec![StructOp::Insert(42)],
+        };
+        let base = Replay {
+            outcomes: vec![OpOutcome::Interrupted],
+            drained: vec![7, 42],
+            drain_overflow: false,
+            crash_points: 1,
+            crashes: 1,
+            recoveries: 0,
+            entry_retries: 0,
+            recovery_crashes: 0,
+            audit_flags: 0,
+            audit_reports: Vec::new(),
+        };
+        check_history(&w, &base).unwrap();
+        let mut not_applied = base.clone();
+        not_applied.drained = vec![7];
+        check_history(&w, &not_applied).unwrap();
+        let mut corrupt = base.clone();
+        corrupt.drained = vec![42];
+        assert!(check_history(&w, &corrupt).is_err());
+    }
+
+    #[test]
+    fn seeded_workloads_are_reproducible_and_mixed() {
+        let a = StructWorkload::stack_seeded(9, 12);
+        assert_eq!(a.ops, StructWorkload::stack_seeded(9, 12).ops);
+        assert!(a.ops.iter().any(|o| matches!(o, StructOp::Push(_))));
+        assert!(a.ops.iter().any(|o| matches!(o, StructOp::Pop)));
+        let s = StructWorkload::set_seeded(9, 24);
+        assert_eq!(s.ops, StructWorkload::set_seeded(9, 24).ops);
+        assert!(s.ops.iter().any(|o| matches!(o, StructOp::Insert(_))));
+        assert!(s.ops.iter().any(|o| matches!(o, StructOp::Remove(_))));
+        assert!(s.ops.iter().any(|o| matches!(o, StructOp::Contains(_))));
+        // Offsets shift the key/value ranges so property cases stay disjoint.
+        let shifted = StructWorkload::set_seeded_full(9, 24, 3, 1_000_000);
+        assert!(shifted.prefill.iter().all(|&k| k >= 1_000_000));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        let w = StructWorkload::stack_pair();
+        let seq = sweep_plan_with_workers(StructVariant::StackGeneral, &w, &[0], false, Some(1));
+        let par = sweep_plan_with_workers(StructVariant::StackGeneral, &w, &[0], false, Some(4));
+        assert_eq!(seq.crash_points, par.crash_points);
+        assert_eq!(seq.replays, par.replays);
+        assert_eq!(seq.crashes_injected, par.crashes_injected);
+        assert_eq!(seq.recoveries, par.recoveries);
+        assert_eq!(seq.entry_retries, par.entry_retries);
+        assert_eq!(seq.recovery_crashes, par.recovery_crashes);
+        assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.violations, par.violations);
+        assert!(seq.passed());
+    }
+
+    // The full pair sweeps (every variant, single + nested, PPM + system) live
+    // in tests/dfck_struct_sweep.rs, mirroring the queue sweeper's split.
+}

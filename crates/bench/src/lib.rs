@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod dfck;
+pub mod dfck_struct;
 pub mod json;
+pub mod structs_bench;
 
 use std::sync::Barrier;
 use std::time::Instant;

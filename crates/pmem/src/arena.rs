@@ -171,7 +171,14 @@ impl Arena {
     }
 
     fn ensure_capacity(&self, upto_word: u64) {
-        let last_segment = ((upto_word.max(1) - 1) / SEGMENT_WORDS as u64) as usize;
+        if upto_word == 0 {
+            // A zero-allocation arena owns no words: there is no segment to
+            // create, and the rollback/persist walks below must see an empty
+            // range. The historical `.max(1)` here silently materialised (and
+            // walked) segment 0 for a capacity request of nothing.
+            return;
+        }
+        let last_segment = ((upto_word - 1) / SEGMENT_WORDS as u64) as usize;
         assert!(
             last_segment < MAX_SEGMENTS,
             "simulated persistent memory exhausted ({} segments)",
@@ -564,5 +571,39 @@ mod tests {
     fn zero_sized_alloc_panics() {
         let arena = Arena::new(8);
         let _ = arena.alloc(0);
+    }
+
+    #[test]
+    fn zero_allocation_arena_creates_and_walks_no_segments() {
+        // Regression test at the zero-allocation boundary: an arena holding no
+        // words must not materialise segment 0 on `ensure_capacity(0)`, and the
+        // rollback/persist walks must be empty rather than touching words that
+        // were never allocated. (`Arena::new` always reserves the null word, so
+        // the truly empty arena is built field-by-field here.)
+        let mut segments = Vec::with_capacity(MAX_SEGMENTS);
+        segments.resize_with(MAX_SEGMENTS, OnceLock::new);
+        let arena = Arena {
+            segments: segments.into_boxed_slice(),
+            next: AtomicU64::new(0),
+            segments_ready: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
+        };
+        arena.ensure_capacity(0);
+        assert_eq!(
+            arena.segments_ready.load(Ordering::Acquire),
+            0,
+            "ensure_capacity(0) must not raise the watermark"
+        );
+        assert!(arena.segment(0).is_none(), "segment 0 must not be created");
+        // The quiescent walks are bounded by allocated_words() == 0: they must
+        // complete without creating or visiting any segment.
+        arena.rollback_all();
+        arena.persist_all();
+        assert!(arena.segment(0).is_none());
+        assert_eq!(arena.allocated_words(), 0);
+        // And the first real capacity request still works as before.
+        arena.ensure_capacity(1);
+        assert!(arena.segment(0).is_some());
+        assert_eq!(arena.segments_ready.load(Ordering::Acquire), 1);
     }
 }

@@ -47,6 +47,27 @@ pub trait QueueHandle {
         }
         out
     }
+
+    /// [`drain`](QueueHandle::drain), but stop after at most `max` dequeues even
+    /// if the queue still reports elements.
+    ///
+    /// An unbounded drain trusts the queue's next-pointer chain to be acyclic; a
+    /// recovery bug that splices a node behind itself would make [`drain`]
+    /// (and therefore a whole `dfck` sweep) spin forever instead of failing.
+    /// Oracles that know an upper bound on the surviving elements (prefill plus
+    /// every enqueue the replay could have applied) call this with `bound + 1`:
+    /// a result longer than `bound` is machine-checkable proof of a corrupted
+    /// chain and is reported as an oracle violation, never as a hang.
+    fn drain_up_to(&mut self, max: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.dequeue() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -76,5 +97,36 @@ mod tests {
         }
         assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
         assert_eq!(q.drain(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn drain_up_to_stops_at_the_bound_and_at_emptiness() {
+        struct Cyclic(u64);
+        impl QueueHandle for Cyclic {
+            fn enqueue(&mut self, _value: u64) {}
+            fn dequeue(&mut self) -> Option<u64> {
+                // A corrupted chain: dequeues never run dry.
+                self.0 += 1;
+                Some(self.0)
+            }
+        }
+        let mut endless = Cyclic(0);
+        assert_eq!(endless.drain_up_to(4), vec![1, 2, 3, 4]);
+
+        struct Two(Vec<u64>);
+        impl QueueHandle for Two {
+            fn enqueue(&mut self, value: u64) {
+                self.0.push(value);
+            }
+            fn dequeue(&mut self) -> Option<u64> {
+                if self.0.is_empty() {
+                    None
+                } else {
+                    Some(self.0.remove(0))
+                }
+            }
+        }
+        let mut q = Two(vec![7, 8]);
+        assert_eq!(q.drain_up_to(10), vec![7, 8], "stops early when empty");
     }
 }

@@ -1,0 +1,525 @@
+//! The "General" set: the Harris–Michael list transformed by the
+//! Low-Computation-Delay (CAS-Read) simulator of §6.
+//!
+//! The shape differs from every other structure in the workspace: a remove is
+//! a **two-CAS protocol**. Only the first CAS — the logical mark, the
+//! operation's linearization point — needs exactly-once recovery, so only it
+//! heads a CAS-Read capsule with [`recoverable_cas`]. The physical unlink (and
+//! every unlink a traversal performs over marked nodes it walks) is
+//! parallelizable helping: safe to repeat, harmless to lose, so it uses the
+//! *anonymous* CAS exactly as §7 prescribes for generator/wrap-up CASes — it
+//! neither consumes a sequence number nor clobbers the notification owed to a
+//! competing executor CAS on the same word. Anonymous helping CASes inside the
+//! read-only search capsules are sound for the same reason repetitions of
+//! parallelizable methods are: re-executing the capsule after a crash re-runs
+//! only operations whose repetition is invisible.
+//!
+//! The marked-pointer encodings occupy 33 bits, so the recoverable-CAS words
+//! use [`SET_RCAS_LAYOUT`](crate::node::SET_RCAS_LAYOUT) rather than the
+//! default 32-bit-value layout.
+
+use capsules::{recoverable_cas, BoundaryStyle, CapsuleRuntime, CapsuleStep};
+use pmem::{PAddr, PThread};
+use rcas::RcasSpace;
+
+use crate::api::{bool_ret, Drain, StructHandle, StructOp};
+use crate::node::{
+    enc, enc_addr, enc_marked, next_addr, snapshot_up_to, value_addr, NODE_WORDS, SET_RCAS_LAYOUT,
+};
+
+// Persisted local slots (user indices).
+const L_KEY: usize = 0;
+const L_PRED_ADDR: usize = 1; // the word the insert/unlink CAS targets
+const L_PRED_ENC: usize = 2; // its expected encoding (decodes to curr, unmarked)
+const L_CURR_NEXT: usize = 3; // remove: address of curr's next word (mark target)
+const L_CURR_ENC: usize = 4; // remove: curr's next encoding (unmarked) / contains: result
+const L_NODE: usize = 5; // insert: the new node
+/// Number of user locals a handle's capsule runtime uses.
+pub const SET_GENERAL_LOCALS: usize = 6;
+
+// Insert program counters.
+const I_FIND: u32 = 0;
+const I_CAS: u32 = 1;
+const I_DONE_TRUE: u32 = 2;
+const I_DONE_FALSE: u32 = 3;
+// Remove program counters.
+const R_FIND: u32 = 10;
+const R_MARK: u32 = 11;
+const R_UNLINK: u32 = 12;
+const R_DONE_TRUE: u32 = 13;
+const R_DONE_FALSE: u32 = 14;
+// Contains program counters.
+const C_FIND: u32 = 20;
+const C_DONE: u32 = 21;
+
+/// Outcome of the capsule-level Harris–Michael search (all fields are
+/// boundary-persistable words).
+struct Window {
+    pred_addr: PAddr,
+    pred_enc: u64,
+    curr: PAddr,
+    curr_enc: u64,
+    found: bool,
+}
+
+/// The shared, persistent part of the transformed set.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralSet {
+    head: PAddr,
+    space: RcasSpace,
+    manual: bool,
+    style: BoundaryStyle,
+}
+
+impl GeneralSet {
+    /// Create an empty set for `nprocs` processes. `manual` selects the
+    /// hand-placed flush discipline (node persisted before publication, CAS
+    /// targets persisted after, durable announcements in the rcas layer).
+    pub fn new(thread: &PThread<'_>, nprocs: usize, manual: bool, style: BoundaryStyle) -> GeneralSet {
+        let space = RcasSpace::new(thread, nprocs, SET_RCAS_LAYOUT).with_durability(manual);
+        let head = thread.alloc(1);
+        space.init_word(thread, head, 0);
+        if manual {
+            thread.persist(head);
+        }
+        GeneralSet {
+            head,
+            space,
+            manual,
+            style,
+        }
+    }
+
+    /// The recoverable-CAS space used by this set.
+    pub fn space(&self) -> &RcasSpace {
+        &self.space
+    }
+
+    /// Create the calling thread's handle (allocating its capsule frame).
+    pub fn handle<'q, 't, 'm>(&'q self, thread: &'t PThread<'m>) -> GeneralSetHandle<'q, 't, 'm> {
+        let rt = CapsuleRuntime::new(thread, self.style, SET_GENERAL_LOCALS);
+        GeneralSetHandle { set: self, rt }
+    }
+
+    /// Re-attach a handle after a restart (resumes from the restart pointer).
+    pub fn attach_handle<'q, 't, 'm>(
+        &'q self,
+        thread: &'t PThread<'m>,
+    ) -> GeneralSetHandle<'q, 't, 'm> {
+        let rt = CapsuleRuntime::attach_from_restart_pointer(thread, self.style, SET_GENERAL_LOCALS);
+        GeneralSetHandle { set: self, rt }
+    }
+
+    /// Harris–Michael search with anonymous helping unlinks (see module docs).
+    fn find(&self, t: &PThread<'_>, k: u64) -> Window {
+        'retry: loop {
+            let mut pred_addr = self.head;
+            let mut pred_enc = self.space.read(t, pred_addr);
+            loop {
+                let curr = enc_addr(pred_enc);
+                if curr.is_null() {
+                    return Window {
+                        pred_addr,
+                        pred_enc,
+                        curr,
+                        curr_enc: 0,
+                        found: false,
+                    };
+                }
+                let curr_enc = self.space.read(t, next_addr(curr));
+                if enc_marked(curr_enc) {
+                    let unmarked = enc(enc_addr(curr_enc), false);
+                    if !self.space.cas_anonymous(t, pred_addr, pred_enc, unmarked) {
+                        continue 'retry;
+                    }
+                    if self.manual {
+                        t.flush(pred_addr);
+                    }
+                    pred_enc = unmarked;
+                    continue;
+                }
+                let ck = t.read(value_addr(curr));
+                if ck >= k {
+                    return Window {
+                        pred_addr,
+                        pred_enc,
+                        curr,
+                        curr_enc,
+                        found: ck == k,
+                    };
+                }
+                pred_addr = next_addr(curr);
+                pred_enc = curr_enc;
+            }
+        }
+    }
+
+    /// Count the unmarked keys (diagnostic; not linearizable).
+    pub fn len(&self, thread: &PThread<'_>) -> usize {
+        let mut count = 0;
+        let mut node = enc_addr(self.space.read(thread, self.head));
+        while !node.is_null() {
+            let next = self.space.read(thread, next_addr(node));
+            if !enc_marked(next) {
+                count += 1;
+            }
+            node = enc_addr(next);
+        }
+        count
+    }
+
+    /// Flush + fence a line, per the manual-durability discipline.
+    fn persist_line(&self, thread: &PThread<'_>, addr: PAddr) {
+        if !self.manual {
+            return;
+        }
+        thread.flush(addr);
+        if self.style != BoundaryStyle::Compact {
+            thread.fence();
+        }
+    }
+}
+
+/// Per-thread handle: the thread's capsule runtime plus a reference to the set.
+pub struct GeneralSetHandle<'q, 't, 'm> {
+    set: &'q GeneralSet,
+    rt: CapsuleRuntime<'t, 'm>,
+}
+
+impl<'q, 't, 'm> GeneralSetHandle<'q, 't, 'm> {
+    /// Access the underlying capsule runtime (metrics, crash flavour…).
+    pub fn runtime_mut(&mut self) -> &mut CapsuleRuntime<'t, 'm> {
+        &mut self.rt
+    }
+
+    /// See [`CapsuleRuntime::set_entry_boundary`].
+    pub fn set_entry_boundary(&mut self, enabled: bool) {
+        self.rt.set_entry_boundary(enabled);
+    }
+
+    /// Insert `k` (detectably); returns whether it was absent.
+    pub fn insert(&mut self, k: u64) -> bool {
+        let set = self.set;
+        let space = set.space;
+        self.rt.set_local(L_KEY, k);
+        self.rt.run_op(I_FIND, |rt| {
+            match rt.pc() {
+                // Search capsule (reads + anonymous helping): locate the window,
+                // allocate and initialise the node.
+                I_FIND => {
+                    let k = rt.local(L_KEY);
+                    let t = rt.thread();
+                    let w = set.find(t, k);
+                    if w.found {
+                        rt.finish_boundary(I_DONE_FALSE);
+                        return CapsuleStep::Done(false);
+                    }
+                    let node = t.alloc(NODE_WORDS);
+                    t.write(value_addr(node), k);
+                    space.init_word(t, next_addr(node), w.pred_enc);
+                    set.persist_line(t, node);
+                    rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
+                    rt.set_local(L_PRED_ENC, w.pred_enc);
+                    rt.set_local_addr(L_NODE, node);
+                    rt.boundary(I_CAS);
+                    CapsuleStep::Continue
+                }
+                // CAS-Read capsule: link the node into the window.
+                I_CAS => {
+                    let pred_addr = rt.local_addr(L_PRED_ADDR);
+                    let expected = rt.local(L_PRED_ENC);
+                    let node = rt.local_addr(L_NODE);
+                    let ok = recoverable_cas(rt, &space, pred_addr, expected, enc(node, false));
+                    if ok {
+                        set.persist_line(rt.thread(), pred_addr);
+                        rt.finish_boundary(I_DONE_TRUE);
+                        CapsuleStep::Done(true)
+                    } else {
+                        rt.boundary(I_FIND);
+                        CapsuleStep::Continue
+                    }
+                }
+                I_DONE_TRUE => CapsuleStep::Done(true),
+                I_DONE_FALSE => CapsuleStep::Done(false),
+                pc => unreachable!("general set insert: unexpected pc {pc}"),
+            }
+        })
+    }
+
+    /// Remove `k` (detectably); returns whether it was present.
+    pub fn remove(&mut self, k: u64) -> bool {
+        let set = self.set;
+        let space = set.space;
+        self.rt.set_local(L_KEY, k);
+        self.rt.run_op(R_FIND, |rt| {
+            match rt.pc() {
+                // Search capsule: locate the victim's window.
+                R_FIND => {
+                    let k = rt.local(L_KEY);
+                    let w = set.find(rt.thread(), k);
+                    if !w.found {
+                        rt.finish_boundary(R_DONE_FALSE);
+                        return CapsuleStep::Done(false);
+                    }
+                    rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
+                    rt.set_local(L_PRED_ENC, w.pred_enc);
+                    rt.set_local_addr(L_CURR_NEXT, next_addr(w.curr));
+                    rt.set_local(L_CURR_ENC, w.curr_enc);
+                    rt.boundary(R_MARK);
+                    CapsuleStep::Continue
+                }
+                // CAS-Read capsule: the logical mark — the linearization point,
+                // and the only CAS of the protocol that needs exactly-once
+                // recovery.
+                R_MARK => {
+                    let curr_next = rt.local_addr(L_CURR_NEXT);
+                    let curr_enc = rt.local(L_CURR_ENC);
+                    let ok = recoverable_cas(rt, &space, curr_next, curr_enc, curr_enc | 1);
+                    if ok {
+                        set.persist_line(rt.thread(), curr_next);
+                        rt.boundary(R_UNLINK);
+                    } else {
+                        rt.boundary(R_FIND);
+                    }
+                    CapsuleStep::Continue
+                }
+                // Helping capsule: best-effort physical unlink (anonymous CAS —
+                // repetition-safe, loss-tolerant; traversals finish the job).
+                R_UNLINK => {
+                    let t = rt.thread();
+                    let pred_addr = rt.local_addr(L_PRED_ADDR);
+                    let pred_enc = rt.local(L_PRED_ENC);
+                    let curr_enc = rt.local(L_CURR_ENC);
+                    if space.cas_anonymous(t, pred_addr, pred_enc, curr_enc) && set.manual {
+                        t.flush(pred_addr);
+                    }
+                    rt.finish_boundary(R_DONE_TRUE);
+                    CapsuleStep::Done(true)
+                }
+                R_DONE_TRUE => CapsuleStep::Done(true),
+                R_DONE_FALSE => CapsuleStep::Done(false),
+                pc => unreachable!("general set remove: unexpected pc {pc}"),
+            }
+        })
+    }
+
+    /// Membership test (read-only, single capsule).
+    pub fn contains(&mut self, k: u64) -> bool {
+        let set = self.set;
+        let space = set.space;
+        self.rt.set_local(L_KEY, k);
+        self.rt.run_op(C_FIND, |rt| match rt.pc() {
+            C_FIND => {
+                let k = rt.local(L_KEY);
+                let t = rt.thread();
+                let mut found = false;
+                let mut node = enc_addr(space.read(t, set.head));
+                while !node.is_null() {
+                    let next = space.read(t, next_addr(node));
+                    let ck = t.read(value_addr(node));
+                    if !enc_marked(next) {
+                        if ck == k {
+                            found = true;
+                            break;
+                        }
+                        if ck > k {
+                            break;
+                        }
+                    }
+                    node = enc_addr(next);
+                }
+                rt.set_local(L_CURR_ENC, found as u64);
+                rt.finish_boundary(C_DONE);
+                CapsuleStep::Done(found)
+            }
+            C_DONE => CapsuleStep::Done(rt.local(L_CURR_ENC) != 0),
+            pc => unreachable!("general set contains: unexpected pc {pc}"),
+        })
+    }
+}
+
+impl StructHandle for GeneralSetHandle<'_, '_, '_> {
+    fn apply(&mut self, op: StructOp) -> Option<u64> {
+        match op {
+            StructOp::Insert(k) => bool_ret(self.insert(k)),
+            StructOp::Remove(k) => bool_ret(self.remove(k)),
+            StructOp::Contains(k) => bool_ret(self.contains(k)),
+            other => panic!("set handle cannot apply stack operation {other:?}"),
+        }
+    }
+
+    fn drain_up_to(&mut self, max: usize) -> Drain {
+        let set = self.set;
+        let space = set.space;
+        let t = self.rt.thread();
+        snapshot_up_to(
+            max,
+            space.read(t, set.head),
+            |a| space.read(t, a),
+            |a| t.read(a),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{install_quiet_crash_hook, CrashPlan, CrashPolicy, MemConfig, Mode, PMem};
+
+    #[test]
+    fn insert_remove_contains_single_thread_both_styles() {
+        for style in [BoundaryStyle::General, BoundaryStyle::Compact] {
+            let mem = PMem::with_threads(1);
+            let t = mem.thread(0);
+            let s = GeneralSet::new(&t, 1, true, style);
+            let mut h = s.handle(&t);
+            assert!(h.insert(5));
+            assert!(h.insert(3));
+            assert!(!h.insert(5));
+            assert!(h.contains(3));
+            assert!(!h.contains(4));
+            assert!(h.remove(3));
+            assert!(!h.remove(3));
+            assert_eq!(h.drain_up_to(16).items, vec![5], "style {style:?}");
+            assert_eq!(s.len(&t), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_contention_is_exact() {
+        const THREADS: usize = 3;
+        const ROUNDS: u64 = 250;
+        let mem = PMem::with_threads(THREADS);
+        let s = GeneralSet::new(&mem.thread(0), THREADS, true, BoundaryStyle::General);
+        let counts: Vec<(u64, u64)> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|pid| {
+                    let mem = &mem;
+                    let s = &s;
+                    sc.spawn(move || {
+                        let t = mem.thread(pid);
+                        let mut h = s.handle(&t);
+                        let (mut ins, mut rem) = (0, 0);
+                        for r in 0..ROUNDS {
+                            let k = r % 5;
+                            if h.insert(k) {
+                                ins += 1;
+                            }
+                            if h.remove(k) {
+                                rem += 1;
+                            }
+                        }
+                        (ins, rem)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total_ins: u64 = counts.iter().map(|c| c.0).sum();
+        let total_rem: u64 = counts.iter().map(|c| c.1).sum();
+        let t = mem.thread(0);
+        let mut h = s.handle(&t);
+        let left = h.drain_up_to(64).items;
+        assert_eq!(total_ins, total_rem + left.len() as u64);
+    }
+
+    #[test]
+    fn operations_survive_random_crashes() {
+        install_quiet_crash_hook();
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let s = GeneralSet::new(&t, 1, true, BoundaryStyle::General);
+        let mut h = s.handle(&t);
+        t.set_crash_policy(CrashPolicy::Random { prob: 0.02, seed: 41 });
+        let mut model = std::collections::BTreeSet::new();
+        for r in 0..400u64 {
+            let k = (r * 7) % 13;
+            if r % 3 == 2 {
+                assert_eq!(h.remove(k), model.remove(&k), "round {r} remove({k})");
+            } else {
+                assert_eq!(h.insert(k), model.insert(k), "round {r} insert({k})");
+            }
+        }
+        t.disarm_crashes();
+        assert!(t.stats().crashes > 0);
+        let left = h.drain_up_to(64).items;
+        assert_eq!(left, model.iter().copied().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn manual_durability_survives_full_system_crash() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let s = GeneralSet::new(&t, 1, true, BoundaryStyle::General);
+        {
+            let mut h = s.handle(&t);
+            for k in [9, 2, 6] {
+                assert!(h.insert(k));
+            }
+            assert!(h.remove(6));
+        }
+        mem.crash_all();
+        let t = mem.thread(0);
+        let mut h = s.attach_handle(&t);
+        assert_eq!(h.drain_up_to(16).items, vec![2, 9]);
+    }
+
+    /// dfck-style exhaustive enumeration at the crate level: every crash point
+    /// of an insert/remove/contains window (exercising both the one-CAS insert
+    /// and the two-CAS remove protocols), single + nested schedules, both
+    /// crash flavours.
+    #[test]
+    fn exhaustive_crash_point_sweep_is_exact() {
+        install_quiet_crash_hook();
+        type History = (Vec<Option<u64>>, Vec<u64>);
+        let run = |plan: Option<CrashPlan>, system: bool| -> (History, u64, u64) {
+            let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+            let t = mem.thread(0);
+            let s = GeneralSet::new(&t, 1, true, BoundaryStyle::General);
+            let mut h = s.handle(&t);
+            h.runtime_mut().set_system_crashes(system);
+            assert!(h.insert(10));
+            assert!(h.insert(20));
+            mem.persist_everything();
+            let _ = t.take_stats();
+            if let Some(p) = plan {
+                t.set_crash_schedule(p);
+            }
+            let rets = vec![
+                h.apply(StructOp::Insert(15)),
+                h.apply(StructOp::Insert(15)),
+                h.apply(StructOp::Remove(10)),
+                h.apply(StructOp::Contains(15)),
+                h.apply(StructOp::Remove(99)),
+            ];
+            let points = t.stats().crash_points;
+            t.disarm_crashes();
+            let drained = h.drain_up_to(8);
+            assert!(!drained.truncated);
+            ((rets, drained.items), points, h.runtime_mut().metrics().recovery_crashes)
+        };
+        for system in [false, true] {
+            let (base, n, _) = run(None, system);
+            assert_eq!(
+                base,
+                (
+                    vec![Some(1), Some(0), Some(1), Some(1), Some(0)],
+                    vec![15, 20]
+                )
+            );
+            assert!(n > 0);
+            let mut nested_recovery_crashes = 0;
+            for k in 0..n {
+                let (hist, _, _) = run(Some(CrashPlan::once(k)), system);
+                assert_eq!(hist, base, "system={system} crash at point {k}");
+                let (hist, _, rc) = run(Some(CrashPlan::nested(k, &[0])), system);
+                assert_eq!(hist, base, "system={system} nested crash at point {k}");
+                nested_recovery_crashes += rc;
+            }
+            assert!(
+                nested_recovery_crashes > 0,
+                "the nested sweep must interrupt at least one recovery (system={system})"
+            );
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! but not raise it past the cap (CI time budget).
 
 use bench::dfck::{sweep, sweep_system, SweepVariant, Workload};
+use bench::dfck_struct::{self, StructVariant, StructWorkload};
 use proptest::prelude::*;
 
 /// Upper bound on sampled property cases (each one is a whole sweep).
@@ -51,6 +52,49 @@ fn sampled_workloads_pass_the_sweep_on_rotating_detectable_variants() {
             report.passed(),
             "failing workload: Workload::seeded_full({seed}, {ops}, {prefill}, {base}) \
              on {} (case {case}, system={}): {:?}",
+            variant.label(),
+            case % 2 == 1,
+            report.violations
+        );
+        prop_assert!(report.crash_points > 0);
+    }
+}
+
+#[test]
+fn sampled_workloads_pass_the_struct_sweep_on_rotating_variants() {
+    // The structure family under the same discipline: every sampled tuple
+    // builds a stack- and a set-shaped workload via the `seeded_full`
+    // generators, swept on a rotating variant, alternating PPM and
+    // full-system crash semantics. Failure messages carry the tuple so the
+    // case reproduces with `StructWorkload::{stack,set}_seeded_full(...)`.
+    let variants = [
+        StructVariant::StackGeneral,
+        StructVariant::StackNormalized,
+        StructVariant::SetGeneral,
+        StructVariant::SetNormalized,
+        StructVariant::StackIzraelevitz,
+        StructVariant::SetIzraelevitz,
+    ];
+    for (case, &(seed, ops, prefill, base)) in sample_cases(cases().min(MAX_CASES))
+        .iter()
+        .enumerate()
+    {
+        let variant = variants[case % variants.len()];
+        let workload = if variant.is_stack() {
+            StructWorkload::stack_seeded_full(seed, ops, prefill, base)
+        } else {
+            StructWorkload::set_seeded_full(seed, ops, prefill, base)
+        };
+        let report = if case % 2 == 0 {
+            dfck_struct::sweep(variant, &workload, None)
+        } else {
+            dfck_struct::sweep_system(variant, &workload, None)
+        };
+        prop_assert!(
+            report.passed(),
+            "failing workload: {}_seeded_full({seed}, {ops}, {prefill}, {base}) \
+             on {} (case {case}, system={}): {:?}",
+            if variant.is_stack() { "stack" } else { "set" },
             variant.label(),
             case % 2 == 1,
             report.violations

@@ -17,10 +17,19 @@
 //! auditor flag. The per-crash-point replays fan out across worker threads
 //! (`DF_DFCK_THREADS`), keeping the full matrix inside the CI budget.
 //!
+//! On top of the single-threaded matrix, the binary sweeps the **interleaved**
+//! dimension: the same variants driven by 2+ deterministic cooperative threads
+//! under the [`pmem::ThreadScheduler`], enumerating (interleaving seed ×
+//! victim crash point) with the oracle generalized to linearization checking
+//! over the scheduler's global instruction clock. All six queue variants plus
+//! the General stack run concurrently by default (`DF_DFCK_CONC_VARIANTS`
+//! narrows the set for bounded CI jobs).
+//!
 //! ```text
 //! cargo run -p bench --release --bin dfck
 //! DF_DFCK_OPS=12 DF_DFCK_SEED=7 cargo run -p bench --release --bin dfck
 //! DF_JSON=1 cargo run -p bench --release --bin dfck   # also write BENCH_dfck.json
+//! DF_DFCK_CONC_ONLY=1 DF_DFCK_CONC_SEEDS=2 cargo run -p bench --release --bin dfck
 //! ```
 //!
 //! | variable | meaning | default |
@@ -29,11 +38,20 @@
 //! | `DF_DFCK_SEED` | seed of the multi-op workload | 42 |
 //! | `DF_DFCK_GAP`  | crash-point gap of the nested (crash-during-recovery) sweep | 0 |
 //! | `DF_DFCK_THREADS` | sweep worker threads | `available_parallelism`, ≤ 8 |
+//! | `DF_DFCK_CONC_SEEDS` | interleaving seeds per concurrent sweep (0 = skip) | 8 |
+//! | `DF_DFCK_CONC_THREADS` | scheduled worker pids per concurrent replay | 2 |
+//! | `DF_DFCK_CONC_ONLY` | non-zero: run only the interleaved matrix | 0 |
+//! | `DF_DFCK_CONC_VARIANTS` | comma list of variant labels to sweep concurrently | all |
 
 use std::time::Instant;
 
-use bench::dfck::{sweep, sweep_system, SweepReport, SweepVariant, Workload};
-use bench::dfck_struct::{self, StructSweepReport, StructVariant, StructWorkload};
+use bench::dfck::{
+    sweep, sweep_system, ConcSweepReport, ConcWorkload, SweepReport, SweepVariant, Workload,
+};
+use bench::dfck_struct::{
+    self, ConcStructSweepReport, ConcStructWorkload, StructSweepReport, StructVariant,
+    StructWorkload,
+};
 use bench::env_u64;
 use bench::json::{emit, JsonRow};
 
@@ -120,54 +138,159 @@ fn row(report: &ReportView<'_>) -> JsonRow {
         .with("oracle_failures", report.violations.len() as f64)
 }
 
+/// The interleaved-sweep analogue of [`ReportView`]: one view over the queue
+/// and structure [`bench::sweep::ConcReport`]s.
+struct ConcView<'a> {
+    variant_label: &'static str,
+    workload: &'static str,
+    threads: usize,
+    seeds: usize,
+    nested: &'a [u64],
+    system: bool,
+    distinct_interleavings: u64,
+    crash_points: u64,
+    replays: u64,
+    crashes_injected: u64,
+    recoveries: u64,
+    entry_retries: u64,
+    recovery_crashes: u64,
+    audit_flags: u64,
+    violations: &'a [String],
+}
+
+impl<'a> From<&'a ConcSweepReport> for ConcView<'a> {
+    fn from(r: &'a ConcSweepReport) -> Self {
+        ConcView {
+            variant_label: r.variant.label(),
+            workload: r.workload,
+            threads: r.threads,
+            seeds: r.seeds.len(),
+            nested: &r.nested,
+            system: r.system,
+            distinct_interleavings: r.distinct_interleavings,
+            crash_points: r.crash_points,
+            replays: r.replays,
+            crashes_injected: r.crashes_injected,
+            recoveries: r.recoveries,
+            entry_retries: r.entry_retries,
+            recovery_crashes: r.recovery_crashes,
+            audit_flags: r.audit_flags,
+            violations: &r.violations,
+        }
+    }
+}
+
+impl<'a> From<&'a ConcStructSweepReport> for ConcView<'a> {
+    fn from(r: &'a ConcStructSweepReport) -> Self {
+        ConcView {
+            variant_label: r.variant.label(),
+            workload: r.workload,
+            threads: r.threads,
+            seeds: r.seeds.len(),
+            nested: &r.nested,
+            system: r.system,
+            distinct_interleavings: r.distinct_interleavings,
+            crash_points: r.crash_points,
+            replays: r.replays,
+            crashes_injected: r.crashes_injected,
+            recoveries: r.recoveries,
+            entry_retries: r.entry_retries,
+            recovery_crashes: r.recovery_crashes,
+            audit_flags: r.audit_flags,
+            violations: &r.violations,
+        }
+    }
+}
+
+/// Interleaved-sweep label: `variant/workload/tN[/nestedG][/system]`.
+fn conc_label(report: &ConcView<'_>) -> String {
+    let mut label = format!(
+        "{}/{}/t{}",
+        report.variant_label, report.workload, report.threads
+    );
+    if !report.nested.is_empty() {
+        let gaps: Vec<String> = report.nested.iter().map(|g| g.to_string()).collect();
+        label.push_str(&format!("/nested{}", gaps.join("-")));
+    }
+    if report.system {
+        label.push_str("/system");
+    }
+    label
+}
+
+fn conc_row(report: &ConcView<'_>) -> JsonRow {
+    JsonRow::new(conc_label(report), report.threads, 0.0)
+        .with("seeds", report.seeds as f64)
+        .with("distinct_interleavings", report.distinct_interleavings as f64)
+        .with("crash_points", report.crash_points as f64)
+        .with("replays", report.replays as f64)
+        .with("crashes_injected", report.crashes_injected as f64)
+        .with("recoveries", report.recoveries as f64)
+        .with("entry_retries", report.entry_retries as f64)
+        .with("recovery_crashes", report.recovery_crashes as f64)
+        .with("audit_flags", report.audit_flags as f64)
+        .with("oracle_failures", report.violations.len() as f64)
+}
+
 fn main() {
     let ops = env_u64("DF_DFCK_OPS", 8) as usize;
     let seed = env_u64("DF_DFCK_SEED", 42);
     let gap = env_u64("DF_DFCK_GAP", 0);
+    let conc_seeds = env_u64("DF_DFCK_CONC_SEEDS", 8);
+    let conc_threads = (env_u64("DF_DFCK_CONC_THREADS", 2) as usize).max(2);
+    let conc_only = env_u64("DF_DFCK_CONC_ONLY", 0) != 0;
+    let conc_filter: Option<Vec<String>> = std::env::var("DF_DFCK_CONC_VARIANTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect()
+        });
+    let conc_wants =
+        |label: &str| conc_filter.as_ref().map_or(true, |f| f.iter().any(|v| v == label));
     let workloads = [Workload::pair(), Workload::seeded(seed, ops)];
 
     println!("# dfck — exhaustive crash-point sweep (multi-op seed {seed}, {ops} ops, nested gap {gap})");
-    println!(
-        "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
-        "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "audit", "violations"
-    );
 
     let wall = Instant::now();
     let mut rows = Vec::new();
     let mut failures = 0usize;
     let mut reports = Vec::new();
-    for variant in SweepVariant::all() {
-        for workload in &workloads {
-            for nested in [None, Some(gap)] {
-                // Per-process (PPM) sweeps, then the full-system sweeps that
-                // additionally roll unflushed lines back — every variant's
-                // flush discipline is now complete (DESIGN.md §7), so the whole
-                // matrix runs under both crash flavours.
-                reports.push(sweep(variant, workload, nested));
-                reports.push(sweep_system(variant, workload, nested));
+    let mut struct_reports = Vec::new();
+    if !conc_only {
+        for variant in SweepVariant::all() {
+            for workload in &workloads {
+                for nested in [None, Some(gap)] {
+                    // Per-process (PPM) sweeps, then the full-system sweeps that
+                    // additionally roll unflushed lines back — every variant's
+                    // flush discipline is now complete (DESIGN.md §7), so the whole
+                    // matrix runs under both crash flavours.
+                    reports.push(sweep(variant, workload, nested));
+                    reports.push(sweep_system(variant, workload, nested));
+                }
             }
         }
-    }
-    // The structure family (Treiber stack + linked-list set) under the same
-    // matrix: pair + seeded multi workloads, single + nested schedules, PPM +
-    // full-system crashes, flush auditor armed.
-    let mut struct_reports = Vec::new();
-    for variant in StructVariant::all() {
-        let struct_workloads = if variant.is_stack() {
-            [
-                StructWorkload::stack_pair(),
-                StructWorkload::stack_seeded(seed, ops),
-            ]
-        } else {
-            [
-                StructWorkload::set_pair(),
-                StructWorkload::set_seeded(seed, ops),
-            ]
-        };
-        for workload in &struct_workloads {
-            for nested in [None, Some(gap)] {
-                struct_reports.push(dfck_struct::sweep(variant, workload, nested));
-                struct_reports.push(dfck_struct::sweep_system(variant, workload, nested));
+        // The structure family (Treiber stack + linked-list set) under the same
+        // matrix: pair + seeded multi workloads, single + nested schedules, PPM +
+        // full-system crashes, flush auditor armed.
+        for variant in StructVariant::all() {
+            let struct_workloads = if variant.is_stack() {
+                [
+                    StructWorkload::stack_pair(),
+                    StructWorkload::stack_seeded(seed, ops),
+                ]
+            } else {
+                [
+                    StructWorkload::set_pair(),
+                    StructWorkload::set_seeded(seed, ops),
+                ]
+            };
+            for workload in &struct_workloads {
+                for nested in [None, Some(gap)] {
+                    struct_reports.push(dfck_struct::sweep(variant, workload, nested));
+                    struct_reports.push(dfck_struct::sweep_system(variant, workload, nested));
+                }
             }
         }
     }
@@ -176,6 +299,12 @@ fn main() {
         .map(ReportView::from)
         .chain(struct_reports.iter().map(ReportView::from))
         .collect();
+    if !views.is_empty() {
+        println!(
+            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
+            "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "audit", "violations"
+        );
+    }
     for report in &views {
         let label = label(report);
         println!(
@@ -196,12 +325,95 @@ fn main() {
         rows.push(row(report));
     }
 
+    // The interleaved matrix: (interleaving seed × victim crash point) over the
+    // scheduled concurrent pair workloads — every queue variant plus the
+    // General stack as the structure family's representative, under single +
+    // nested schedules and both crash flavours.
+    let seeds: Vec<u64> = (1..=conc_seeds).collect();
+    let mut conc_reports: Vec<ConcSweepReport> = Vec::new();
+    let mut conc_struct_reports: Vec<ConcStructSweepReport> = Vec::new();
+    if !seeds.is_empty() {
+        let w = ConcWorkload::pair(conc_threads);
+        for variant in SweepVariant::all() {
+            if !conc_wants(variant.label()) {
+                continue;
+            }
+            for nested in [&[] as &[u64], &[gap]] {
+                conc_reports.push(bench::dfck::sweep_interleaved(
+                    variant, &w, &seeds, nested, false,
+                ));
+                conc_reports.push(bench::dfck::sweep_interleaved(
+                    variant, &w, &seeds, nested, true,
+                ));
+            }
+        }
+        let sw = ConcStructWorkload::stack_pair(conc_threads);
+        for variant in [StructVariant::StackGeneral] {
+            if !conc_wants(variant.label()) {
+                continue;
+            }
+            for nested in [&[] as &[u64], &[gap]] {
+                conc_struct_reports.push(dfck_struct::sweep_interleaved(
+                    variant, &sw, &seeds, nested, false,
+                ));
+                conc_struct_reports.push(dfck_struct::sweep_interleaved(
+                    variant, &sw, &seeds, nested, true,
+                ));
+            }
+        }
+    }
+    let conc_views: Vec<ConcView<'_>> = conc_reports
+        .iter()
+        .map(ConcView::from)
+        .chain(conc_struct_reports.iter().map(ConcView::from))
+        .collect();
+    if !conc_views.is_empty() {
+        println!(
+            "# interleaved sweeps — {} seeds × {} scheduled threads",
+            conc_seeds, conc_threads
+        );
+        println!(
+            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>10}",
+            "sweep",
+            "seeds",
+            "interleavings",
+            "crash pts",
+            "replays",
+            "crashes",
+            "recoveries",
+            "audit",
+            "violations"
+        );
+    }
+    for report in &conc_views {
+        let label = conc_label(report);
+        println!(
+            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>10}",
+            label,
+            report.seeds,
+            report.distinct_interleavings,
+            report.crash_points,
+            report.replays,
+            report.crashes_injected,
+            report.recoveries + report.entry_retries,
+            report.audit_flags,
+            report.violations.len()
+        );
+        for v in report.violations {
+            eprintln!("VIOLATION [{label}]: {v}");
+        }
+        failures += report.violations.len();
+        rows.push(conc_row(report));
+    }
+
     emit(
         "dfck",
         &[
             ("multi_ops", ops as u64),
             ("seed", seed),
             ("nested_gap", gap),
+            ("conc_seeds", conc_seeds),
+            ("conc_threads", conc_threads as u64),
         ],
         wall.elapsed().as_secs_f64(),
         &rows,
@@ -212,6 +424,6 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "# all sweeps passed the exactly-once / durable-linearizability oracle (flush auditor armed, 0 flags)"
+        "# all sweeps passed the exactly-once / durable-linearizability / linearization oracles (0 violations, 0 audit flags)"
     );
 }

@@ -25,16 +25,39 @@
 //! This is the verification discipline of kaist-cp/memento's per-crash-point
 //! detectability checks, applied to every queue variant in the workspace through
 //! one engine.
+//!
+//! The sweep engine itself (baseline, fan-out, report assembly, the oracle
+//! machinery) lives in [`crate::sweep`], shared with [`crate::dfck_struct`];
+//! this module contributes the queue drivers and workloads.
+//!
+//! ## Interleaved sweeps: (schedule × crash point)
+//!
+//! [`sweep_interleaved`] extends the enumeration with a second axis: a
+//! deterministic cooperative interleaving of 2–3 worker processes driving
+//! *one shared queue* under [`pmem::ThreadScheduler`]. Each scheduler seed
+//! picks a distinct instruction-level interleaving (reproducible bit-for-bit
+//! from the seed), a victim pid sweeps every crash point of its scheduled
+//! window, and the oracle generalizes from "identical to the crash-free
+//! history" to "consistent with *some* valid linearization of the concurrent
+//! history" ([`sweep::check_linearizable`]), with timestamps taken from the
+//! scheduler's global instruction clock.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use capsules::{BoundaryStyle, CapsuleMetrics};
-use pmem::{catch_crash, CrashPlan, MemConfig, Mode, PMem, ThreadOptions};
+use pmem::{
+    catch_crash, CrashPlan, MemConfig, Mode, PMem, PThread, SchedConfig, ThreadOptions,
+    ThreadScheduler,
+};
 use queues::{
     Durability, GeneralQueue, LogQueue, MsQueue, NormalizedQueue, QueueHandle, RecoveredOp,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::sweep::{self, OpOutcome, ReplayRecord, TimedOp, TurnGate};
 
 /// The queue variants the sweeper covers, one per recovery discipline (plus the
 /// hand-optimised capsule configurations, whose compact single-copy frames have
@@ -151,101 +174,89 @@ impl Workload {
     }
 }
 
-/// What the replay driver observed for one operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum OpOutcome {
-    /// The operation ran to completion; a dequeue's return value is carried.
-    Completed(Option<u64>),
-    /// A crash interrupted the operation and the variant cannot tell whether it
-    /// took effect (only possible for non-detectable variants).
-    Interrupted,
-}
-
-/// Everything one replay produced, for the oracle and the report.
+/// A concurrent workload: per-pid operation sequences over one shared queue.
 #[derive(Clone, Debug)]
-struct Replay {
-    outcomes: Vec<OpOutcome>,
-    drained: Vec<u64>,
-    /// The final drain returned more elements than the replay could possibly
-    /// have left in the queue (prefill + every enqueue in the window): the
-    /// next-pointer chain is corrupted — almost certainly cyclic. Reported as
-    /// an oracle violation; the bounded drain is what keeps the sweep from
-    /// hanging instead.
-    drain_overflow: bool,
-    /// Crash points passed inside the swept window (meaningful for the crash-free
-    /// baseline replay, where it defines the sweep range).
-    crash_points: u64,
-    /// Simulated crashes the thread experienced.
-    crashes: u64,
-    /// Frame recoveries (capsule variants) or recovery calls (LogQueue).
-    recoveries: u64,
-    /// Crashes absorbed by retrying the operation-entry boundary (capsule
-    /// variants only; no frame recovery is needed on that path).
-    entry_retries: u64,
-    /// Crashes that landed inside recovery itself (the nested path).
-    recovery_crashes: u64,
-    /// Flush-order violations the armed [`pmem::FlushAuditor`] flagged during
-    /// this replay (cross-thread reads of published-unflushed lines, or such
-    /// lines destroyed by a full-system rollback).
-    audit_flags: u64,
-    /// The auditor's human-readable reports for those flags.
-    audit_reports: Vec<String>,
+pub struct ConcWorkload {
+    /// Name used in reports ("conc-pair", "conc-multi").
+    pub name: &'static str,
+    /// Values present in the queue before the scheduled window starts.
+    pub prefill: Vec<u64>,
+    /// Per-pid operation sequences; `per_pid.len()` is the process count.
+    pub per_pid: Vec<Vec<Op>>,
 }
 
-/// Aggregate result of sweeping one (variant, workload) combination.
-#[derive(Clone, Debug)]
-pub struct SweepReport {
-    /// The swept variant.
-    pub variant: SweepVariant,
-    /// Workload name ("pair" / "multi").
-    pub workload: &'static str,
-    /// Crash schedule family: the gaps injected *after* the swept crash point.
-    /// Empty for the single-crash sweep; `[m]` for the nested sweep that crashes
-    /// again `m` crash points into the recovery the first crash triggered;
-    /// `[m, n]` for the depth-2 schedules that crash a third time `n` points
-    /// into the recovery-of-recovery; and so on.
-    pub nested: Vec<u64>,
-    /// Whether crashes were full-system power failures (unflushed lines rolled
-    /// back) rather than per-process faults.
-    pub system: bool,
-    /// Total crash points of the crash-free run (the sweep enumerated all of them).
-    pub crash_points: u64,
-    /// Replays executed (= crash points, plus the crash-free baseline).
-    pub replays: u64,
-    /// Total simulated crashes injected across all replays.
-    pub crashes_injected: u64,
-    /// Total recoveries observed across all replays.
-    pub recoveries: u64,
-    /// Crashes absorbed by entry-boundary retries across all replays.
-    pub entry_retries: u64,
-    /// Crashes that interrupted recovery itself (proof the nested path ran).
-    pub recovery_crashes: u64,
-    /// Flush-order violations the armed auditor flagged across all replays
-    /// (also folded into `violations`). Must be zero.
-    pub audit_flags: u64,
-    /// Oracle violations, as human-readable descriptions. Must be empty.
-    pub violations: Vec<String>,
-}
+impl ConcWorkload {
+    /// The canonical concurrent pair workload: every pid enqueues one
+    /// distinctive value and dequeues once, on a lightly prefilled queue.
+    pub fn pair(threads: usize) -> ConcWorkload {
+        ConcWorkload {
+            name: "conc-pair",
+            prefill: (0..4).map(|i| 10_000 + i).collect(),
+            per_pid: (0..threads as u64)
+                .map(|p| vec![Op::Enqueue(100 + p), Op::Dequeue])
+                .collect(),
+        }
+    }
 
-impl SweepReport {
-    /// Whether every replay satisfied the oracle.
-    pub fn passed(&self) -> bool {
-        self.violations.is_empty()
+    /// A seeded concurrent workload: every pid runs its own reproducible
+    /// operation sequence with a disjoint value range.
+    pub fn seeded(seed: u64, threads: usize, nops_per_pid: usize) -> ConcWorkload {
+        ConcWorkload {
+            name: "conc-multi",
+            prefill: (0..3).map(|i| 10_000 + i).collect(),
+            per_pid: (0..threads as u64)
+                .map(|p| {
+                    Workload::seeded_full(seed ^ (p + 1), nops_per_pid, 0, (p + 1) << 32).ops
+                })
+                .collect(),
+        }
+    }
+
+    /// The number of scheduled processes.
+    pub fn threads(&self) -> usize {
+        self.per_pid.len()
+    }
+
+    /// Upper bound on the elements a replay can leave behind (see
+    /// [`drain_bound`]): the prefill plus every enqueue of every pid.
+    pub fn drain_bound(&self) -> usize {
+        self.prefill.len()
+            + self
+                .per_pid
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Enqueue(_)))
+                .count()
     }
 }
 
-/// Apply a caught crash to the machine: a full-system power failure (roll back
-/// every unflushed cache line — sound here because each replay is
-/// single-threaded and the crashed thread has unwound) or the default
-/// per-process fault that leaves the shared cache intact.
-fn crash_machine(mem: &PMem, system: bool) {
-    if system {
-        mem.crash_all();
-    } else {
-        mem.crash_thread(0);
+/// The FIFO reference model the oracles run against.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FifoModel(VecDeque<u64>);
+
+impl sweep::SeqModel for FifoModel {
+    type Op = Op;
+    fn apply(&mut self, op: Op) -> Option<u64> {
+        match op {
+            Op::Enqueue(v) => {
+                self.0.push_back(v);
+                None
+            }
+            Op::Dequeue => self.0.pop_front(),
+        }
     }
-    let _ = mem.take_crashed(0);
+    fn final_drain(&self) -> Vec<u64> {
+        self.0.iter().copied().collect()
+    }
 }
+
+/// Aggregate result of sweeping one (variant, workload) combination
+/// (the shared [`sweep::Report`] instantiated at the queue variants).
+pub type SweepReport = sweep::Report<SweepVariant>;
+
+/// Aggregate result of an interleaved (schedule × crash point) sweep
+/// (the shared [`sweep::ConcReport`] instantiated at the queue variants).
+pub type ConcSweepReport = sweep::ConcReport<SweepVariant>;
 
 /// Upper bound on the elements a replay of `workload` can leave behind:
 /// the prefill plus every enqueue in the swept window (whether or not it
@@ -262,15 +273,108 @@ fn drain_bound(workload: &Workload) -> usize {
             .count()
 }
 
+/// Run one operation through the LogQueue's detectable-recovery protocol
+/// (documented on `LogQueue::logged_seq`), retrying through crashes — nested
+/// ones included — until the operation's exact result is known. Shared by the
+/// single-threaded replays and the scheduled concurrent workers; crashes are
+/// applied kill-aware via [`sweep::apply_driver_crash`].
+fn log_queue_op<H: QueueHandle>(
+    q: &LogQueue,
+    t: &PThread<'_>,
+    h: &mut H,
+    op: Op,
+    system: bool,
+    recoveries: &Cell<u64>,
+    recovery_crashes: &Cell<u64>,
+) -> Option<u64> {
+    // Single site for the per-crash bookkeeping (stats, machine fault flag)
+    // so every catch in the driver accounts identically.
+    let crashed = |during_recovery: bool| {
+        if during_recovery {
+            recovery_crashes.set(recovery_crashes.get() + 1);
+        }
+        sweep::apply_driver_crash(t, system);
+    };
+    // The restart/recovery code itself executes simulated instructions, so a
+    // (nested) crash can land inside it too. Every read-only step of the
+    // driver protocol is therefore retried until it completes — safe because
+    // those steps never write.
+    let read_only = |f: &dyn Fn() -> u64, during_recovery: bool| loop {
+        match catch_crash(f) {
+            Ok(v) => break v,
+            Err(_) => {
+                crashed(during_recovery);
+                // Restarting the protocol read is itself the recovery action
+                // for a crash that lands between operations.
+                recoveries.set(recoveries.get() + 1);
+            }
+        }
+    };
+    loop {
+        let seq_before = read_only(&|| q.logged_seq(t), false);
+        let attempt = catch_crash(|| match op {
+            Op::Enqueue(v) => {
+                h.enqueue(v);
+                None
+            }
+            Op::Dequeue => h.dequeue(),
+        });
+        match attempt {
+            Ok(ret) => break ret,
+            Err(_) => {
+                crashed(false);
+                // Recovery itself passes crash points; a nested schedule
+                // element may interrupt it. Recovery only reads, so retrying
+                // from scratch is safe.
+                let verdict = loop {
+                    match catch_crash(|| q.recover(t)) {
+                        Ok(v) => break v,
+                        Err(_) => crashed(true),
+                    }
+                };
+                recoveries.set(recoveries.get() + 1);
+                if read_only(&|| q.logged_seq(t), true) == seq_before {
+                    // log_begin never completed: the queue is untouched;
+                    // re-run the operation from scratch.
+                    continue;
+                }
+                match verdict {
+                    RecoveredOp::None => {
+                        // The log entry is marked done: the operation
+                        // completed before the crash.
+                        break match op {
+                            Op::Enqueue(_) => None,
+                            Op::Dequeue => loop {
+                                match catch_crash(|| q.logged_result(t)) {
+                                    Ok(r) => break r,
+                                    Err(_) => crashed(true),
+                                }
+                            },
+                        };
+                    }
+                    RecoveredOp::EnqueueApplied => break None,
+                    RecoveredOp::DequeueApplied(v) => break Some(v),
+                    RecoveredOp::EnqueueNotApplied | RecoveredOp::DequeueNotApplied => continue,
+                }
+            }
+        }
+    }
+}
+
 /// Run one replay of `workload` on `variant` with the given crash script
 /// (a disarmed/empty plan ⇒ crash-free baseline). `system` selects full-system
-/// crash semantics (see [`crash_machine`] and [`sweep`]).
+/// crash semantics (see [`sweep::apply_driver_crash`] and [`sweep`]).
 ///
 /// Every replay runs with the [`pmem::FlushAuditor`] armed: on top of the
 /// history oracle, any flush-ordering violation is caught *at the faulting
 /// instruction* and reported with the replay (all swept variants claim a
 /// complete flush discipline, so the auditor must stay silent).
-fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: bool) -> Replay {
+fn replay(
+    variant: SweepVariant,
+    workload: &Workload,
+    plan: &CrashPlan,
+    system: bool,
+) -> ReplayRecord {
     pmem::install_quiet_crash_hook();
     let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
     mem.flush_auditor().arm();
@@ -307,8 +411,7 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
                 outcomes.push(match outcome {
                     Ok(ret) => OpOutcome::Completed(ret),
                     Err(_) => {
-                        t.note_crash();
-                        crash_machine(&mem, system);
+                        sweep::apply_driver_crash(&t, system);
                         OpOutcome::Interrupted
                     }
                 });
@@ -317,7 +420,7 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
             t.disarm_crashes();
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
-            Replay {
+            ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
                 drained,
@@ -411,7 +514,7 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
             let drained = h.drain_up_to(bound + 1);
             let metrics = h.metrics();
             let (audit_flags, audit_reports) = audit_of(&mem);
-            Replay {
+            ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
                 drained,
@@ -436,93 +539,28 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
             if plan.remaining() > 0 {
                 t.set_crash_schedule(plan.clone());
             }
-            let recoveries = std::cell::Cell::new(0u64);
-            let recovery_crashes = std::cell::Cell::new(0u64);
-            // Single site for the per-crash bookkeeping (stats, machine fault
-            // flag) so every catch in the driver accounts identically.
-            let crashed = |during_recovery: bool| {
-                if during_recovery {
-                    recovery_crashes.set(recovery_crashes.get() + 1);
-                }
-                t.note_crash();
-                crash_machine(&mem, system);
-            };
-            // The restart/recovery code itself executes simulated instructions,
-            // so a (nested) crash can land inside it too. Every read-only step of
-            // the driver protocol is therefore retried until it completes — safe
-            // because those steps never write.
-            let read_only = |f: &dyn Fn() -> u64, during_recovery: bool| loop {
-                match catch_crash(f) {
-                    Ok(v) => break v,
-                    Err(_) => {
-                        crashed(during_recovery);
-                        // Restarting the protocol read is itself the recovery
-                        // action for a crash that lands between operations.
-                        recoveries.set(recoveries.get() + 1);
-                    }
-                }
-            };
-            let mut outcomes = Vec::with_capacity(workload.ops.len());
-            for &op in &workload.ops {
-                // Detectable recovery via the operation log (the protocol
-                // documented on `LogQueue::logged_seq`).
-                let ret = loop {
-                    let seq_before = read_only(&|| q.logged_seq(&t), false);
-                    let attempt = catch_crash(|| match op {
-                        Op::Enqueue(v) => {
-                            h.enqueue(v);
-                            None
-                        }
-                        Op::Dequeue => h.dequeue(),
-                    });
-                    match attempt {
-                        Ok(ret) => break ret,
-                        Err(_) => {
-                            crashed(false);
-                            // Recovery itself passes crash points; a nested
-                            // schedule element may interrupt it. Recovery only
-                            // reads, so retrying from scratch is safe.
-                            let verdict = loop {
-                                match catch_crash(|| q.recover(&t)) {
-                                    Ok(v) => break v,
-                                    Err(_) => crashed(true),
-                                }
-                            };
-                            recoveries.set(recoveries.get() + 1);
-                            if read_only(&|| q.logged_seq(&t), true) == seq_before {
-                                // log_begin never completed: the queue is
-                                // untouched; re-run the operation from scratch.
-                                continue;
-                            }
-                            match verdict {
-                                RecoveredOp::None => {
-                                    // The log entry is marked done: the operation
-                                    // completed before the crash.
-                                    break match op {
-                                        Op::Enqueue(_) => None,
-                                        Op::Dequeue => loop {
-                                            match catch_crash(|| q.logged_result(&t)) {
-                                                Ok(r) => break r,
-                                                Err(_) => crashed(true),
-                                            }
-                                        },
-                                    };
-                                }
-                                RecoveredOp::EnqueueApplied => break None,
-                                RecoveredOp::DequeueApplied(v) => break Some(v),
-                                RecoveredOp::EnqueueNotApplied
-                                | RecoveredOp::DequeueNotApplied => continue,
-                            }
-                        }
-                    }
-                };
-                outcomes.push(OpOutcome::Completed(ret));
-            }
+            let recoveries = Cell::new(0u64);
+            let recovery_crashes = Cell::new(0u64);
+            let outcomes = workload
+                .ops
+                .iter()
+                .map(|&op| {
+                    OpOutcome::Completed(log_queue_op(
+                        &q,
+                        &t,
+                        &mut h,
+                        op,
+                        system,
+                        &recoveries,
+                        &recovery_crashes,
+                    ))
+                })
+                .collect();
             let window = t.stats();
             t.disarm_crashes();
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
-            Replay {
+            ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
                 drained,
@@ -540,12 +578,13 @@ fn replay(variant: SweepVariant, workload: &Workload, plan: &CrashPlan, system: 
 
 /// Check one replayed history against the oracle.
 ///
-/// The model is a plain FIFO queue over 64-bit values. For every interrupted
-/// operation (non-detectable variants only) the checker forks the model into
-/// "applied" and "not applied" branches; the replay passes iff at least one
-/// branch reproduces every completed operation's return value *and* the final
-/// drained contents.
-fn check_history(workload: &Workload, r: &Replay) -> Result<(), String> {
+/// The model is a plain FIFO queue over 64-bit values, driven through the
+/// shared forked-model checker ([`sweep::check_sequential`]): for every
+/// interrupted operation (non-detectable variants only) the model forks into
+/// "applied" and "not applied" branches, and the replay passes iff at least
+/// one branch reproduces every completed operation's return value *and* the
+/// final drained contents.
+fn check_history(workload: &Workload, r: &ReplayRecord) -> Result<(), String> {
     if r.drain_overflow {
         return Err(format!(
             "drain returned {} elements but at most {} could have survived the \
@@ -554,54 +593,12 @@ fn check_history(workload: &Workload, r: &Replay) -> Result<(), String> {
             drain_bound(workload)
         ));
     }
-    // Branches: (model queue, still-consistent flag is implicit by presence).
-    let mut branches: Vec<VecDeque<u64>> = vec![workload.prefill.iter().copied().collect()];
-    for (i, (&op, outcome)) in workload.ops.iter().zip(&r.outcomes).enumerate() {
-        let mut next: Vec<VecDeque<u64>> = Vec::with_capacity(branches.len() * 2);
-        for mut q in branches {
-            match (*outcome, op) {
-                (OpOutcome::Completed(ret), Op::Enqueue(v)) => {
-                    debug_assert_eq!(ret, None);
-                    q.push_back(v);
-                    next.push(q);
-                }
-                (OpOutcome::Completed(ret), Op::Dequeue) => {
-                    // Branches whose head disagrees with the observed return are
-                    // inconsistent and dropped.
-                    if q.pop_front() == ret {
-                        next.push(q);
-                    }
-                }
-                (OpOutcome::Interrupted, Op::Enqueue(v)) => {
-                    let mut applied = q.clone();
-                    applied.push_back(v);
-                    next.push(applied);
-                    next.push(q); // not applied
-                }
-                (OpOutcome::Interrupted, Op::Dequeue) => {
-                    let mut applied = q.clone();
-                    let _ = applied.pop_front(); // value was lost with the crash
-                    next.push(applied);
-                    next.push(q); // not applied
-                }
-            }
-        }
-        if next.is_empty() {
-            return Err(format!(
-                "op {i} ({op:?}) returned {outcome:?}, inconsistent with every model branch"
-            ));
-        }
-        branches = next;
-    }
-    let drained: VecDeque<u64> = r.drained.iter().copied().collect();
-    if branches.contains(&drained) {
-        Ok(())
-    } else {
-        Err(format!(
-            "final drain {:?} matches no model branch (e.g. expected {:?})",
-            r.drained, branches[0]
-        ))
-    }
+    sweep::check_sequential(
+        FifoModel(workload.prefill.iter().copied().collect()),
+        &workload.ops,
+        &r.outcomes,
+        &r.drained,
+    )
 }
 
 /// Sweep every crash point of `workload` on `variant` with per-process crash
@@ -654,9 +651,9 @@ pub fn sweep_plan(
     sweep_plan_with_workers(variant, workload, nested, system, None)
 }
 
-/// [`sweep_plan`] with an explicit worker count (`None` ⇒ [`sweep_workers`]);
-/// lets tests compare sequential and parallel runs without racing on the
-/// process environment.
+/// [`sweep_plan`] with an explicit worker count (`None` ⇒
+/// [`sweep::sweep_workers`]); lets tests compare sequential and parallel runs
+/// without racing on the process environment.
 fn sweep_plan_with_workers(
     variant: SweepVariant,
     workload: &Workload,
@@ -664,134 +661,371 @@ fn sweep_plan_with_workers(
     system: bool,
     workers_override: Option<usize>,
 ) -> SweepReport {
-    // Crash-free baseline: defines the sweep range and the reference history.
-    let baseline = replay(variant, workload, &CrashPlan::new(Vec::new()), system);
-    assert_eq!(baseline.crashes, 0);
-    let strict = variant.detectable();
-    let mut report = SweepReport {
+    sweep::run_sweep(
         variant,
-        workload: workload.name,
-        nested: nested.to_vec(),
+        &format!("dfck trace: {variant:?} {}", workload.name),
+        workload.name,
+        nested,
         system,
-        crash_points: baseline.crash_points,
-        replays: 1,
-        crashes_injected: 0,
-        recoveries: 0,
-        entry_retries: 0,
-        recovery_crashes: 0,
-        audit_flags: baseline.audit_flags,
-        violations: Vec::new(),
-    };
-    if let Err(e) = check_history(workload, &baseline) {
-        report
-            .violations
-            .push(format!("baseline (crash-free): {e}"));
-    }
-    if baseline.audit_flags > 0 {
-        report.violations.push(format!(
-            "baseline (crash-free): {} flush-audit flag(s): {:?}",
-            baseline.audit_flags, baseline.audit_reports
-        ));
-    }
-    // One source of truth for the scripted schedule shape: `CrashPlan::nested`
-    // builds `[k, nested…]`, and `script()` is what the reports print.
-    let plan_for = |k: u64| CrashPlan::nested(k, nested);
-    let run_one = |k: u64| -> (u64, Replay) {
-        let plan = plan_for(k);
-        if std::env::var_os("DF_DFCK_TRACE").is_some() {
-            eprintln!(
-                "dfck trace: {:?} {} k={k} gaps={:?} system={system}",
-                variant,
-                workload.name,
-                plan.script()
-            );
-        }
-        (k, replay(variant, workload, &plan, system))
-    };
-    let n = baseline.crash_points;
-    let workers = workers_override
-        .map(|w| w.max(1))
-        .unwrap_or_else(|| sweep_workers(n));
-    let results: Vec<(u64, Replay)> = if workers <= 1 {
-        (0..n).map(run_one).collect()
-    } else {
-        // Stripe the crash points over the workers; replays share nothing (each
-        // builds its own machine), so plain fan-out is sound.
-        let mut all: Vec<(u64, Replay)> = std::thread::scope(|s| {
-            let run_one = &run_one;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    s.spawn(move || {
-                        (w as u64..n)
-                            .step_by(workers)
-                            .map(run_one)
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("dfck sweep worker panicked"))
-                .collect()
-        });
-        all.sort_by_key(|&(k, _)| k);
-        all
-    };
-    for (k, r) in results {
-        let gaps = plan_for(k).script().to_vec();
-        report.replays += 1;
-        report.crashes_injected += r.crashes;
-        report.recoveries += r.recoveries;
-        report.entry_retries += r.entry_retries;
-        report.recovery_crashes += r.recovery_crashes;
-        report.audit_flags += r.audit_flags;
-        if r.audit_flags > 0 {
-            report.violations.push(format!(
-                "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
-                r.audit_flags, r.audit_reports
-            ));
-        }
-        if r.crashes == 0 {
-            report.violations.push(format!(
-                "k={k}: the schedule never fired (swept range disagrees with the replay)"
-            ));
-            continue;
-        }
-        if let Err(e) = check_history(workload, &r) {
-            report.violations.push(format!("k={k} gaps={gaps:?}: {e}"));
-            continue;
-        }
-        if strict {
-            // Detectable variants: the history must be *identical* to the
-            // crash-free one — crashes must be invisible (Definition 2.2) —
-            // and the crash must actually have forced a recovery, proving the
-            // "re-executed but invisible" claim rather than a vacuous pass.
-            if r.outcomes != baseline.outcomes || r.drained != baseline.drained {
-                report.violations.push(format!(
-                    "k={k} gaps={gaps:?}: history differs from the crash-free run \
-                     (outcomes {:?} vs {:?}, drain {:?} vs {:?})",
-                    r.outcomes, baseline.outcomes, r.drained, baseline.drained
-                ));
-            }
-            if r.recoveries + r.entry_retries == 0 {
-                report.violations.push(format!(
-                    "k={k}: a crash was injected but no recovery action ran"
-                ));
-            }
-        }
-    }
-    report
+        variant.detectable(),
+        workers_override,
+        |plan| replay(variant, workload, plan, system),
+        |r| check_history(workload, r),
+    )
 }
 
-/// Worker-thread count for the sweep fan-out: `DF_DFCK_THREADS`, defaulting to
-/// `available_parallelism` capped at 8, never more than one per crash point.
-pub(crate) fn sweep_workers(crash_points: u64) -> usize {
-    let default = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
-    let configured = crate::env_u64("DF_DFCK_THREADS", default as u64).max(1) as usize;
-    configured.min(crash_points.max(1) as usize)
+/// Run one *scheduled* replay: the workload's pids drive one shared queue
+/// under the deterministic [`ThreadScheduler`] seeded with `sched_seed`;
+/// `plan` (if any) is installed as `victim`'s crash schedule, and full-system
+/// crashes kill the scheduled peers through the scheduler. Public so the
+/// determinism tests can compare fingerprints and timed histories across
+/// runs; sweeps go through [`sweep_interleaved`].
+pub fn conc_replay(
+    variant: SweepVariant,
+    w: &ConcWorkload,
+    sched_seed: u64,
+    victim: usize,
+    plan: Option<&CrashPlan>,
+    system: bool,
+) -> sweep::ConcReplayRecord<Op> {
+    pmem::install_quiet_crash_hook();
+    let threads = w.threads();
+    assert!(victim < threads, "victim pid out of range");
+    // Pids 0..threads run the scheduled window; one extra *helper* pid does
+    // the prefill and the post-join drain. The helper must not share a pid
+    // with any worker: pid-indexed recovery state (the rcas announcement
+    // slot, the log row) assumes sequence numbers are unique per pid, and a
+    // fresh handle restarts its sequence counter — a worker recovering over a
+    // triple installed by a same-pid prefill handle would false-positively
+    // conclude its own interrupted CAS already took effect.
+    let helper = threads;
+    let nprocs = threads + 1;
+    let mem = PMem::new(MemConfig::new(nprocs).mode(Mode::SharedCache));
+    // The flush auditor encodes the Izraelevitz flush-before-publish reader
+    // discipline, which only cross-pid reads can violate — and every swept
+    // variant legitimately departs from it once real concurrency is in play.
+    // MSQ and LogQueue publish first and let readers help (the reader
+    // flushes). The capsule variants persist the *announcement* lines before
+    // the publishing CAS and flush the CAS target afterwards: a peer may read
+    // the published-but-unflushed word in that gap, which is safe because the
+    // word is its own flush unit — any later persist of that line (the
+    // reader's own CAS+flush included) makes the predecessor's value durable
+    // with it, and a full-system crash rolls the reader's dependent state back
+    // together with it. The single-threaded sweeps (where no cross-pid read
+    // exists and the discipline is exact) keep the auditor armed; the
+    // scheduled replays disarm it and rely on the linearization oracle plus
+    // the /system rollback semantics to catch real durability bugs.
+    let opts = ThreadOptions {
+        izraelevitz: variant == SweepVariant::IzraelevitzMsq,
+    };
+    let bound = w.drain_bound();
+
+    enum Q {
+        Msq(MsQueue),
+        Gen(GeneralQueue),
+        Norm(NormalizedQueue),
+        Log(LogQueue),
+    }
+    // Build and prefill from the helper pid, unscheduled and crash-free, then
+    // make the prefill durable so it survives any later rollback.
+    let q = {
+        let t = mem.thread_with(helper, opts);
+        match variant {
+            SweepVariant::IzraelevitzMsq => {
+                let q = MsQueue::new(&t);
+                {
+                    let mut h = q.handle(&t);
+                    for &v in &w.prefill {
+                        h.enqueue(v);
+                    }
+                }
+                Q::Msq(q)
+            }
+            SweepVariant::General | SweepVariant::GeneralOpt => {
+                let style = if variant == SweepVariant::GeneralOpt {
+                    BoundaryStyle::Compact
+                } else {
+                    BoundaryStyle::General
+                };
+                let q = GeneralQueue::new(&t, nprocs, Durability::Manual, style);
+                {
+                    let mut h = q.handle(&t);
+                    for &v in &w.prefill {
+                        h.enqueue(v);
+                    }
+                }
+                Q::Gen(q)
+            }
+            SweepVariant::Normalized | SweepVariant::NormalizedOpt => {
+                let optimised = variant == SweepVariant::NormalizedOpt;
+                let q = NormalizedQueue::new(&t, nprocs, Durability::Manual, optimised);
+                {
+                    let mut h = q.handle(&t);
+                    for &v in &w.prefill {
+                        h.enqueue(v);
+                    }
+                }
+                Q::Norm(q)
+            }
+            SweepVariant::LogQueue => {
+                let q = LogQueue::new(&t, nprocs);
+                {
+                    let mut h = q.handle(&t);
+                    for &v in &w.prefill {
+                        h.enqueue(v);
+                    }
+                }
+                Q::Log(q)
+            }
+        }
+    };
+    mem.persist_everything();
+
+    struct PidOut {
+        history: Vec<TimedOp<Op>>,
+        crash_points: u64,
+        crashes: u64,
+        recoveries: u64,
+        entry_retries: u64,
+        recovery_crashes: u64,
+    }
+
+    let sched = ThreadScheduler::new(SchedConfig::new(threads, sched_seed));
+    let gate = TurnGate::new();
+    let outs: Vec<PidOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|pid| {
+                let sched = Arc::clone(&sched);
+                let (mem, q, gate) = (&mem, &q, &gate);
+                let ops: &[Op] = &w.per_pid[pid];
+                s.spawn(move || {
+                    let t = mem.thread_with(pid, opts);
+                    gate.wait_for(pid);
+                    match q {
+                        Q::Msq(q) => {
+                            let mut h = q.handle(&t);
+                            gate.advance(pid);
+                            let (history, window) = sweep::run_scheduled_window(
+                                &t,
+                                &sched,
+                                pid,
+                                victim,
+                                plan,
+                                ops,
+                                |op| {
+                                    match catch_crash(|| match op {
+                                        Op::Enqueue(v) => {
+                                            h.enqueue(v);
+                                            None
+                                        }
+                                        Op::Dequeue => h.dequeue(),
+                                    }) {
+                                        Ok(ret) => OpOutcome::Completed(ret),
+                                        Err(_) => {
+                                            sweep::apply_driver_crash(&t, system);
+                                            OpOutcome::Interrupted
+                                        }
+                                    }
+                                },
+                            );
+                            PidOut {
+                                history,
+                                crash_points: window.crash_points,
+                                crashes: window.crashes,
+                                recoveries: 0,
+                                entry_retries: 0,
+                                recovery_crashes: 0,
+                            }
+                        }
+                        Q::Gen(q) => {
+                            let mut h = q.handle(&t);
+                            h.runtime_mut().set_system_crashes(system);
+                            gate.advance(pid);
+                            let before = h.runtime_mut().metrics();
+                            let (history, window) = sweep::run_scheduled_window(
+                                &t,
+                                &sched,
+                                pid,
+                                victim,
+                                plan,
+                                ops,
+                                |op| {
+                                    OpOutcome::Completed(match op {
+                                        Op::Enqueue(v) => {
+                                            h.enqueue(v);
+                                            None
+                                        }
+                                        Op::Dequeue => h.dequeue(),
+                                    })
+                                },
+                            );
+                            let m = h.runtime_mut().metrics();
+                            PidOut {
+                                history,
+                                crash_points: window.crash_points,
+                                crashes: window.crashes,
+                                recoveries: m.recoveries - before.recoveries,
+                                entry_retries: m.entry_retries - before.entry_retries,
+                                recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                            }
+                        }
+                        Q::Norm(q) => {
+                            let mut h = q.handle(&t);
+                            h.runtime_mut().set_system_crashes(system);
+                            gate.advance(pid);
+                            let before = h.runtime_mut().metrics();
+                            let (history, window) = sweep::run_scheduled_window(
+                                &t,
+                                &sched,
+                                pid,
+                                victim,
+                                plan,
+                                ops,
+                                |op| {
+                                    OpOutcome::Completed(match op {
+                                        Op::Enqueue(v) => {
+                                            h.enqueue(v);
+                                            None
+                                        }
+                                        Op::Dequeue => h.dequeue(),
+                                    })
+                                },
+                            );
+                            let m = h.runtime_mut().metrics();
+                            PidOut {
+                                history,
+                                crash_points: window.crash_points,
+                                crashes: window.crashes,
+                                recoveries: m.recoveries - before.recoveries,
+                                entry_retries: m.entry_retries - before.entry_retries,
+                                recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                            }
+                        }
+                        Q::Log(q) => {
+                            let mut h = q.handle(&t);
+                            gate.advance(pid);
+                            let recoveries = Cell::new(0u64);
+                            let recovery_crashes = Cell::new(0u64);
+                            let (history, window) = sweep::run_scheduled_window(
+                                &t,
+                                &sched,
+                                pid,
+                                victim,
+                                plan,
+                                ops,
+                                |op| {
+                                    OpOutcome::Completed(log_queue_op(
+                                        q,
+                                        &t,
+                                        &mut h,
+                                        op,
+                                        system,
+                                        &recoveries,
+                                        &recovery_crashes,
+                                    ))
+                                },
+                            );
+                            PidOut {
+                                history,
+                                crash_points: window.crash_points,
+                                crashes: window.crashes,
+                                recoveries: recoveries.get(),
+                                entry_retries: 0,
+                                recovery_crashes: recovery_crashes.get(),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheduled dfck worker panicked"))
+            .collect()
+    });
+
+    // Drain from a fresh, unscheduled helper-pid handle after every worker
+    // joined.
+    let drained = {
+        let t = mem.thread_with(helper, opts);
+        match &q {
+            Q::Msq(q) => {
+                let mut h = q.handle(&t);
+                h.drain_up_to(bound + 1)
+            }
+            Q::Gen(q) => {
+                let mut h = q.handle(&t);
+                h.drain_up_to(bound + 1)
+            }
+            Q::Norm(q) => {
+                let mut h = q.handle(&t);
+                h.drain_up_to(bound + 1)
+            }
+            Q::Log(q) => {
+                let mut h = q.handle(&t);
+                h.drain_up_to(bound + 1)
+            }
+        }
+    };
+    sweep::ConcReplayRecord {
+        history: outs.iter().flat_map(|o| o.history.iter().copied()).collect(),
+        drain_overflow: drained.len() > bound,
+        drained,
+        fingerprint: sched.fingerprint(),
+        victim_crash_points: outs[victim].crash_points,
+        victim_crashes: outs[victim].crashes,
+        victim_recovery_actions: outs[victim].recoveries + outs[victim].entry_retries,
+        crashes: outs.iter().map(|o| o.crashes).sum(),
+        recoveries: outs.iter().map(|o| o.recoveries).sum(),
+        entry_retries: outs.iter().map(|o| o.entry_retries).sum(),
+        recovery_crashes: outs.iter().map(|o| o.recovery_crashes).sum(),
+        audit_flags: 0,
+        audit_reports: Vec::new(),
+    }
+}
+
+/// The interleaved sweep: enumerate (interleaving seed × crash point) for one
+/// queue variant. For every seed, the crash-free scheduled baseline learns how
+/// many crash points the victim pid (`seed % threads`, rotating across the
+/// seed set) passes, then every one of them is replayed with the scripted
+/// schedule `[k, nested…]` — under per-process (`system = false`) or
+/// full-system (`system = true`) crash semantics. Histories are checked with
+/// the linearization oracle ([`sweep::check_linearizable`]); detectable
+/// variants must additionally complete every operation exactly-once and run a
+/// recovery action on the victim for every injected crash.
+pub fn sweep_interleaved(
+    variant: SweepVariant,
+    w: &ConcWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    system: bool,
+) -> ConcSweepReport {
+    sweep_interleaved_with_workers(variant, w, seeds, nested, system, None)
+}
+
+/// [`sweep_interleaved`] with an explicit fan-out worker count (`None` ⇒
+/// [`sweep::sweep_workers`]); lets tests compare sequential and parallel runs.
+fn sweep_interleaved_with_workers(
+    variant: SweepVariant,
+    w: &ConcWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    system: bool,
+    workers_override: Option<usize>,
+) -> ConcSweepReport {
+    sweep::run_conc_sweep(
+        variant,
+        &format!("dfck conc trace: {variant:?} {}", w.name),
+        w.name,
+        w.threads(),
+        seeds,
+        nested,
+        system,
+        variant.detectable(),
+        workers_override,
+        || FifoModel(w.prefill.iter().copied().collect()),
+        |seed, victim, plan| conc_replay(variant, w, seed, victim, plan, system),
+    )
 }
 
 #[cfg(test)]
@@ -845,7 +1079,7 @@ mod tests {
             prefill: vec![7],
             ops: vec![Op::Enqueue(42)],
         };
-        let base = Replay {
+        let base = ReplayRecord {
             outcomes: vec![OpOutcome::Interrupted],
             drained: vec![7, 42],
             drain_overflow: false,
@@ -901,7 +1135,7 @@ mod tests {
         let drained = h.drain_up_to(bound + 1);
         assert_eq!(drained.len(), bound + 1, "drain must stop at the bound");
         // …and the oracle rejects the over-long history with the cycle diagnosis.
-        let r = Replay {
+        let r = ReplayRecord {
             outcomes: vec![OpOutcome::Completed(None); 3],
             drain_overflow: drained.len() > bound,
             drained,
@@ -977,5 +1211,52 @@ mod tests {
             assert!(report.passed(), "{variant:?}: {:?}", report.violations);
             assert!(report.crash_points > 0);
         }
+    }
+
+    #[test]
+    fn conc_workload_generators_are_sane() {
+        let pair = ConcWorkload::pair(3);
+        assert_eq!(pair.threads(), 3);
+        assert_eq!(pair.drain_bound(), 4 + 3);
+        // Per-pid value ranges are disjoint.
+        let a = ConcWorkload::seeded(7, 2, 6);
+        assert_eq!(a.threads(), 2);
+        assert_eq!(a.per_pid, ConcWorkload::seeded(7, 2, 6).per_pid);
+        assert_ne!(a.per_pid[0], a.per_pid[1]);
+    }
+
+    #[test]
+    fn parallel_interleaved_sweep_matches_sequential_sweep() {
+        // Same discipline as the sequential sweeps, under the new
+        // (seed × crash point) dimension: the fan-out worker count must not
+        // change any aggregate of the merged report.
+        let w = ConcWorkload::pair(2);
+        let seeds = [1, 2];
+        let seq = sweep_interleaved_with_workers(
+            SweepVariant::General,
+            &w,
+            &seeds,
+            &[],
+            false,
+            Some(1),
+        );
+        let par = sweep_interleaved_with_workers(
+            SweepVariant::General,
+            &w,
+            &seeds,
+            &[],
+            false,
+            Some(4),
+        );
+        assert_eq!(seq.crash_points, par.crash_points);
+        assert_eq!(seq.replays, par.replays);
+        assert_eq!(seq.crashes_injected, par.crashes_injected);
+        assert_eq!(seq.recoveries, par.recoveries);
+        assert_eq!(seq.entry_retries, par.entry_retries);
+        assert_eq!(seq.recovery_crashes, par.recovery_crashes);
+        assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.distinct_interleavings, par.distinct_interleavings);
+        assert_eq!(seq.violations, par.violations);
+        assert!(seq.passed(), "{:?}", seq.violations);
     }
 }

@@ -18,17 +18,26 @@
 //! Drains are bounded by the replay's maximum possible survivors (prefill +
 //! pushes/inserts), so a corrupted cyclic chain surfaces as a violation
 //! carrying the offending schedule instead of a hung sweep.
+//!
+//! The sweep engine and the oracle machinery live in [`crate::sweep`], shared
+//! with the queue sweeper; this module contributes the structure drivers,
+//! workloads and sequential models. [`sweep_interleaved`] adds the
+//! (schedule × crash point) dimension for the detectable capsule variants,
+//! mirroring [`crate::dfck::sweep_interleaved`].
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use capsules::{BoundaryStyle, CapsuleMetrics};
-use pmem::{catch_crash, CrashPlan, MemConfig, Mode, PMem, ThreadOptions};
+use pmem::{catch_crash, CrashPlan, MemConfig, Mode, PMem, SchedConfig, ThreadOptions, ThreadScheduler};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use structs::{
     GeneralSet, GeneralStack, ListSet, NormalizedSet, NormalizedStack, StructHandle, StructOp,
     TreiberStack,
 };
+
+use crate::sweep::{self, OpOutcome, ReplayRecord, TimedOp, TurnGate};
 
 /// The structure variants the sweeper covers: each shape in the same matrix as
 /// the queues — Izraelevitz flush-everything (durable, not detectable),
@@ -214,6 +223,80 @@ impl StructWorkload {
     }
 }
 
+/// A concurrent workload over one shape: per-pid operation sequences on one
+/// shared structure.
+#[derive(Clone, Debug)]
+pub struct ConcStructWorkload {
+    /// Name used in reports ("conc-pair").
+    pub name: &'static str,
+    /// `true` for stack-shaped workloads, `false` for set-shaped ones.
+    pub stack: bool,
+    /// Contents before the scheduled window (stack: pushed bottom-up; set:
+    /// distinct keys).
+    pub prefill: Vec<u64>,
+    /// Per-pid operation sequences; `per_pid.len()` is the process count.
+    pub per_pid: Vec<Vec<StructOp>>,
+}
+
+impl ConcStructWorkload {
+    /// The canonical concurrent stack pair: every pid pushes one distinctive
+    /// value and pops once.
+    pub fn stack_pair(threads: usize) -> ConcStructWorkload {
+        ConcStructWorkload {
+            name: "conc-pair",
+            stack: true,
+            prefill: (0..4).map(|i| 10_000 + i).collect(),
+            per_pid: (0..threads as u64)
+                .map(|p| vec![StructOp::Push(100 + p), StructOp::Pop])
+                .collect(),
+        }
+    }
+
+    /// The canonical concurrent set pair: every pid inserts a fresh mid-list
+    /// key and removes a (for up to 3 pids) prefilled one.
+    pub fn set_pair(threads: usize) -> ConcStructWorkload {
+        ConcStructWorkload {
+            name: "conc-pair",
+            stack: false,
+            prefill: vec![10, 20, 30],
+            per_pid: (0..threads as u64)
+                .map(|p| vec![StructOp::Insert(11 + 2 * p), StructOp::Remove(10 * (p + 1))])
+                .collect(),
+        }
+    }
+
+    /// The number of scheduled processes.
+    pub fn threads(&self) -> usize {
+        self.per_pid.len()
+    }
+
+    /// Upper bound on the elements a replay can leave behind: the prefill plus
+    /// every push/insert of every pid.
+    pub fn drain_bound(&self) -> usize {
+        self.prefill.len()
+            + self
+                .per_pid
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, StructOp::Push(_) | StructOp::Insert(_)))
+                .count()
+    }
+
+    /// The prefill as [`StructOp`]s of the right shape.
+    fn prefill_ops(&self) -> Vec<StructOp> {
+        self.prefill
+            .iter()
+            .map(|&v| {
+                if self.stack {
+                    StructOp::Push(v)
+                } else {
+                    StructOp::Insert(v)
+                }
+            })
+            .collect()
+    }
+}
+
 /// Upper bound on the elements a replay can leave behind (prefill + every
 /// push/insert in the window). Same role as the queue sweeper's bound: drains
 /// run to `bound + 1` so corrupted cyclic chains terminate and fail.
@@ -226,72 +309,54 @@ fn drain_bound(workload: &StructWorkload) -> usize {
             .count()
 }
 
-/// What the replay driver observed for one operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum OpOutcome {
-    Completed(Option<u64>),
-    Interrupted,
+/// Aggregate result of sweeping one (variant, workload) combination
+/// (the shared [`sweep::Report`] instantiated at the structure variants).
+pub type StructSweepReport = sweep::Report<StructVariant>;
+
+/// Aggregate result of an interleaved (schedule × crash point) sweep
+/// (the shared [`sweep::ConcReport`] instantiated at the structure variants).
+pub type ConcStructSweepReport = sweep::ConcReport<StructVariant>;
+
+/// The sequential reference model: a LIFO stack or an ordered set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Model {
+    Stack(Vec<u64>),
+    Set(BTreeSet<u64>),
 }
 
-/// Everything one replay produced.
-#[derive(Clone, Debug)]
-struct Replay {
-    outcomes: Vec<OpOutcome>,
-    drained: Vec<u64>,
-    drain_overflow: bool,
-    crash_points: u64,
-    crashes: u64,
-    recoveries: u64,
-    entry_retries: u64,
-    recovery_crashes: u64,
-    audit_flags: u64,
-    audit_reports: Vec<String>,
-}
-
-/// Aggregate result of sweeping one (variant, workload) combination; same
-/// shape as [`crate::dfck::SweepReport`] with the struct variant enum.
-#[derive(Clone, Debug)]
-pub struct StructSweepReport {
-    /// The swept variant.
-    pub variant: StructVariant,
-    /// Workload name ("pair" / "multi").
-    pub workload: &'static str,
-    /// Nested crash-schedule gaps (see [`crate::dfck::SweepReport::nested`]).
-    pub nested: Vec<u64>,
-    /// Whether crashes were full-system power failures.
-    pub system: bool,
-    /// Total crash points of the crash-free run.
-    pub crash_points: u64,
-    /// Replays executed (crash points + the crash-free baseline).
-    pub replays: u64,
-    /// Total simulated crashes injected across all replays.
-    pub crashes_injected: u64,
-    /// Total recoveries observed across all replays.
-    pub recoveries: u64,
-    /// Crashes absorbed by entry-boundary retries.
-    pub entry_retries: u64,
-    /// Crashes that interrupted recovery itself (nested path proof).
-    pub recovery_crashes: u64,
-    /// Flush-order auditor flags (also folded into `violations`). Must be zero.
-    pub audit_flags: u64,
-    /// Oracle violations. Must be empty.
-    pub violations: Vec<String>,
-}
-
-impl StructSweepReport {
-    /// Whether every replay satisfied the oracle.
-    pub fn passed(&self) -> bool {
-        self.violations.is_empty()
+impl Model {
+    fn initial(stack: bool, prefill: &[u64]) -> Model {
+        if stack {
+            Model::Stack(prefill.to_vec())
+        } else {
+            Model::Set(prefill.iter().copied().collect())
+        }
     }
 }
 
-fn crash_machine(mem: &PMem, system: bool) {
-    if system {
-        mem.crash_all();
-    } else {
-        mem.crash_thread(0);
+impl sweep::SeqModel for Model {
+    type Op = StructOp;
+    fn apply(&mut self, op: StructOp) -> Option<u64> {
+        match (self, op) {
+            (Model::Stack(s), StructOp::Push(v)) => {
+                s.push(v);
+                None
+            }
+            (Model::Stack(s), StructOp::Pop) => s.pop(),
+            (Model::Set(s), StructOp::Insert(k)) => Some(s.insert(k) as u64),
+            (Model::Set(s), StructOp::Remove(k)) => Some(s.remove(&k) as u64),
+            (Model::Set(s), StructOp::Contains(k)) => Some(s.contains(&k) as u64),
+            _ => unreachable!("operation does not match the workload shape"),
+        }
     }
-    let _ = mem.take_crashed(0);
+    fn final_drain(&self) -> Vec<u64> {
+        match self {
+            // Stacks drain top-down.
+            Model::Stack(items) => items.iter().rev().copied().collect(),
+            // Sets snapshot ascending.
+            Model::Set(keys) => keys.iter().copied().collect(),
+        }
+    }
 }
 
 /// Run one replay of `workload` on `variant` with the given crash script.
@@ -300,7 +365,7 @@ fn replay(
     workload: &StructWorkload,
     plan: &CrashPlan,
     system: bool,
-) -> Replay {
+) -> ReplayRecord {
     assert_eq!(
         variant.is_stack(),
         workload.stack,
@@ -340,8 +405,7 @@ fn replay(
                 outcomes.push(match outcome {
                     Ok(ret) => OpOutcome::Completed(ret),
                     Err(_) => {
-                        t.note_crash();
-                        crash_machine(&mem, system);
+                        sweep::apply_driver_crash(&t, system);
                         OpOutcome::Interrupted
                     }
                 });
@@ -352,7 +416,7 @@ fn replay(
             // hits the node cap without collecting an over-long key list.
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
-            Replay {
+            ReplayRecord {
                 outcomes,
                 drain_overflow: drained.truncated || drained.items.len() > bound,
                 drained: drained.items,
@@ -447,7 +511,7 @@ fn replay(
             let drained = h.as_dyn().drain_up_to(bound + 1);
             let metrics = h.metrics();
             let (audit_flags, audit_reports) = audit_of(&mem);
-            Replay {
+            ReplayRecord {
                 outcomes,
                 drain_overflow: drained.truncated || drained.items.len() > bound,
                 drained: drained.items,
@@ -463,29 +527,12 @@ fn replay(
     }
 }
 
-/// The forked sequential model: a LIFO stack or an ordered set.
-#[derive(Clone, PartialEq, Eq)]
-enum Model {
-    Stack(Vec<u64>),
-    Set(BTreeSet<u64>),
-}
-
-impl Model {
-    fn expected_drain(&self) -> Vec<u64> {
-        match self {
-            // Stacks drain top-down.
-            Model::Stack(items) => items.iter().rev().copied().collect(),
-            // Sets snapshot ascending.
-            Model::Set(keys) => keys.iter().copied().collect(),
-        }
-    }
-}
-
-/// Check one replayed history against the shape's oracle. For every
+/// Check one replayed history against the shape's oracle (the shared
+/// forked-model checker [`sweep::check_sequential`] over [`Model`]): for every
 /// interrupted operation (non-detectable variants only) the model forks into
 /// applied / not-applied branches; the replay passes iff at least one branch
 /// reproduces every completed return *and* the final drain.
-fn check_history(workload: &StructWorkload, r: &Replay) -> Result<(), String> {
+fn check_history(workload: &StructWorkload, r: &ReplayRecord) -> Result<(), String> {
     if r.drain_overflow {
         return Err(format!(
             "drain returned {} elements but at most {} could have survived the \
@@ -494,92 +541,12 @@ fn check_history(workload: &StructWorkload, r: &Replay) -> Result<(), String> {
             drain_bound(workload)
         ));
     }
-    let initial = if workload.stack {
-        Model::Stack(workload.prefill.clone())
-    } else {
-        Model::Set(workload.prefill.iter().copied().collect())
-    };
-    let mut branches = vec![initial];
-    for (i, (&op, outcome)) in workload.ops.iter().zip(&r.outcomes).enumerate() {
-        let mut next: Vec<Model> = Vec::with_capacity(branches.len() * 2);
-        for model in branches {
-            match (*outcome, op, model) {
-                (OpOutcome::Completed(ret), StructOp::Push(v), Model::Stack(mut s)) => {
-                    debug_assert_eq!(ret, None);
-                    s.push(v);
-                    next.push(Model::Stack(s));
-                }
-                (OpOutcome::Completed(ret), StructOp::Pop, Model::Stack(mut s)) => {
-                    if s.pop() == ret {
-                        next.push(Model::Stack(s));
-                    }
-                }
-                (OpOutcome::Completed(ret), StructOp::Insert(k), Model::Set(mut s)) => {
-                    if Some(s.insert(k) as u64) == ret {
-                        next.push(Model::Set(s));
-                    }
-                }
-                (OpOutcome::Completed(ret), StructOp::Remove(k), Model::Set(mut s)) => {
-                    if Some(s.remove(&k) as u64) == ret {
-                        next.push(Model::Set(s));
-                    }
-                }
-                (OpOutcome::Completed(ret), StructOp::Contains(k), Model::Set(s)) => {
-                    if Some(s.contains(&k) as u64) == ret {
-                        next.push(Model::Set(s));
-                    }
-                }
-                (OpOutcome::Interrupted, StructOp::Push(v), Model::Stack(s)) => {
-                    let mut applied = s.clone();
-                    applied.push(v);
-                    next.push(Model::Stack(applied));
-                    next.push(Model::Stack(s));
-                }
-                (OpOutcome::Interrupted, StructOp::Pop, Model::Stack(s)) => {
-                    let mut applied = s.clone();
-                    let _ = applied.pop(); // value was lost with the crash
-                    next.push(Model::Stack(applied));
-                    next.push(Model::Stack(s));
-                }
-                (OpOutcome::Interrupted, StructOp::Insert(k), Model::Set(s)) => {
-                    let mut applied = s.clone();
-                    applied.insert(k);
-                    next.push(Model::Set(applied));
-                    next.push(Model::Set(s));
-                }
-                (OpOutcome::Interrupted, StructOp::Remove(k), Model::Set(s)) => {
-                    let mut applied = s.clone();
-                    applied.remove(&k);
-                    next.push(Model::Set(applied));
-                    next.push(Model::Set(s));
-                }
-                (OpOutcome::Interrupted, StructOp::Contains(_), m) => {
-                    next.push(m); // read-only: no state fork
-                }
-                (_, op, _) => {
-                    return Err(format!("op {i} ({op:?}) does not match the workload shape"))
-                }
-            }
-        }
-        // Interrupted ops on an already-consistent state can fork into
-        // identical branches; dedup to keep the frontier small.
-        next.dedup();
-        if next.is_empty() {
-            return Err(format!(
-                "op {i} ({op:?}) returned {outcome:?}, inconsistent with every model branch"
-            ));
-        }
-        branches = next;
-    }
-    if branches.iter().any(|m| m.expected_drain() == r.drained) {
-        Ok(())
-    } else {
-        Err(format!(
-            "final drain {:?} matches no model branch (e.g. expected {:?})",
-            r.drained,
-            branches[0].expected_drain()
-        ))
-    }
+    sweep::check_sequential(
+        Model::initial(workload.stack, &workload.prefill),
+        &workload.ops,
+        &r.outcomes,
+        &r.drained,
+    )
 }
 
 /// Sweep every crash point under per-process crash semantics (the PPM model).
@@ -622,111 +589,241 @@ fn sweep_plan_with_workers(
     system: bool,
     workers_override: Option<usize>,
 ) -> StructSweepReport {
-    let baseline = replay(variant, workload, &CrashPlan::new(Vec::new()), system);
-    assert_eq!(baseline.crashes, 0);
-    let strict = variant.detectable();
-    let mut report = StructSweepReport {
+    sweep::run_sweep(
         variant,
-        workload: workload.name,
-        nested: nested.to_vec(),
+        &format!("dfck_struct trace: {variant:?} {}", workload.name),
+        workload.name,
+        nested,
         system,
-        crash_points: baseline.crash_points,
-        replays: 1,
-        crashes_injected: 0,
-        recoveries: 0,
-        entry_retries: 0,
-        recovery_crashes: 0,
-        audit_flags: baseline.audit_flags,
-        violations: Vec::new(),
-    };
-    if let Err(e) = check_history(workload, &baseline) {
-        report.violations.push(format!("baseline (crash-free): {e}"));
+        variant.detectable(),
+        workers_override,
+        |plan| replay(variant, workload, plan, system),
+        |r| check_history(workload, r),
+    )
+}
+
+/// Run one *scheduled* replay of a concurrent structure workload, mirroring
+/// [`crate::dfck::conc_replay`]. Only the detectable capsule variants are
+/// supported: the non-detectable Izraelevitz discipline is already swept
+/// concurrently on the queue side (MSQ), where interrupted-operation
+/// ambiguity is the interesting case; the structure sweeps concentrate on the
+/// exactly-once claim under contention.
+pub fn conc_replay(
+    variant: StructVariant,
+    w: &ConcStructWorkload,
+    sched_seed: u64,
+    victim: usize,
+    plan: Option<&CrashPlan>,
+    system: bool,
+) -> sweep::ConcReplayRecord<StructOp> {
+    assert!(
+        variant.detectable(),
+        "concurrent struct sweeps cover the detectable capsule variants only"
+    );
+    assert_eq!(
+        variant.is_stack(),
+        w.stack,
+        "workload shape must match the variant"
+    );
+    pmem::install_quiet_crash_hook();
+    let threads = w.threads();
+    assert!(victim < threads, "victim pid out of range");
+    // Pids 0..threads run the scheduled window; one extra *helper* pid does
+    // the prefill and the post-join drain. The helper must not share a pid
+    // with any worker: the rcas announcement slot is per pid and assumes
+    // sequence numbers are unique per pid, and a fresh handle restarts its
+    // sequence counter — a worker recovering over a triple installed by a
+    // same-pid prefill handle would false-positively conclude its own
+    // interrupted CAS already took effect.
+    let helper = threads;
+    let nprocs = threads + 1;
+    let mem = PMem::new(MemConfig::new(nprocs).mode(Mode::SharedCache));
+    // The flush auditor stays disarmed in scheduled replays for the same
+    // reason as [`crate::dfck::conc_replay`]: the capsule/rcas discipline
+    // flushes the CAS target *after* publishing (announcements before), so a
+    // peer may legitimately read the published-but-unflushed word — safe
+    // because any later persist of that line carries the predecessor's value
+    // with it. The single-threaded sweeps keep the auditor armed.
+    let bound = w.drain_bound();
+
+    enum Q {
+        Sg(GeneralStack),
+        Sn(NormalizedStack),
+        Tg(GeneralSet),
+        Tn(NormalizedSet),
     }
-    if baseline.audit_flags > 0 {
-        report.violations.push(format!(
-            "baseline (crash-free): {} flush-audit flag(s): {:?}",
-            baseline.audit_flags, baseline.audit_reports
-        ));
+    /// The capsule-handle surface the workers need beyond [`StructHandle`].
+    trait CapsHandle: StructHandle {
+        fn caps_metrics(&mut self) -> CapsuleMetrics;
+        fn caps_set_system(&mut self, system: bool);
     }
-    let plan_for = |k: u64| CrashPlan::nested(k, nested);
-    let run_one = |k: u64| -> (u64, Replay) {
-        if std::env::var_os("DF_DFCK_TRACE").is_some() {
-            eprintln!(
-                "dfck_struct trace: {:?} {} k={k} gaps={:?} system={system}",
-                variant,
-                workload.name,
-                plan_for(k).script()
-            );
+    macro_rules! caps_handle {
+        ($ty:ty) => {
+            impl CapsHandle for $ty {
+                fn caps_metrics(&mut self) -> CapsuleMetrics {
+                    self.runtime_mut().metrics()
+                }
+                fn caps_set_system(&mut self, system: bool) {
+                    self.runtime_mut().set_system_crashes(system)
+                }
+            }
+        };
+    }
+    caps_handle!(structs::GeneralStackHandle<'_, '_, '_>);
+    caps_handle!(structs::NormalizedStackHandle<'_, '_, '_>);
+    caps_handle!(structs::GeneralSetHandle<'_, '_, '_>);
+    caps_handle!(structs::NormalizedSetHandle<'_, '_, '_>);
+    fn handle_of<'a>(q: &'a Q, t: &'a pmem::PThread<'a>) -> Box<dyn CapsHandle + 'a> {
+        match q {
+            Q::Sg(q) => Box::new(q.handle(t)),
+            Q::Sn(q) => Box::new(q.handle(t)),
+            Q::Tg(q) => Box::new(q.handle(t)),
+            Q::Tn(q) => Box::new(q.handle(t)),
         }
-        (k, replay(variant, workload, &plan_for(k), system))
+    }
+
+    // Build and prefill from the helper pid, unscheduled and crash-free, then
+    // make the prefill durable so it survives any later rollback.
+    let q = {
+        let t = mem.thread(helper);
+        let q = match variant {
+            StructVariant::StackGeneral => {
+                Q::Sg(GeneralStack::new(&t, nprocs, true, BoundaryStyle::General))
+            }
+            StructVariant::StackNormalized => {
+                Q::Sn(NormalizedStack::new(&t, nprocs, true, false))
+            }
+            StructVariant::SetGeneral => {
+                Q::Tg(GeneralSet::new(&t, nprocs, true, BoundaryStyle::General))
+            }
+            StructVariant::SetNormalized => Q::Tn(NormalizedSet::new(&t, nprocs, true, false)),
+            _ => unreachable!("checked detectable() above"),
+        };
+        {
+            let mut h = handle_of(&q, &t);
+            for op in w.prefill_ops() {
+                let _ = h.apply(op);
+            }
+        }
+        q
     };
-    let n = baseline.crash_points;
-    let workers = workers_override
-        .map(|w| w.max(1))
-        .unwrap_or_else(|| crate::dfck::sweep_workers(n));
-    let results: Vec<(u64, Replay)> = if workers <= 1 {
-        (0..n).map(run_one).collect()
-    } else {
-        let mut all: Vec<(u64, Replay)> = std::thread::scope(|s| {
-            let run_one = &run_one;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    s.spawn(move || {
-                        (w as u64..n)
-                            .step_by(workers)
-                            .map(run_one)
-                            .collect::<Vec<_>>()
-                    })
+    mem.persist_everything();
+
+    struct PidOut {
+        history: Vec<TimedOp<StructOp>>,
+        crash_points: u64,
+        crashes: u64,
+        recoveries: u64,
+        entry_retries: u64,
+        recovery_crashes: u64,
+    }
+
+    let sched = ThreadScheduler::new(SchedConfig::new(threads, sched_seed));
+    let gate = TurnGate::new();
+    let outs: Vec<PidOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|pid| {
+                let sched = Arc::clone(&sched);
+                let (mem, q, gate) = (&mem, &q, &gate);
+                let ops: &[StructOp] = &w.per_pid[pid];
+                s.spawn(move || {
+                    let t = mem.thread(pid);
+                    gate.wait_for(pid);
+                    let mut h = handle_of(q, &t);
+                    h.caps_set_system(system);
+                    gate.advance(pid);
+                    let before = h.caps_metrics();
+                    let (history, window) = sweep::run_scheduled_window(
+                        &t,
+                        &sched,
+                        pid,
+                        victim,
+                        plan,
+                        ops,
+                        |op| OpOutcome::Completed(h.apply(op)),
+                    );
+                    let m = h.caps_metrics();
+                    PidOut {
+                        history,
+                        crash_points: window.crash_points,
+                        crashes: window.crashes,
+                        recoveries: m.recoveries - before.recoveries,
+                        entry_retries: m.entry_retries - before.entry_retries,
+                        recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                    }
                 })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("dfck_struct sweep worker panicked"))
-                .collect()
-        });
-        all.sort_by_key(|&(k, _)| k);
-        all
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheduled dfck_struct worker panicked"))
+            .collect()
+    });
+
+    // Drain from a fresh, unscheduled helper-pid handle after every worker
+    // joined.
+    let (drained, truncated) = {
+        let t = mem.thread(helper);
+        let mut h = handle_of(&q, &t);
+        let d = h.drain_up_to(bound + 1);
+        (d.items, d.truncated)
     };
-    for (k, r) in results {
-        let gaps = plan_for(k).script().to_vec();
-        report.replays += 1;
-        report.crashes_injected += r.crashes;
-        report.recoveries += r.recoveries;
-        report.entry_retries += r.entry_retries;
-        report.recovery_crashes += r.recovery_crashes;
-        report.audit_flags += r.audit_flags;
-        if r.audit_flags > 0 {
-            report.violations.push(format!(
-                "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
-                r.audit_flags, r.audit_reports
-            ));
-        }
-        if r.crashes == 0 {
-            report.violations.push(format!(
-                "k={k}: the schedule never fired (swept range disagrees with the replay)"
-            ));
-            continue;
-        }
-        if let Err(e) = check_history(workload, &r) {
-            report.violations.push(format!("k={k} gaps={gaps:?}: {e}"));
-            continue;
-        }
-        if strict {
-            if r.outcomes != baseline.outcomes || r.drained != baseline.drained {
-                report.violations.push(format!(
-                    "k={k} gaps={gaps:?}: history differs from the crash-free run \
-                     (outcomes {:?} vs {:?}, drain {:?} vs {:?})",
-                    r.outcomes, baseline.outcomes, r.drained, baseline.drained
-                ));
-            }
-            if r.recoveries + r.entry_retries == 0 {
-                report.violations.push(format!(
-                    "k={k}: a crash was injected but no recovery action ran"
-                ));
-            }
-        }
+    let (audit_flags, audit_reports) = (0, Vec::new());
+    sweep::ConcReplayRecord {
+        history: outs.iter().flat_map(|o| o.history.iter().copied()).collect(),
+        drain_overflow: truncated || drained.len() > bound,
+        drained,
+        fingerprint: sched.fingerprint(),
+        victim_crash_points: outs[victim].crash_points,
+        victim_crashes: outs[victim].crashes,
+        victim_recovery_actions: outs[victim].recoveries + outs[victim].entry_retries,
+        crashes: outs.iter().map(|o| o.crashes).sum(),
+        recoveries: outs.iter().map(|o| o.recoveries).sum(),
+        entry_retries: outs.iter().map(|o| o.entry_retries).sum(),
+        recovery_crashes: outs.iter().map(|o| o.recovery_crashes).sum(),
+        audit_flags,
+        audit_reports,
     }
-    report
+}
+
+/// The interleaved sweep for the detectable structure variants: enumerate
+/// (interleaving seed × crash point) exactly like
+/// [`crate::dfck::sweep_interleaved`], with the LIFO/membership oracles
+/// generalized to linearization checking over the scheduler's global
+/// instruction clock.
+pub fn sweep_interleaved(
+    variant: StructVariant,
+    w: &ConcStructWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    system: bool,
+) -> ConcStructSweepReport {
+    sweep_interleaved_with_workers(variant, w, seeds, nested, system, None)
+}
+
+/// [`sweep_interleaved`] with an explicit fan-out worker count (`None` ⇒
+/// [`sweep::sweep_workers`]); lets tests compare sequential and parallel runs.
+fn sweep_interleaved_with_workers(
+    variant: StructVariant,
+    w: &ConcStructWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    system: bool,
+    workers_override: Option<usize>,
+) -> ConcStructSweepReport {
+    sweep::run_conc_sweep(
+        variant,
+        &format!("dfck_struct conc trace: {variant:?} {}", w.name),
+        w.name,
+        w.threads(),
+        seeds,
+        nested,
+        system,
+        variant.detectable(),
+        workers_override,
+        || Model::initial(w.stack, &w.prefill),
+        |seed, victim, plan| conc_replay(variant, w, seed, victim, plan, system),
+    )
 }
 
 #[cfg(test)]
@@ -810,7 +907,7 @@ mod tests {
             prefill: vec![7],
             ops: vec![StructOp::Insert(42)],
         };
-        let base = Replay {
+        let base = ReplayRecord {
             outcomes: vec![OpOutcome::Interrupted],
             drained: vec![7, 42],
             drain_overflow: false,
@@ -861,6 +958,17 @@ mod tests {
         assert_eq!(seq.audit_flags, par.audit_flags);
         assert_eq!(seq.violations, par.violations);
         assert!(seq.passed());
+    }
+
+    #[test]
+    fn conc_struct_workload_generators_are_sane() {
+        let sp = ConcStructWorkload::stack_pair(2);
+        assert_eq!(sp.threads(), 2);
+        assert_eq!(sp.drain_bound(), 4 + 2);
+        let tp = ConcStructWorkload::set_pair(3);
+        assert_eq!(tp.threads(), 3);
+        // Inserted keys are distinct across pids; removed keys are prefilled.
+        assert_eq!(tp.drain_bound(), 3 + 3);
     }
 
     // The full pair sweeps (every variant, single + nested, PPM + system) live

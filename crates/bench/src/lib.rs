@@ -21,6 +21,7 @@ pub mod dfck;
 pub mod dfck_struct;
 pub mod json;
 pub mod structs_bench;
+pub mod sweep;
 
 use std::sync::Barrier;
 use std::time::Instant;

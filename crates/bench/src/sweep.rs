@@ -1,0 +1,962 @@
+//! `sweep` — the machinery shared by the exhaustive crash-point sweepers.
+//!
+//! [`crate::dfck`] (queues) and [`crate::dfck_struct`] (stacks and sets) run
+//! the same engine over different shapes: a crash-free baseline learns the
+//! crash-point count, each point `k` is replayed with a scripted
+//! [`CrashPlan`], the independent replays fan out across worker threads, and
+//! per-replay results are merged into a report in `k` order. This module owns
+//! that engine — the replay record, the report, the fan-out/striping, the
+//! kill-aware crash application and the drain-bound discipline — so the two
+//! sweepers contribute only their drivers (how to run one replay) and their
+//! sequential models (what a correct history looks like).
+//!
+//! It also owns the **generalized oracle**: a Wing&Gong-style linearization
+//! checker over timed operation histories ([`check_linearizable`]). The
+//! single-threaded sweeps drive it with a totally ordered history
+//! ([`check_sequential`] — equivalent to the original forked-model oracles,
+//! with interrupted operations forking applied/not-applied branches in place),
+//! and the interleaved sweeps ([`run_conc_sweep`]) drive it with real
+//! concurrent timestamps taken from the deterministic
+//! [`ThreadScheduler`](pmem::ThreadScheduler)'s global instruction clock, so
+//! the check becomes "consistent with *some* valid linearization of the
+//! concurrent history".
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+use pmem::{CrashPlan, PThread, Stats, ThreadScheduler};
+
+/// What a replay driver observed for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The operation ran to completion; the return value is carried (e.g. a
+    /// dequeue's result; `None` for operations that return nothing).
+    Completed(Option<u64>),
+    /// A crash interrupted the operation and the variant cannot tell whether
+    /// it took effect (only possible for non-detectable variants).
+    Interrupted,
+}
+
+/// Everything one single-threaded replay produced, for the oracle and the
+/// report. Shared verbatim by the queue and structure sweepers.
+#[derive(Clone, Debug)]
+pub struct ReplayRecord {
+    /// Per-operation outcomes, in program order.
+    pub outcomes: Vec<OpOutcome>,
+    /// The final bounded drain of the container.
+    pub drained: Vec<u64>,
+    /// The drain returned more elements than the replay could possibly have
+    /// left behind: the chain is corrupted — almost certainly cyclic. The
+    /// bounded drain is what keeps the sweep from hanging on it.
+    pub drain_overflow: bool,
+    /// Crash points passed inside the swept window (meaningful for the
+    /// crash-free baseline, where it defines the sweep range).
+    pub crash_points: u64,
+    /// Simulated crashes the thread experienced.
+    pub crashes: u64,
+    /// Frame recoveries (capsule variants) or recovery calls (LogQueue).
+    pub recoveries: u64,
+    /// Crashes absorbed by retrying the operation-entry boundary (capsule
+    /// variants only).
+    pub entry_retries: u64,
+    /// Crashes that landed inside recovery itself (the nested path).
+    pub recovery_crashes: u64,
+    /// Flush-order violations the armed [`pmem::FlushAuditor`] flagged.
+    pub audit_flags: u64,
+    /// The auditor's human-readable reports for those flags.
+    pub audit_reports: Vec<String>,
+}
+
+/// Aggregate result of sweeping one (variant, workload) combination. `V` is
+/// the sweeper's variant enum ([`crate::dfck::SweepVariant`] or
+/// [`crate::dfck_struct::StructVariant`]); everything else is shared.
+#[derive(Clone, Debug)]
+pub struct Report<V> {
+    /// The swept variant.
+    pub variant: V,
+    /// Workload name ("pair" / "multi").
+    pub workload: &'static str,
+    /// Crash schedule family: the gaps injected *after* the swept crash point.
+    /// Empty for the single-crash sweep; `[m]` for the nested sweep that
+    /// crashes again `m` crash points into the recovery the first crash
+    /// triggered; `[m, n]` for depth-2 schedules; and so on.
+    pub nested: Vec<u64>,
+    /// Whether crashes were full-system power failures (unflushed lines rolled
+    /// back) rather than per-process faults.
+    pub system: bool,
+    /// Total crash points of the crash-free run (all of them were swept).
+    pub crash_points: u64,
+    /// Replays executed (= crash points, plus the crash-free baseline).
+    pub replays: u64,
+    /// Total simulated crashes injected across all replays.
+    pub crashes_injected: u64,
+    /// Total recoveries observed across all replays.
+    pub recoveries: u64,
+    /// Crashes absorbed by entry-boundary retries across all replays.
+    pub entry_retries: u64,
+    /// Crashes that interrupted recovery itself (proof the nested path ran).
+    pub recovery_crashes: u64,
+    /// Flush-order violations the armed auditor flagged across all replays
+    /// (also folded into `violations`). Must be zero.
+    pub audit_flags: u64,
+    /// Oracle violations, as human-readable descriptions. Must be empty.
+    pub violations: Vec<String>,
+}
+
+impl<V> Report<V> {
+    /// Whether every replay satisfied the oracle.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Apply a caught crash to the machine from a sweep *driver* (code outside the
+/// capsule runtime, e.g. the MSQ-Izraelevitz and LogQueue protocol drivers).
+///
+/// Kill-aware: when the crash this thread just caught was the collateral of a
+/// peer's full-system crash delivered through the
+/// [`ThreadScheduler`](pmem::ThreadScheduler)
+/// ([`PThread::take_killed`]), the peer already applied the machine-level
+/// effects (rollback + crashed flags); re-applying them would double the
+/// rollback and re-kill the peers in turn. Otherwise this is the crash the
+/// thread's own schedule raised: apply a full-system power failure (roll back
+/// every unflushed cache line and kill the scheduled peers — sound because
+/// only the baton holder executes instructions, so every peer is parked
+/// before its next access) or the default per-process fault.
+pub fn apply_driver_crash(t: &PThread, system: bool) {
+    t.note_crash();
+    if t.take_killed() {
+        let _ = t.mem().take_crashed(t.pid());
+        return;
+    }
+    if system {
+        t.mem().crash_all();
+        t.kill_peers();
+    } else {
+        t.mem().crash_thread(t.pid());
+    }
+    let _ = t.mem().take_crashed(t.pid());
+}
+
+/// Worker-thread count for the sweep fan-out: `DF_DFCK_THREADS`, defaulting
+/// to `available_parallelism` capped at 8, never more than one per replay.
+pub fn sweep_workers(replays: u64) -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let configured = crate::env_u64("DF_DFCK_THREADS", default as u64).max(1) as usize;
+    configured.min(replays.max(1) as usize)
+}
+
+/// Fan `run_one` out over `0..n` across `workers` OS threads (striped, since
+/// the per-`k` costs are roughly uniform) and return the results sorted by
+/// `k` — the merge is deterministic regardless of the worker count. Replays
+/// share nothing (each builds its own machine), so plain fan-out is sound.
+pub fn fan_out<R: Send>(
+    n: u64,
+    workers: usize,
+    run_one: impl Fn(u64) -> R + Sync,
+) -> Vec<(u64, R)> {
+    let workers = workers.max(1);
+    if workers <= 1 {
+        return (0..n).map(|k| (k, run_one(k))).collect();
+    }
+    let mut all: Vec<(u64, R)> = std::thread::scope(|s| {
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    (w as u64..n)
+                        .step_by(workers)
+                        .map(|k| (k, run_one(k)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    all.sort_by_key(|&(k, _)| k);
+    all
+}
+
+/// The shared single-threaded sweep engine: run the crash-free baseline, fan
+/// one replay per crash point out over [`sweep_workers`], and assemble the
+/// [`Report`] — audit flags, schedule-never-fired detection, the
+/// model-consistency check, and (for `strict` = detectable variants) the
+/// exactly-once obligations: history identical to the crash-free run and at
+/// least one recovery action per injected crash.
+///
+/// `trace_tag` prefixes the optional `DF_DFCK_TRACE` schedule log; `replay`
+/// runs one replay under the given plan; `check` is the model-consistency
+/// oracle for one replay (typically [`check_sequential`] behind a
+/// drain-overflow guard).
+#[allow(clippy::too_many_arguments)] // one assembly site, two thin callers
+pub fn run_sweep<V: Copy>(
+    variant: V,
+    trace_tag: &str,
+    workload_name: &'static str,
+    nested: &[u64],
+    system: bool,
+    strict: bool,
+    workers_override: Option<usize>,
+    replay: impl Fn(&CrashPlan) -> ReplayRecord + Sync,
+    check: impl Fn(&ReplayRecord) -> Result<(), String>,
+) -> Report<V> {
+    // Crash-free baseline: defines the sweep range and the reference history.
+    let baseline = replay(&CrashPlan::new(Vec::new()));
+    assert_eq!(baseline.crashes, 0);
+    let mut report = Report {
+        variant,
+        workload: workload_name,
+        nested: nested.to_vec(),
+        system,
+        crash_points: baseline.crash_points,
+        replays: 1,
+        crashes_injected: 0,
+        recoveries: 0,
+        entry_retries: 0,
+        recovery_crashes: 0,
+        audit_flags: baseline.audit_flags,
+        violations: Vec::new(),
+    };
+    if let Err(e) = check(&baseline) {
+        report
+            .violations
+            .push(format!("baseline (crash-free): {e}"));
+    }
+    if baseline.audit_flags > 0 {
+        report.violations.push(format!(
+            "baseline (crash-free): {} flush-audit flag(s): {:?}",
+            baseline.audit_flags, baseline.audit_reports
+        ));
+    }
+    // One source of truth for the scripted schedule shape: `CrashPlan::nested`
+    // builds `[k, nested…]`, and `script()` is what the reports print.
+    let plan_for = |k: u64| CrashPlan::nested(k, nested);
+    let run_one = |k: u64| -> ReplayRecord {
+        let plan = plan_for(k);
+        if std::env::var_os("DF_DFCK_TRACE").is_some() {
+            eprintln!("{trace_tag}: k={k} gaps={:?} system={system}", plan.script());
+        }
+        replay(&plan)
+    };
+    let n = baseline.crash_points;
+    let workers = workers_override
+        .map(|w| w.max(1))
+        .unwrap_or_else(|| sweep_workers(n));
+    for (k, r) in fan_out(n, workers, run_one) {
+        let gaps = plan_for(k).script().to_vec();
+        report.replays += 1;
+        report.crashes_injected += r.crashes;
+        report.recoveries += r.recoveries;
+        report.entry_retries += r.entry_retries;
+        report.recovery_crashes += r.recovery_crashes;
+        report.audit_flags += r.audit_flags;
+        if r.audit_flags > 0 {
+            report.violations.push(format!(
+                "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
+                r.audit_flags, r.audit_reports
+            ));
+        }
+        if r.crashes == 0 {
+            report.violations.push(format!(
+                "k={k}: the schedule never fired (swept range disagrees with the replay)"
+            ));
+            continue;
+        }
+        if let Err(e) = check(&r) {
+            report.violations.push(format!("k={k} gaps={gaps:?}: {e}"));
+            continue;
+        }
+        if strict {
+            // Detectable variants: the history must be *identical* to the
+            // crash-free one — crashes must be invisible (Definition 2.2) —
+            // and the crash must actually have forced a recovery, proving the
+            // "re-executed but invisible" claim rather than a vacuous pass.
+            if r.outcomes != baseline.outcomes || r.drained != baseline.drained {
+                report.violations.push(format!(
+                    "k={k} gaps={gaps:?}: history differs from the crash-free run \
+                     (outcomes {:?} vs {:?}, drain {:?} vs {:?})",
+                    r.outcomes, baseline.outcomes, r.drained, baseline.drained
+                ));
+            }
+            if r.recoveries + r.entry_retries == 0 {
+                report.violations.push(format!(
+                    "k={k}: a crash was injected but no recovery action ran"
+                ));
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// The generalized oracle: linearization checking over timed histories.
+// ---------------------------------------------------------------------------
+
+/// A sequential model of the shape under test, used by the linearization
+/// checker. Implementations are tiny in-memory references: a `VecDeque` for
+/// FIFO queues, a `Vec` for LIFO stacks, a `BTreeSet` for ordered sets.
+///
+/// `Clone + Eq + Hash` let the checker fork the model at interrupted
+/// operations and memoize visited (decided-set, state) pairs.
+pub trait SeqModel: Clone + Eq + Hash {
+    /// The operation alphabet of the shape.
+    type Op: Copy + std::fmt::Debug;
+    /// Apply `op` to the model, returning the model's return value (compared
+    /// against the observed [`OpOutcome::Completed`] payload).
+    fn apply(&mut self, op: Self::Op) -> Option<u64>;
+    /// The drain the harness would observe from this state (FIFO order,
+    /// top-down for stacks, ascending for sets).
+    fn final_drain(&self) -> Vec<u64>;
+}
+
+/// One operation of a (possibly concurrent) history, with the interval of
+/// global instruction timestamps it occupied.
+///
+/// Timestamps come from the [`ThreadScheduler`](pmem::ThreadScheduler)'s
+/// global clock ([`PThread::sched_step`]): `start` is a lower bound on the
+/// operation's first instruction, `end` an upper bound on its linearization
+/// point ([`u64::MAX`] for interrupted operations, whose effect — if any —
+/// may surface arbitrarily late, e.g. through a peer's helping). Loose starts
+/// and tight ends keep the checker *sound*: it may miss a real-time ordering
+/// edge (accepting a history a sharper clock would reject) but never invents
+/// one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedOp<O> {
+    /// The operation.
+    pub op: O,
+    /// What the driver observed for it.
+    pub outcome: OpOutcome,
+    /// Lower bound on the operation's invocation time.
+    pub start: u64,
+    /// Upper bound on the operation's linearization point.
+    pub end: u64,
+}
+
+/// Bit-set over history indices, sized at runtime (no 64-op cap: seeded
+/// workloads scale with `DF_DFCK_OPS`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct DoneSet(Vec<u64>);
+
+impl DoneSet {
+    fn new(n: usize) -> DoneSet {
+        DoneSet(vec![0; n.div_ceil(64)])
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+    fn with(&self, i: usize) -> DoneSet {
+        let mut next = self.clone();
+        next.0[i / 64] |= 1 << (i % 64);
+        next
+    }
+    fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Check a timed operation history against a sequential model: succeed iff
+/// *some* valid linearization of the history — an order of the operations
+/// that respects real time (an operation that completed before another was
+/// invoked must linearize first), with every interrupted operation either
+/// applied or dropped — reproduces every completed operation's return value
+/// *and* the final drained contents.
+///
+/// This is the forked-model oracle generalized from total orders (the
+/// original sequential sweeps, via [`check_sequential`]) to the partial
+/// orders of genuinely concurrent replays. Search is exhaustive
+/// (Wing & Gong-style DFS) with memoization over (decided-set, model state),
+/// which keeps the tiny sweep histories (a handful of ops per process) cheap.
+pub fn check_linearizable<M: SeqModel>(
+    initial: M,
+    history: &[TimedOp<M::Op>],
+    drained: &[u64],
+) -> Result<(), String> {
+    fn dfs<M: SeqModel>(
+        history: &[TimedOp<M::Op>],
+        drained: &[u64],
+        done: &DoneSet,
+        model: &M,
+        memo: &mut HashSet<(DoneSet, M)>,
+    ) -> bool {
+        if done.count() == history.len() {
+            return model.final_drain() == drained;
+        }
+        if !memo.insert((done.clone(), model.clone())) {
+            return false;
+        }
+        for (i, item) in history.iter().enumerate() {
+            if done.get(i) {
+                continue;
+            }
+            // Real-time order: `i` may linearize next only if no other still
+            // pending operation *completed* before `i` was invoked.
+            let blocked = history
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && !done.get(j) && other.end < item.start);
+            if blocked {
+                continue;
+            }
+            let next_done = done.with(i);
+            match item.outcome {
+                OpOutcome::Completed(ret) => {
+                    let mut next = model.clone();
+                    if next.apply(item.op) == ret
+                        && dfs(history, drained, &next_done, &next, memo)
+                    {
+                        return true;
+                    }
+                }
+                OpOutcome::Interrupted => {
+                    // Fork: the interrupted operation either applied (its
+                    // return value was lost with the crash) or never happened.
+                    let mut applied = model.clone();
+                    let _ = applied.apply(item.op);
+                    if dfs(history, drained, &next_done, &applied, memo)
+                        || dfs(history, drained, &next_done, model, memo)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    let mut memo = HashSet::new();
+    if dfs(history, drained, &DoneSet::new(history.len()), &initial, &mut memo) {
+        Ok(())
+    } else {
+        Err(format!(
+            "no valid linearization of the history reproduces the observed \
+             returns and final drain {drained:?} (history: {history:?})"
+        ))
+    }
+}
+
+/// [`check_linearizable`] over a totally ordered (single-threaded) history:
+/// op `i` gets the degenerate interval `[i, i]`, which forces program order
+/// and makes every interrupted operation fork applied/not-applied *in place*
+/// — exactly the original sequential forked-model oracles.
+pub fn check_sequential<M: SeqModel>(
+    initial: M,
+    ops: &[M::Op],
+    outcomes: &[OpOutcome],
+    drained: &[u64],
+) -> Result<(), String> {
+    assert_eq!(ops.len(), outcomes.len(), "one outcome per operation");
+    let history: Vec<TimedOp<M::Op>> = ops
+        .iter()
+        .zip(outcomes)
+        .enumerate()
+        .map(|(i, (&op, &outcome))| TimedOp {
+            op,
+            outcome,
+            start: i as u64,
+            end: i as u64,
+        })
+        .collect();
+    check_linearizable(initial, &history, drained)
+}
+
+// ---------------------------------------------------------------------------
+// The interleaved (schedule × crash point) sweep engine.
+// ---------------------------------------------------------------------------
+
+/// A pid-ordered turn gate the concurrent replay drivers use to serialise
+/// *unscheduled* per-process setup (handle construction). Construction
+/// allocates persistent memory before the scheduler is armed, and the
+/// allocation layout — hence cache-line co-location, which line-granular
+/// flush/rollback acts on — must be deterministic for equal seeds to
+/// reproduce replays bit-for-bit.
+pub struct TurnGate {
+    turn: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl TurnGate {
+    /// A gate whose first turn belongs to pid 0.
+    pub fn new() -> TurnGate {
+        TurnGate {
+            turn: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until it is `pid`'s turn.
+    pub fn wait_for(&self, pid: usize) {
+        let mut g = self.turn.lock().unwrap();
+        while *g != pid {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Pass the turn to `pid + 1`.
+    pub fn advance(&self, pid: usize) {
+        *self.turn.lock().unwrap() = pid + 1;
+        self.cv.notify_all();
+    }
+}
+
+impl Default for TurnGate {
+    fn default() -> TurnGate {
+        TurnGate::new()
+    }
+}
+
+/// The scheduled-window protocol every concurrent replay worker follows:
+/// register with the deterministic scheduler, install the crash schedule on
+/// the victim pid, reset the stats window, run the operations with global
+/// timestamps taken from [`PThread::sched_step`], then capture the window's
+/// [`Stats`] and detach from the scheduler.
+///
+/// `start` is recorded as `sched_step() + 1`: a sound lower bound on the
+/// operation's first instruction that also keeps consecutive operations of
+/// one pid strictly ordered (`end < start`), so the linearization checker
+/// preserves program order. `end` is the global step of the operation's last
+/// instruction — an upper bound on its linearization point — or [`u64::MAX`]
+/// for interrupted operations, whose effect may surface arbitrarily late.
+pub fn run_scheduled_window<O: Copy>(
+    t: &PThread<'_>,
+    sched: &Arc<ThreadScheduler>,
+    pid: usize,
+    victim: usize,
+    plan: Option<&CrashPlan>,
+    ops: &[O],
+    mut run_op: impl FnMut(O) -> OpOutcome,
+) -> (Vec<TimedOp<O>>, Stats) {
+    t.set_thread_scheduler(Arc::clone(sched));
+    let _guard = sched.finish_guard(pid);
+    if pid == victim {
+        if let Some(plan) = plan {
+            if plan.remaining() > 0 {
+                t.set_crash_schedule(plan.clone());
+            }
+        }
+    }
+    let _ = t.take_stats();
+    let mut history = Vec::with_capacity(ops.len());
+    for &op in ops {
+        let start = t.sched_step() + 1;
+        let outcome = run_op(op);
+        let end = match outcome {
+            OpOutcome::Completed(_) => t.sched_step(),
+            OpOutcome::Interrupted => u64::MAX,
+        };
+        history.push(TimedOp {
+            op,
+            outcome,
+            start,
+            end,
+        });
+    }
+    let window = t.stats();
+    t.disarm_crashes();
+    t.clear_thread_scheduler();
+    (history, window)
+}
+
+/// Everything one *concurrent* replay produced: the timed per-operation
+/// history across all processes, the final drain, the scheduler's trace
+/// digest, and the victim/aggregate crash bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConcReplayRecord<O> {
+    /// Every process's operations with outcomes and global timestamps
+    /// (flattened; the checker orders by timestamps, not position).
+    pub history: Vec<TimedOp<O>>,
+    /// The final bounded drain of the container.
+    pub drained: Vec<u64>,
+    /// The drain exceeded the replay's maximum possible survivors (corrupted,
+    /// almost certainly cyclic, chain).
+    pub drain_overflow: bool,
+    /// The scheduler's trace fingerprint
+    /// ([`pmem::ThreadScheduler::fingerprint`]): equal seeds must reproduce
+    /// it bit-for-bit, distinct seeds should perturb it.
+    pub fingerprint: u64,
+    /// Crash points the victim pid passed inside the scheduled window
+    /// (defines the sweep range for its seed).
+    pub victim_crash_points: u64,
+    /// Simulated crashes the victim experienced (0 in a replay with a plan ⇒
+    /// the schedule never fired).
+    pub victim_crashes: u64,
+    /// The victim's recovery actions (frame recoveries + entry retries, or
+    /// LogQueue recovery passes).
+    pub victim_recovery_actions: u64,
+    /// Crashes across *all* processes (kills included).
+    pub crashes: u64,
+    /// Recoveries across all processes.
+    pub recoveries: u64,
+    /// Entry-boundary retries across all processes.
+    pub entry_retries: u64,
+    /// Crashes that landed inside recovery itself, across all processes.
+    pub recovery_crashes: u64,
+    /// Flush-order violations the armed auditor flagged (0 when the variant
+    /// runs with the auditor disarmed — see the drivers).
+    pub audit_flags: u64,
+    /// The auditor's reports for those flags.
+    pub audit_reports: Vec<String>,
+}
+
+/// Aggregate result of an interleaved sweep: one (variant, workload,
+/// schedule-flavour) combination enumerated over (interleaving seed × crash
+/// point).
+#[derive(Clone, Debug)]
+pub struct ConcReport<V> {
+    /// The swept variant.
+    pub variant: V,
+    /// Workload name ("conc-pair" / "conc-multi").
+    pub workload: &'static str,
+    /// Number of scheduled processes.
+    pub threads: usize,
+    /// The interleaving seeds enumerated.
+    pub seeds: Vec<u64>,
+    /// Nested crash-schedule gaps (as in [`Report::nested`]).
+    pub nested: Vec<u64>,
+    /// Whether crashes were full-system power failures.
+    pub system: bool,
+    /// Distinct scheduler fingerprints among the crash-free baselines — the
+    /// number of genuinely different interleavings the seed set produced.
+    pub distinct_interleavings: u64,
+    /// Total victim crash points across all seeds (all were swept).
+    pub crash_points: u64,
+    /// Replays executed (crash points + one crash-free baseline per seed).
+    pub replays: u64,
+    /// Total simulated crashes injected across all replays and processes.
+    pub crashes_injected: u64,
+    /// Total recoveries observed.
+    pub recoveries: u64,
+    /// Total entry-boundary retries.
+    pub entry_retries: u64,
+    /// Crashes that interrupted recovery itself.
+    pub recovery_crashes: u64,
+    /// Flush-order auditor flags (also folded into `violations`).
+    pub audit_flags: u64,
+    /// Oracle violations. Must be empty.
+    pub violations: Vec<String>,
+}
+
+impl<V> ConcReport<V> {
+    /// Whether every replay satisfied the oracle.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The shared interleaved-sweep engine: for every seed, run a crash-free
+/// scheduled baseline to learn the victim's crash-point count, then fan out
+/// one replay per (seed, crash point `k`) with the scripted schedule
+/// `[k, nested…]` installed on the victim pid (`seed % threads`, so the
+/// victim rotates across the seed set). Every replay is checked with
+/// [`check_linearizable`] against `initial()`; `strict` (detectable variants)
+/// additionally requires every operation to complete — concurrent returns may
+/// legitimately differ across interleavings, so exact baseline equality is
+/// *not* required — and at least one victim recovery action per injected
+/// crash.
+///
+/// `replay(seed, victim, plan)` runs one scheduled replay (`plan = None` ⇒
+/// crash-free baseline); everything else mirrors [`run_sweep`].
+#[allow(clippy::too_many_arguments)] // one assembly site, two thin callers
+pub fn run_conc_sweep<V: Copy, M: SeqModel>(
+    variant: V,
+    trace_tag: &str,
+    workload_name: &'static str,
+    threads: usize,
+    seeds: &[u64],
+    nested: &[u64],
+    system: bool,
+    strict: bool,
+    workers_override: Option<usize>,
+    initial: impl Fn() -> M,
+    replay: impl Fn(u64, usize, Option<&CrashPlan>) -> ConcReplayRecord<M::Op> + Sync,
+) -> ConcReport<V>
+where
+    M::Op: Send,
+{
+    let mut report = ConcReport {
+        variant,
+        workload: workload_name,
+        threads,
+        seeds: seeds.to_vec(),
+        nested: nested.to_vec(),
+        system,
+        distinct_interleavings: 0,
+        crash_points: 0,
+        replays: 0,
+        crashes_injected: 0,
+        recoveries: 0,
+        entry_retries: 0,
+        recovery_crashes: 0,
+        audit_flags: 0,
+        violations: Vec::new(),
+    };
+    let mut fingerprints = BTreeSet::new();
+    for &seed in seeds {
+        let victim = (seed as usize) % threads;
+        let baseline = replay(seed, victim, None);
+        assert_eq!(baseline.crashes, 0, "crash-free baseline must not crash");
+        report.replays += 1;
+        report.audit_flags += baseline.audit_flags;
+        fingerprints.insert(baseline.fingerprint);
+        let base_tag = format!("seed={seed} victim={victim}");
+        if baseline.drain_overflow {
+            report.violations.push(format!(
+                "{base_tag} baseline: drain overflow — corrupted (cyclic?) chain"
+            ));
+        } else if let Err(e) =
+            check_linearizable(initial(), &baseline.history, &baseline.drained)
+        {
+            report.violations.push(format!("{base_tag} baseline: {e}"));
+        }
+        if baseline.audit_flags > 0 {
+            report.violations.push(format!(
+                "{base_tag} baseline: {} flush-audit flag(s): {:?}",
+                baseline.audit_flags, baseline.audit_reports
+            ));
+        }
+        let n = baseline.victim_crash_points;
+        if n == 0 {
+            report.violations.push(format!(
+                "{base_tag}: the victim passed no crash points — nothing to sweep"
+            ));
+            continue;
+        }
+        report.crash_points += n;
+        let workers = workers_override
+            .map(|w| w.max(1))
+            .unwrap_or_else(|| sweep_workers(n));
+        let run_one = |k: u64| -> ConcReplayRecord<M::Op> {
+            let plan = CrashPlan::nested(k, nested);
+            if std::env::var_os("DF_DFCK_TRACE").is_some() {
+                eprintln!(
+                    "{trace_tag}: seed={seed} victim={victim} k={k} gaps={:?} system={system}",
+                    plan.script()
+                );
+            }
+            replay(seed, victim, Some(&plan))
+        };
+        for (k, r) in fan_out(n, workers, run_one) {
+            let tag = format!(
+                "seed={seed} victim={victim} k={k} gaps={:?}",
+                CrashPlan::nested(k, nested).script()
+            );
+            report.replays += 1;
+            report.crashes_injected += r.crashes;
+            report.recoveries += r.recoveries;
+            report.entry_retries += r.entry_retries;
+            report.recovery_crashes += r.recovery_crashes;
+            report.audit_flags += r.audit_flags;
+            if r.audit_flags > 0 {
+                report.violations.push(format!(
+                    "{tag}: {} flush-audit flag(s): {:?}",
+                    r.audit_flags, r.audit_reports
+                ));
+            }
+            if r.victim_crashes == 0 {
+                report.violations.push(format!(
+                    "{tag}: the schedule never fired on the victim"
+                ));
+                continue;
+            }
+            if r.drain_overflow {
+                report.violations.push(format!(
+                    "{tag}: drain returned {} elements — corrupted (cyclic?) chain",
+                    r.drained.len()
+                ));
+                continue;
+            }
+            if strict {
+                if let Some(interrupted) = r
+                    .history
+                    .iter()
+                    .find(|t| t.outcome == OpOutcome::Interrupted)
+                {
+                    report.violations.push(format!(
+                        "{tag}: a detectable variant left an operation interrupted: \
+                         {interrupted:?}"
+                    ));
+                    continue;
+                }
+            }
+            if let Err(e) = check_linearizable(initial(), &r.history, &r.drained) {
+                report.violations.push(format!("{tag}: {e}"));
+                continue;
+            }
+            if strict && r.victim_recovery_actions == 0 {
+                report.violations.push(format!(
+                    "{tag}: a crash was injected but no recovery action ran on the victim"
+                ));
+            }
+        }
+    }
+    report.distinct_interleavings = fingerprints.len() as u64;
+    // Colliding fingerprints silently collapse the seed dimension's coverage:
+    // two seeds that schedule identically sweep the same crash points twice
+    // instead of exploring a new interleaving. Report it as a violation so
+    // the sweep (and CI) fails loudly rather than over-claiming coverage.
+    let unique_seeds = seeds.iter().collect::<BTreeSet<_>>().len();
+    if (report.distinct_interleavings as usize) < unique_seeds {
+        report.violations.push(format!(
+            "seed set collapsed: {unique_seeds} distinct seeds produced only {} distinct \
+             interleavings",
+            report.distinct_interleavings
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal FIFO model for checker-level tests (the real sweepers bring
+    /// their own).
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Fifo(std::collections::VecDeque<u64>);
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum QOp {
+        Enq(u64),
+        Deq,
+    }
+
+    impl SeqModel for Fifo {
+        type Op = QOp;
+        fn apply(&mut self, op: QOp) -> Option<u64> {
+            match op {
+                QOp::Enq(v) => {
+                    self.0.push_back(v);
+                    None
+                }
+                QOp::Deq => self.0.pop_front(),
+            }
+        }
+        fn final_drain(&self) -> Vec<u64> {
+            self.0.iter().copied().collect()
+        }
+    }
+
+    fn fifo(values: &[u64]) -> Fifo {
+        Fifo(values.iter().copied().collect())
+    }
+
+    fn op(o: QOp, ret: Option<u64>, start: u64, end: u64) -> TimedOp<QOp> {
+        TimedOp {
+            op: o,
+            outcome: OpOutcome::Completed(ret),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn overlapping_ops_may_linearize_in_either_order() {
+        // Two overlapping enqueues; the drain fixes which came first. Both
+        // drains must be accepted, since the intervals overlap.
+        let history = [
+            op(QOp::Enq(1), None, 1, 10),
+            op(QOp::Enq(2), None, 2, 9),
+        ];
+        check_linearizable(fifo(&[]), &history, &[1, 2]).unwrap();
+        check_linearizable(fifo(&[]), &history, &[2, 1]).unwrap();
+        assert!(check_linearizable(fifo(&[]), &history, &[1]).is_err());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Enq(1) completed strictly before Enq(2) was invoked: only [1, 2]
+        // linearizes.
+        let history = [
+            op(QOp::Enq(1), None, 1, 4),
+            op(QOp::Enq(2), None, 5, 9),
+        ];
+        check_linearizable(fifo(&[]), &history, &[1, 2]).unwrap();
+        assert!(check_linearizable(fifo(&[]), &history, &[2, 1]).is_err());
+    }
+
+    #[test]
+    fn completed_returns_must_match_the_model() {
+        // Dequeue from [7]: must return Some(7), leave [].
+        let history = [op(QOp::Deq, Some(7), 1, 2)];
+        check_linearizable(fifo(&[7]), &history, &[]).unwrap();
+        let wrong = [op(QOp::Deq, Some(8), 1, 2)];
+        assert!(check_linearizable(fifo(&[7]), &wrong, &[]).is_err());
+    }
+
+    #[test]
+    fn interrupted_ops_fork_applied_and_not_applied() {
+        let history = [TimedOp {
+            op: QOp::Enq(42),
+            outcome: OpOutcome::Interrupted,
+            start: 1,
+            end: u64::MAX,
+        }];
+        check_linearizable(fifo(&[7]), &history, &[7, 42]).unwrap();
+        check_linearizable(fifo(&[7]), &history, &[7]).unwrap();
+        assert!(check_linearizable(fifo(&[7]), &history, &[42]).is_err());
+    }
+
+    #[test]
+    fn interrupted_op_can_take_effect_after_later_completed_ops() {
+        // An interrupted enqueue (end = MAX) may be completed much later by a
+        // helping peer: accept it linearizing after an op that started later.
+        let history = [
+            TimedOp {
+                op: QOp::Enq(1),
+                outcome: OpOutcome::Interrupted,
+                start: 1,
+                end: u64::MAX,
+            },
+            op(QOp::Enq(2), None, 10, 12),
+        ];
+        check_linearizable(fifo(&[]), &history, &[2, 1]).unwrap();
+    }
+
+    #[test]
+    fn sequential_wrapper_forces_program_order() {
+        // In the totally ordered wrapper the same two enqueues cannot be
+        // reordered: [2, 1] must be rejected.
+        let ops = [QOp::Enq(1), QOp::Enq(2)];
+        let outcomes = [OpOutcome::Completed(None); 2];
+        check_sequential(fifo(&[]), &ops, &outcomes, &[1, 2]).unwrap();
+        assert!(check_sequential(fifo(&[]), &ops, &outcomes, &[2, 1]).is_err());
+    }
+
+    #[test]
+    fn sequential_interrupted_ops_fork_in_place() {
+        // Interrupted enqueue then completed dequeue: the dequeue's return
+        // decides the fork retroactively, and inconsistent combinations fail.
+        let ops = [QOp::Enq(5), QOp::Deq];
+        let outcomes = [OpOutcome::Interrupted, OpOutcome::Completed(Some(5))];
+        check_sequential(fifo(&[]), &ops, &outcomes, &[]).unwrap();
+        let not_applied = [OpOutcome::Interrupted, OpOutcome::Completed(None)];
+        check_sequential(fifo(&[]), &ops, &not_applied, &[]).unwrap();
+        let impossible = [OpOutcome::Interrupted, OpOutcome::Completed(Some(6))];
+        assert!(check_sequential(fifo(&[]), &ops, &impossible, &[]).is_err());
+    }
+
+    #[test]
+    fn histories_longer_than_64_ops_are_supported() {
+        // The DoneSet is runtime-sized; a 70-op totally ordered history must
+        // check fine (DF_DFCK_OPS is user-controlled).
+        let ops: Vec<QOp> = (0..70).map(QOp::Enq).collect();
+        let outcomes = vec![OpOutcome::Completed(None); 70];
+        let expected: Vec<u64> = (0..70).collect();
+        check_sequential(fifo(&[]), &ops, &outcomes, &expected).unwrap();
+    }
+
+    #[test]
+    fn fan_out_merges_in_k_order_for_any_worker_count() {
+        for workers in [1, 3, 8] {
+            let out = fan_out(10, workers, |k| k * k);
+            let ks: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+            assert_eq!(ks, (0..10).collect::<Vec<_>>());
+            assert!(out.iter().all(|&(k, v)| v == k * k));
+        }
+    }
+}

@@ -196,18 +196,36 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
     /// additionally verifies the algorithm's flush placement.
     ///
     /// Only sound when no *other* thread is executing simulated instructions at
-    /// any crash point (`crash_all` requires quiescence), i.e. in single-threaded
-    /// harnesses like the `dfck` sweeper's replays.
+    /// any crash point (`crash_all` requires quiescence). Single-threaded
+    /// harnesses like the `dfck` sweeper's replays satisfy this trivially;
+    /// genuinely concurrent replays satisfy it by running every worker under a
+    /// [`ThreadScheduler`](pmem::ThreadScheduler), whose baton guarantees the
+    /// crashing thread is the only one executing simulated instructions — the
+    /// handler below then broadcasts the crash to the parked peers with
+    /// [`PThread::kill_peers`](pmem::PThread::kill_peers).
     pub fn set_system_crashes(&mut self, enabled: bool) {
         self.system_crashes = enabled;
     }
 
     /// Record the caught crash with the machine: full-system rollback in system
     /// mode, per-process fault otherwise.
+    ///
+    /// A crash that was itself the *collateral* of a peer's full-system crash —
+    /// a kill delivered at a scheduler yield point — applies nothing further:
+    /// the crashing peer already rolled the machine back and set every crashed
+    /// flag, and re-applying `crash_all` here would roll back state the peers
+    /// legitimately wrote *after* that crash. (The machine-level crashed flag is
+    /// consumed by [`recover`](Self::recover), exactly as for a direct crash.)
     fn apply_crash(&self) {
         self.thread.note_crash();
+        if self.thread.take_killed() {
+            return;
+        }
         if self.system_crashes {
             self.thread.mem().crash_all();
+            // Under a thread scheduler the other workers are parked mid-access:
+            // deliver the same crash to them. A no-op without a scheduler.
+            self.thread.kill_peers();
         } else {
             self.thread.mem().crash_thread(self.thread.pid());
         }
@@ -592,6 +610,80 @@ mod tests {
         let v = rt.local(0);
         rt.set_local(0, v + 1);
         rt.boundary(2);
+    }
+
+    #[test]
+    fn scheduled_workers_survive_system_crashes_with_exact_results() {
+        use pmem::{CrashPlan, MemConfig, Mode, SchedConfig, ThreadScheduler};
+        use std::sync::Arc;
+        install_quiet_crash_hook();
+        const WORKERS: usize = 3;
+        const CAPSULES: u64 = 12;
+        // Three capsule runtimes interleaved by a deterministic scheduler; pid 0
+        // takes a nested full-system crash schedule (crash in the workload, then
+        // again inside its own recovery). The peers are parked mid-instruction
+        // at both crashes and observe them as kills; everyone's state machine
+        // must still produce the exact sum.
+        let run = |seed: u64| -> (Vec<(u64, u64)>, u64) {
+            let mem = PMem::new(MemConfig::new(WORKERS).mode(Mode::SharedCache));
+            let sched = ThreadScheduler::new(SchedConfig::new(WORKERS, seed));
+            let per_pid: Vec<(u64, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..WORKERS)
+                    .map(|pid| {
+                        let mem = &mem;
+                        let sched = &sched;
+                        s.spawn(move || {
+                            let t = mem.thread(pid);
+                            t.set_thread_scheduler(Arc::clone(sched));
+                            let _guard = sched.finish_guard(pid);
+                            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+                            rt.set_system_crashes(true);
+                            if pid == 0 {
+                                t.set_crash_schedule(CrashPlan::new(vec![25, 3]));
+                            }
+                            let total = rt.run_op(0, |rt| {
+                                let i = rt.pc() as u64;
+                                if i == CAPSULES {
+                                    return CapsuleStep::Done(rt.local(0));
+                                }
+                                let acc = rt.local(0) + (i + 1);
+                                rt.set_local(0, acc);
+                                rt.boundary(rt.pc() + 1);
+                                CapsuleStep::Continue
+                            });
+                            t.disarm_crashes();
+                            let crashes = t.stats().crashes;
+                            t.clear_thread_scheduler();
+                            (total, crashes)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            (per_pid, sched.fingerprint())
+        };
+        let (per_pid, fingerprint) = run(7);
+        let expected: u64 = (1..=CAPSULES).sum();
+        for (pid, &(total, _)) in per_pid.iter().enumerate() {
+            assert_eq!(total, expected, "pid {pid} lost state across the crash");
+        }
+        assert!(
+            per_pid[0].1 >= 2,
+            "the victim must observe both scripted crashes: {per_pid:?}"
+        );
+        for pid in 1..WORKERS {
+            assert!(
+                per_pid[pid].1 >= 1,
+                "peer {pid} must observe the system crash as a kill: {per_pid:?}"
+            );
+        }
+        // Deterministic: the same seed reproduces results and interleaving.
+        let (again, fp_again) = run(7);
+        assert_eq!(per_pid, again);
+        assert_eq!(fingerprint, fp_again);
+        // And a different seed reaches a different interleaving.
+        let (_, fp_other) = run(8);
+        assert_ne!(fingerprint, fp_other);
     }
 
     #[test]

@@ -428,6 +428,42 @@ mod tests {
     }
 
     #[test]
+    fn nested_depth3_script_and_remaining_agree_along_the_whole_schedule() {
+        // Depth-3 schedule: crash in the workload, in its recovery, in the
+        // recovery of that recovery, and once more. `script()` must always show
+        // the live countdown plus the untouched tail, and `remaining()` must
+        // drop by exactly one per fire.
+        let mut p = CrashPlan::nested(4, &[2, 0, 3]);
+        assert_eq!(p.script(), &[4, 2, 0, 3]);
+        assert_eq!(p.remaining(), 4);
+        let mut fires = Vec::new();
+        for step in 0..16u64 {
+            let before_remaining = p.remaining();
+            if p.should_crash(step) {
+                fires.push(step);
+                assert_eq!(p.remaining(), before_remaining - 1, "at step {step}");
+            } else {
+                assert_eq!(p.remaining(), before_remaining, "at step {step}");
+            }
+            // script()[0] is the live (decremented) countdown; the tail is the
+            // untouched rest of the schedule.
+            match p.remaining() {
+                4 => assert_eq!(p.script()[1..], [2, 0, 3]),
+                3 => assert_eq!(p.script()[1..2], [0]),
+                2 => assert_eq!(p.script(), &[0, 3]),
+                1 => assert!(p.script()[0] <= 3),
+                0 => assert_eq!(p.script(), &[] as &[u64]),
+                _ => unreachable!(),
+            }
+            assert_eq!(p.is_armed(), p.remaining() > 0);
+        }
+        // Countdown semantics: gap 4 fires at the 5th point, gap 2 two points
+        // later at the 8th, gap 0 immediately at the 9th, gap 3 at the 13th.
+        assert_eq!(fires, vec![4, 7, 8, 12]);
+        assert!(!p.is_armed());
+    }
+
+    #[test]
     fn empty_crash_plan_is_disarmed() {
         let mut p = CrashPlan::new(Vec::new());
         assert!(!p.is_armed());

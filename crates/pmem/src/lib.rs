@@ -70,6 +70,7 @@ pub mod audit;
 pub mod crash;
 pub mod mem;
 pub mod mode;
+pub mod sched;
 pub mod stats;
 pub mod typed;
 
@@ -81,6 +82,7 @@ pub use crash::{
 };
 pub use mem::{MemConfig, PMem, PThread, ThreadOptions};
 pub use mode::Mode;
+pub use sched::{FinishGuard, SchedConfig, ThreadScheduler};
 pub use stats::Stats;
 pub use typed::{PCell, PField};
 

@@ -11,12 +11,14 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::addr::PAddr;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
 use crate::audit::FlushAuditor;
 use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy, CrashSchedule};
 use crate::mode::Mode;
+use crate::sched::{SchedAction, ThreadScheduler};
 use crate::stats::{StatCells, Stats};
 use crate::LINE_WORDS;
 
@@ -130,8 +132,11 @@ impl PMem {
             opts,
             stats: StatCells::default(),
             schedule: RefCell::new(Box::new(ArmedPolicy::arm(CrashPolicy::Never, pid))),
-            crash_armed: Cell::new(false),
+            hot_armed: Cell::new(0),
             audit_armed: Cell::new(self.mode == Mode::SharedCache && self.auditor.is_armed()),
+            scheduler: RefCell::new(None),
+            killed: Cell::new(false),
+            last_sched_step: Cell::new(0),
             step: Cell::new(0),
             step_base: Cell::new(0),
             in_recovery: Cell::new(false),
@@ -252,7 +257,7 @@ impl std::fmt::Debug for PMem {
 ///
 /// The handle is the simulator's hottest layer, so its per-instruction state is
 /// all plain [`Cell`]s: counting is a branchless load/add/store per counter, the
-/// crash point is a single test of the pre-computed `crash_armed` flag (false for
+/// crash point is a single test of the pre-computed `hot_armed` byte (zero for
 /// every throughput run), and the last-touched arena segment is cached so
 /// consecutive accesses skip the segment-table lookup entirely.
 pub struct PThread<'m> {
@@ -263,19 +268,36 @@ pub struct PThread<'m> {
     mode: Mode,
     opts: ThreadOptions,
     stats: StatCells,
-    /// Installed crash schedule. Only consulted when `crash_armed` is set, so both
-    /// the `RefCell` borrow bookkeeping and the dynamic dispatch are off the
-    /// throughput path entirely.
+    /// Installed crash schedule. Only consulted when the `ARMED_CRASH` bit of
+    /// `hot_armed` is set, so both the `RefCell` borrow bookkeeping and the
+    /// dynamic dispatch are off the throughput path entirely.
     schedule: RefCell<Box<dyn CrashSchedule>>,
-    /// Pre-computed fast flag: `true` iff `schedule` can still fire. Maintained by
+    /// Pre-computed per-instruction fast flags, packed into one byte so the
+    /// hot path ([`bump`](PThread::bump)) stays a single load + zero test no
+    /// matter how many hooks exist. `ARMED_CRASH` is maintained by
     /// [`set_crash_schedule`](PThread::set_crash_schedule) and cleared when a
-    /// schedule reports itself disarmed after a consultation.
-    crash_armed: Cell<bool>,
-    /// Pre-computed fast flag for the flush-order auditor (same pattern as
-    /// `crash_armed`): mirrors the machine's [`FlushAuditor`] armed state at
-    /// handle creation, refreshed by [`refresh_flush_audit`](PThread::refresh_flush_audit).
-    /// Always `false` in the private-cache model.
+    /// schedule reports itself disarmed after a consultation; `ARMED_SCHED`
+    /// mirrors whether a [`ThreadScheduler`] is installed.
+    hot_armed: Cell<u8>,
+    /// Pre-computed fast flag for the flush-order auditor (same pattern, but
+    /// separate from `hot_armed`: it guards the flush/read paths, not the
+    /// per-instruction step). Mirrors the machine's [`FlushAuditor`] armed
+    /// state at handle creation, refreshed by
+    /// [`refresh_flush_audit`](PThread::refresh_flush_audit). Always `false`
+    /// in the private-cache model.
     audit_armed: Cell<bool>,
+    /// The deterministic interleaving scheduler, when one is installed. Only
+    /// consulted behind the `ARMED_SCHED` fast bit, so replays without a
+    /// scheduler (every throughput run) never touch it.
+    scheduler: RefCell<Option<Arc<ThreadScheduler>>>,
+    /// Set when the scheduler delivered a kill (a peer's full-system crash) at
+    /// one of this thread's yield points; consumed by [`take_killed`](PThread::take_killed)
+    /// so the crash handler can tell collateral kills from scheduled crashes.
+    killed: Cell<bool>,
+    /// Global (cross-process) index of the last instruction the scheduler
+    /// granted this thread — the logical clock concurrent-history oracles use
+    /// for linearization timestamps. Zero without a scheduler.
+    last_sched_step: Cell<u64>,
     step: Cell<u64>,
     /// Value of `step` at the last [`take_stats`](PThread::take_stats), so the
     /// `crash_points` field of a snapshot is windowed like every other counter
@@ -290,6 +312,18 @@ pub struct PThread<'m> {
 }
 
 impl<'m> PThread<'m> {
+    /// `hot_armed` bit: the installed crash schedule can still fire.
+    const ARMED_CRASH: u8 = 1;
+    /// `hot_armed` bit: a [`ThreadScheduler`] is installed.
+    const ARMED_SCHED: u8 = 2;
+
+    /// Set or clear one `hot_armed` bit.
+    #[inline]
+    fn set_hot(&self, bit: u8, on: bool) {
+        let cur = self.hot_armed.get();
+        self.hot_armed.set(if on { cur | bit } else { cur & !bit });
+    }
+
     /// The process id of this handle.
     #[inline]
     pub fn pid(&self) -> usize {
@@ -320,7 +354,7 @@ impl<'m> PThread<'m> {
     /// pre-computed fast flag is refreshed so a disarmed schedule keeps the
     /// per-instruction crash point branch-free.
     pub fn set_crash_schedule(&self, schedule: impl CrashSchedule + 'static) {
-        self.crash_armed.set(schedule.is_armed());
+        self.set_hot(Self::ARMED_CRASH, schedule.is_armed());
         *self.schedule.borrow_mut() = Box::new(schedule);
     }
 
@@ -390,9 +424,9 @@ impl<'m> PThread<'m> {
 
     /// The per-instruction accounting step: one counter increment, the optional
     /// recovery tally, the step counter, and the crash point. With the default
-    /// [`CrashPolicy::Never`] (every throughput run) this is branch-plus-increment
-    /// only — the armed-policy machinery is behind the pre-computed `crash_armed`
-    /// flag.
+    /// [`CrashPolicy::Never`] and no scheduler (every throughput run) this is
+    /// branch-plus-increment only — the armed-policy and scheduler machinery
+    /// is behind the single pre-computed `hot_armed` byte.
     #[inline]
     fn bump(&self, counter: &Cell<u64>) {
         StatCells::add(counter, 1);
@@ -401,7 +435,23 @@ impl<'m> PThread<'m> {
         }
         let step = self.step.get() + 1;
         self.step.set(step);
-        if self.crash_armed.get() {
+        let armed = self.hot_armed.get();
+        if armed != 0 {
+            self.armed_hooks(armed, step);
+        }
+    }
+
+    /// Slow path of the per-instruction hooks, dispatched off the single
+    /// `hot_armed` test. Scheduler first, crash consult second: the crash
+    /// (and any rollback / kill broadcast it triggers) then fires while this
+    /// thread holds the baton, i.e. while every peer is parked before its
+    /// next access.
+    #[cold]
+    fn armed_hooks(&self, armed: u8, step: u64) {
+        if armed & Self::ARMED_SCHED != 0 {
+            self.sched_point();
+        }
+        if armed & Self::ARMED_CRASH != 0 {
             self.consult_policy(step);
         }
     }
@@ -415,13 +465,13 @@ impl<'m> PThread<'m> {
             // Refresh the fast flag *before* unwinding so that a spent one-shot
             // schedule stops costing the slow path once the crash is caught, while
             // a multi-crash CrashPlan stays armed for its next script element.
-            self.crash_armed.set(schedule.is_armed());
+            self.set_hot(Self::ARMED_CRASH, schedule.is_armed());
             drop(schedule);
             raise_crash(self.pid, step);
         }
         if !schedule.is_armed() {
             drop(schedule);
-            self.crash_armed.set(false);
+            self.set_hot(Self::ARMED_CRASH, false);
         }
     }
 
@@ -431,9 +481,77 @@ impl<'m> PThread<'m> {
     pub fn crash_point(&self) {
         let step = self.step.get() + 1;
         self.step.set(step);
-        if self.crash_armed.get() {
-            self.consult_policy(step);
+        let armed = self.hot_armed.get();
+        if armed != 0 {
+            self.armed_hooks(armed, step);
         }
+    }
+
+    /// Slow path of the scheduler hook: block until the installed
+    /// [`ThreadScheduler`] grants this instruction, or raise a crash if a
+    /// peer's full-system crash killed this thread while it was parked.
+    #[cold]
+    fn sched_point(&self) {
+        let sched = self.scheduler.borrow().clone();
+        let Some(sched) = sched else { return };
+        match sched.yield_point(self.pid) {
+            SchedAction::Run(global) => self.last_sched_step.set(global),
+            SchedAction::Kill => {
+                self.killed.set(true);
+                raise_crash(self.pid, self.step.get());
+            }
+        }
+    }
+
+    // ----- deterministic interleaving (behind the `ARMED_SCHED` fast bit) ----
+
+    /// Install a [`ThreadScheduler`]: registers this thread as a participant
+    /// and routes every subsequent instruction through a scheduler yield point.
+    /// The thread blocks at its first yield point until all participants have
+    /// registered. Pair with [`clear_thread_scheduler`](PThread::clear_thread_scheduler)
+    /// (or a [`FinishGuard`](crate::sched::FinishGuard)) so the baton skips
+    /// this thread once it is done.
+    pub fn set_thread_scheduler(&self, sched: Arc<ThreadScheduler>) {
+        sched.register(self.pid);
+        *self.scheduler.borrow_mut() = Some(sched);
+        self.set_hot(Self::ARMED_SCHED, true);
+    }
+
+    /// Remove the installed scheduler (marking this thread finished so the
+    /// baton skips it) and return instructions to the un-scheduled fast path.
+    /// Idempotent.
+    pub fn clear_thread_scheduler(&self) {
+        if let Some(sched) = self.scheduler.borrow_mut().take() {
+            sched.finish(self.pid);
+        }
+        self.set_hot(Self::ARMED_SCHED, false);
+    }
+
+    /// Whether the last crash this thread observed was a *kill* — the
+    /// collateral of a peer's full-system crash delivered at a yield point —
+    /// rather than this thread's own crash schedule firing. Resets the marker.
+    /// Crash handlers use this to skip re-applying machine-level crash effects
+    /// that the crashing peer already applied.
+    pub fn take_killed(&self) -> bool {
+        self.killed.replace(false)
+    }
+
+    /// Broadcast a kill to every other scheduled participant (no-op without a
+    /// scheduler). Called by the crash handler of a thread whose crash is
+    /// *full-system* ([`PMem::crash_all`]): the peers are parked mid-access and
+    /// must observe the same crash, which they do by raising a
+    /// [`CrashSignal`](crate::CrashSignal) at their next yield point.
+    pub fn kill_peers(&self) {
+        if let Some(sched) = self.scheduler.borrow().as_ref() {
+            sched.kill_peers(self.pid);
+        }
+    }
+
+    /// Global (cross-process) index of the last instruction the scheduler
+    /// granted this thread — a logical timestamp for concurrent-history
+    /// oracles. Zero when no scheduler is (or was) installed.
+    pub fn sched_step(&self) -> u64 {
+        self.last_sched_step.get()
     }
 
     /// Resolve the word behind `addr`, going through the per-thread segment cache:

@@ -68,7 +68,13 @@ impl LogQueue {
         let tail = thread.alloc(1);
         thread.write(head, sentinel.to_raw());
         thread.write(tail, sentinel.to_raw());
-        let log_base = thread.alloc(nprocs as u64 * LINE_WORDS);
+        // Line-aligned so each pid's five-word entry sits inside one cache
+        // line: `log_begin`/`log_finish` rely on "one line, one flush" for the
+        // entry to be torn-free under full-system crashes. A plain `alloc` of
+        // more than one line may start mid-line, splitting every entry across
+        // two lines (sequence number durable, kind/done rolled back — exactly
+        // the torn state the driver protocol assumes impossible).
+        let log_base = thread.alloc_aligned(nprocs as u64 * LINE_WORDS);
         thread.persist(sentinel);
         thread.persist(head);
         thread.persist(tail);

@@ -59,7 +59,9 @@ impl IndirectRcas {
     /// Create a family for `nprocs` processes.
     pub fn new(thread: &PThread<'_>, nprocs: usize, durable_records: bool) -> IndirectRcas {
         assert!(nprocs >= 1);
-        let ann_base = thread.alloc(nprocs as u64 * LINE_WORDS);
+        // Line-aligned for the same reason as [`RcasSpace`]: one announcement
+        // line per pid, never shared with neighbouring records.
+        let ann_base = thread.alloc_aligned(nprocs as u64 * LINE_WORDS);
         IndirectRcas {
             ann_base,
             nprocs,

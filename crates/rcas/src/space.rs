@@ -122,7 +122,10 @@ impl RcasSpace {
         );
         // One cache line per announcement slot: announcements are per-process local
         // state and must not share flush granularity with unrelated processes.
-        let ann_base = thread.alloc(nprocs as u64 * LINE_WORDS);
+        // Line-aligned: a plain multi-line `alloc` may start mid-line, putting
+        // the first/last slots on lines shared with neighbouring records, whose
+        // flushes and rollbacks would then couple to announcement state.
+        let ann_base = thread.alloc_aligned(nprocs as u64 * LINE_WORDS);
         RcasSpace {
             ann_base,
             nprocs,

@@ -40,6 +40,7 @@
 //! | `DF_DFCK_THREADS` | sweep worker threads | `available_parallelism`, ≤ 8 |
 //! | `DF_DFCK_CONC_SEEDS` | interleaving seeds per concurrent sweep (0 = skip) | 8 |
 //! | `DF_DFCK_CONC_THREADS` | scheduled worker pids per concurrent replay | 2 |
+//! | `DF_DFCK_MV_GAP` | co-victim crash gap of the multi-victim (`/mv`) rows | 3 |
 //! | `DF_DFCK_CONC_ONLY` | non-zero: run only the interleaved matrix | 0 |
 //! | `DF_DFCK_CONC_VARIANTS` | comma list of variant labels to sweep concurrently | all |
 
@@ -151,6 +152,8 @@ struct ConcView<'a> {
     crash_points: u64,
     replays: u64,
     crashes_injected: u64,
+    multi_victim: bool,
+    covictim_crashes: u64,
     recoveries: u64,
     entry_retries: u64,
     recovery_crashes: u64,
@@ -171,6 +174,8 @@ impl<'a> From<&'a ConcSweepReport> for ConcView<'a> {
             crash_points: r.crash_points,
             replays: r.replays,
             crashes_injected: r.crashes_injected,
+            multi_victim: r.covictim_gap.is_some(),
+            covictim_crashes: r.covictim_crashes,
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
@@ -193,6 +198,8 @@ impl<'a> From<&'a ConcStructSweepReport> for ConcView<'a> {
             crash_points: r.crash_points,
             replays: r.replays,
             crashes_injected: r.crashes_injected,
+            multi_victim: r.covictim_gap.is_some(),
+            covictim_crashes: r.covictim_crashes,
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
@@ -202,7 +209,8 @@ impl<'a> From<&'a ConcStructSweepReport> for ConcView<'a> {
     }
 }
 
-/// Interleaved-sweep label: `variant/workload/tN[/nestedG][/system]`.
+/// Interleaved-sweep label: `variant/workload/tN[/nestedG][/mv][/system]`
+/// (`/mv` = multi-victim: a co-victim pid crashes in the same replay).
 fn conc_label(report: &ConcView<'_>) -> String {
     let mut label = format!(
         "{}/{}/t{}",
@@ -211,6 +219,9 @@ fn conc_label(report: &ConcView<'_>) -> String {
     if !report.nested.is_empty() {
         let gaps: Vec<String> = report.nested.iter().map(|g| g.to_string()).collect();
         label.push_str(&format!("/nested{}", gaps.join("-")));
+    }
+    if report.multi_victim {
+        label.push_str("/mv");
     }
     if report.system {
         label.push_str("/system");
@@ -225,6 +236,7 @@ fn conc_row(report: &ConcView<'_>) -> JsonRow {
         .with("crash_points", report.crash_points as f64)
         .with("replays", report.replays as f64)
         .with("crashes_injected", report.crashes_injected as f64)
+        .with("covictim_crashes", report.covictim_crashes as f64)
         .with("recoveries", report.recoveries as f64)
         .with("entry_retries", report.entry_retries as f64)
         .with("recovery_crashes", report.recovery_crashes as f64)
@@ -238,6 +250,7 @@ fn main() {
     let gap = env_u64("DF_DFCK_GAP", 0);
     let conc_seeds = env_u64("DF_DFCK_CONC_SEEDS", 8);
     let conc_threads = (env_u64("DF_DFCK_CONC_THREADS", 2) as usize).max(2);
+    let mv_gap = env_u64("DF_DFCK_MV_GAP", 3);
     let conc_only = env_u64("DF_DFCK_CONC_ONLY", 0) != 0;
     let conc_filter: Option<Vec<String>> = std::env::var("DF_DFCK_CONC_VARIANTS")
         .ok()
@@ -346,6 +359,12 @@ fn main() {
                     variant, &w, &seeds, nested, true,
                 ));
             }
+            // The multi-victim row: the same (seed × crash point) matrix, but
+            // every scripted replay also crashes a co-victim pid, so one
+            // process's recovery races a peer that is itself recovering.
+            conc_reports.push(bench::dfck::sweep_interleaved_multi(
+                variant, &w, &seeds, &[], mv_gap, false,
+            ));
         }
         let sw = ConcStructWorkload::stack_pair(conc_threads);
         for variant in [StructVariant::StackGeneral] {

@@ -676,21 +676,21 @@ fn sweep_plan_with_workers(
 
 /// Run one *scheduled* replay: the workload's pids drive one shared queue
 /// under the deterministic [`ThreadScheduler`] seeded with `sched_seed`;
-/// `plan` (if any) is installed as `victim`'s crash schedule, and full-system
-/// crashes kill the scheduled peers through the scheduler. Public so the
-/// determinism tests can compare fingerprints and timed histories across
-/// runs; sweeps go through [`sweep_interleaved`].
+/// `plans` assigns each victim/co-victim pid its crash schedule, and
+/// full-system crashes kill the scheduled peers through the scheduler. Public
+/// so the determinism tests can compare fingerprints and timed histories
+/// across runs; sweeps go through [`sweep_interleaved`].
 pub fn conc_replay(
     variant: SweepVariant,
     w: &ConcWorkload,
     sched_seed: u64,
-    victim: usize,
-    plan: Option<&CrashPlan>,
+    plans: &sweep::VictimPlans,
     system: bool,
 ) -> sweep::ConcReplayRecord<Op> {
     pmem::install_quiet_crash_hook();
     let threads = w.threads();
-    assert!(victim < threads, "victim pid out of range");
+    let victim = plans.victim();
+    assert!(plans.max_pid() < threads, "victim pid out of range");
     // Pids 0..threads run the scheduled window; one extra *helper* pid does
     // the prefill and the post-join drain. The helper must not share a pid
     // with any worker: pid-indexed recovery state (the rcas announcement
@@ -809,8 +809,7 @@ pub fn conc_replay(
                                 &t,
                                 &sched,
                                 pid,
-                                victim,
-                                plan,
+                                plans,
                                 ops,
                                 |op| {
                                     match catch_crash(|| match op {
@@ -846,8 +845,7 @@ pub fn conc_replay(
                                 &t,
                                 &sched,
                                 pid,
-                                victim,
-                                plan,
+                                plans,
                                 ops,
                                 |op| {
                                     OpOutcome::Completed(match op {
@@ -878,8 +876,7 @@ pub fn conc_replay(
                                 &t,
                                 &sched,
                                 pid,
-                                victim,
-                                plan,
+                                plans,
                                 ops,
                                 |op| {
                                     OpOutcome::Completed(match op {
@@ -910,8 +907,7 @@ pub fn conc_replay(
                                 &t,
                                 &sched,
                                 pid,
-                                victim,
-                                plan,
+                                plans,
                                 ops,
                                 |op| {
                                     OpOutcome::Completed(log_queue_op(
@@ -974,6 +970,7 @@ pub fn conc_replay(
         fingerprint: sched.fingerprint(),
         victim_crash_points: outs[victim].crash_points,
         victim_crashes: outs[victim].crashes,
+        covictim_crashes: plans.covictim_pids().map(|p| outs[p].crashes).sum(),
         victim_recovery_actions: outs[victim].recoveries + outs[victim].entry_retries,
         crashes: outs.iter().map(|o| o.crashes).sum(),
         recoveries: outs.iter().map(|o| o.recoveries).sum(),
@@ -1000,7 +997,25 @@ pub fn sweep_interleaved(
     nested: &[u64],
     system: bool,
 ) -> ConcSweepReport {
-    sweep_interleaved_with_workers(variant, w, seeds, nested, system, None)
+    sweep_interleaved_with_workers(variant, w, seeds, nested, None, system, None)
+}
+
+/// The multi-victim interleaved sweep: like [`sweep_interleaved`], but every
+/// scripted replay *also* arms the pid after the victim with the independent
+/// single-crash plan [`CrashPlan::once`]`(covictim_gap)` — two pids crash in
+/// one scheduled replay, so one pid's recovery (helping, announcement
+/// re-reads, frame replay) races a peer that is itself crashing and
+/// recovering. The report's `covictim_crashes` counts how often the second
+/// schedule actually fired; the engine fails the sweep if it never did.
+pub fn sweep_interleaved_multi(
+    variant: SweepVariant,
+    w: &ConcWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    covictim_gap: u64,
+    system: bool,
+) -> ConcSweepReport {
+    sweep_interleaved_with_workers(variant, w, seeds, nested, Some(covictim_gap), system, None)
 }
 
 /// [`sweep_interleaved`] with an explicit fan-out worker count (`None` ⇒
@@ -1010,6 +1025,7 @@ fn sweep_interleaved_with_workers(
     w: &ConcWorkload,
     seeds: &[u64],
     nested: &[u64],
+    covictim_gap: Option<u64>,
     system: bool,
     workers_override: Option<usize>,
 ) -> ConcSweepReport {
@@ -1020,11 +1036,12 @@ fn sweep_interleaved_with_workers(
         w.threads(),
         seeds,
         nested,
+        covictim_gap,
         system,
         variant.detectable(),
         workers_override,
         || FifoModel(w.prefill.iter().copied().collect()),
-        |seed, victim, plan| conc_replay(variant, w, seed, victim, plan, system),
+        |seed, plans| conc_replay(variant, w, seed, plans, system),
     )
 }
 
@@ -1237,6 +1254,7 @@ mod tests {
             &w,
             &seeds,
             &[],
+            None,
             false,
             Some(1),
         );
@@ -1245,6 +1263,7 @@ mod tests {
             &w,
             &seeds,
             &[],
+            None,
             false,
             Some(4),
         );

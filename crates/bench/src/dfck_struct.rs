@@ -612,8 +612,7 @@ pub fn conc_replay(
     variant: StructVariant,
     w: &ConcStructWorkload,
     sched_seed: u64,
-    victim: usize,
-    plan: Option<&CrashPlan>,
+    plans: &sweep::VictimPlans,
     system: bool,
 ) -> sweep::ConcReplayRecord<StructOp> {
     assert!(
@@ -627,7 +626,8 @@ pub fn conc_replay(
     );
     pmem::install_quiet_crash_hook();
     let threads = w.threads();
-    assert!(victim < threads, "victim pid out of range");
+    let victim = plans.victim();
+    assert!(plans.max_pid() < threads, "victim pid out of range");
     // Pids 0..threads run the scheduled window; one extra *helper* pid does
     // the prefill and the post-join drain. The helper must not share a pid
     // with any worker: the rcas announcement slot is per pid and assumes
@@ -737,8 +737,7 @@ pub fn conc_replay(
                         &t,
                         &sched,
                         pid,
-                        victim,
-                        plan,
+                        plans,
                         ops,
                         |op| OpOutcome::Completed(h.apply(op)),
                     );
@@ -776,6 +775,7 @@ pub fn conc_replay(
         fingerprint: sched.fingerprint(),
         victim_crash_points: outs[victim].crash_points,
         victim_crashes: outs[victim].crashes,
+        covictim_crashes: plans.covictim_pids().map(|p| outs[p].crashes).sum(),
         victim_recovery_actions: outs[victim].recoveries + outs[victim].entry_retries,
         crashes: outs.iter().map(|o| o.crashes).sum(),
         recoveries: outs.iter().map(|o| o.recoveries).sum(),
@@ -798,7 +798,21 @@ pub fn sweep_interleaved(
     nested: &[u64],
     system: bool,
 ) -> ConcStructSweepReport {
-    sweep_interleaved_with_workers(variant, w, seeds, nested, system, None)
+    sweep_interleaved_with_workers(variant, w, seeds, nested, None, system, None)
+}
+
+/// Multi-victim interleaved sweep for the structure family, mirroring
+/// [`crate::dfck::sweep_interleaved_multi`]: every scripted replay also arms
+/// the pid after the victim with [`CrashPlan::once`]`(covictim_gap)`.
+pub fn sweep_interleaved_multi(
+    variant: StructVariant,
+    w: &ConcStructWorkload,
+    seeds: &[u64],
+    nested: &[u64],
+    covictim_gap: u64,
+    system: bool,
+) -> ConcStructSweepReport {
+    sweep_interleaved_with_workers(variant, w, seeds, nested, Some(covictim_gap), system, None)
 }
 
 /// [`sweep_interleaved`] with an explicit fan-out worker count (`None` ⇒
@@ -808,6 +822,7 @@ fn sweep_interleaved_with_workers(
     w: &ConcStructWorkload,
     seeds: &[u64],
     nested: &[u64],
+    covictim_gap: Option<u64>,
     system: bool,
     workers_override: Option<usize>,
 ) -> ConcStructSweepReport {
@@ -818,11 +833,12 @@ fn sweep_interleaved_with_workers(
         w.threads(),
         seeds,
         nested,
+        covictim_gap,
         system,
         variant.detectable(),
         workers_override,
         || Model::initial(w.stack, &w.prefill),
-        |seed, victim, plan| conc_replay(variant, w, seed, victim, plan, system),
+        |seed, plans| conc_replay(variant, w, seed, plans, system),
     )
 }
 

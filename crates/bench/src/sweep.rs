@@ -510,11 +510,92 @@ impl Default for TurnGate {
     }
 }
 
+/// Per-pid crash-schedule assignment for one scheduled replay: the *primary*
+/// victim carries the swept scripted plan (or none, for the crash-free
+/// baseline), and any number of *co-victims* carry independent plans of their
+/// own — so a single deterministic interleaving can crash two (or more) pids,
+/// exercising recovery code racing against a peer's recovery.
+#[derive(Clone, Debug)]
+pub struct VictimPlans {
+    victim: usize,
+    victim_plan: Option<CrashPlan>,
+    covictims: Vec<(usize, CrashPlan)>,
+}
+
+impl VictimPlans {
+    /// The crash-free baseline: `victim` is recorded (its crash-point count
+    /// defines the sweep range) but no schedule is installed anywhere.
+    pub fn baseline(victim: usize) -> VictimPlans {
+        VictimPlans {
+            victim,
+            victim_plan: None,
+            covictims: Vec::new(),
+        }
+    }
+
+    /// A single-victim replay with `plan` installed on `victim` — the shape
+    /// every pre-multi-victim sweep used.
+    pub fn scripted(victim: usize, plan: CrashPlan) -> VictimPlans {
+        VictimPlans {
+            victim,
+            victim_plan: Some(plan),
+            covictims: Vec::new(),
+        }
+    }
+
+    /// Compatibility constructor mirroring the old `(victim, Option<&CrashPlan>)`
+    /// pair: `None` ⇒ baseline.
+    pub fn single(victim: usize, plan: Option<&CrashPlan>) -> VictimPlans {
+        match plan {
+            Some(p) => VictimPlans::scripted(victim, p.clone()),
+            None => VictimPlans::baseline(victim),
+        }
+    }
+
+    /// Add a co-victim with its own independent plan. Panics if `pid` is the
+    /// primary victim or already a co-victim (one schedule per pid).
+    pub fn with_covictim(mut self, pid: usize, plan: CrashPlan) -> VictimPlans {
+        assert_ne!(pid, self.victim, "co-victim must differ from the victim");
+        assert!(
+            self.covictims.iter().all(|(p, _)| *p != pid),
+            "pid {pid} already has a plan"
+        );
+        self.covictims.push((pid, plan));
+        self
+    }
+
+    /// The primary victim pid.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+
+    /// The plan assigned to `pid`, if any.
+    pub fn plan_for(&self, pid: usize) -> Option<&CrashPlan> {
+        if pid == self.victim {
+            return self.victim_plan.as_ref();
+        }
+        self.covictims
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, plan)| plan)
+    }
+
+    /// The co-victim pids (empty for single-victim replays).
+    pub fn covictim_pids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.covictims.iter().map(|(p, _)| *p)
+    }
+
+    /// Largest pid with any role (for range asserts in the drivers).
+    pub fn max_pid(&self) -> usize {
+        self.covictim_pids().fold(self.victim, usize::max)
+    }
+}
+
 /// The scheduled-window protocol every concurrent replay worker follows:
-/// register with the deterministic scheduler, install the crash schedule on
-/// the victim pid, reset the stats window, run the operations with global
-/// timestamps taken from [`PThread::sched_step`], then capture the window's
-/// [`Stats`] and detach from the scheduler.
+/// register with the deterministic scheduler, install the crash schedule this
+/// pid is assigned (victim or co-victim), reset the stats window, run the
+/// operations with global timestamps taken from [`PThread::sched_step`], then
+/// capture the window's [`Stats`] and detach from the scheduler.
 ///
 /// `start` is recorded as `sched_step() + 1`: a sound lower bound on the
 /// operation's first instruction that also keeps consecutive operations of
@@ -526,18 +607,15 @@ pub fn run_scheduled_window<O: Copy>(
     t: &PThread<'_>,
     sched: &Arc<ThreadScheduler>,
     pid: usize,
-    victim: usize,
-    plan: Option<&CrashPlan>,
+    plans: &VictimPlans,
     ops: &[O],
     mut run_op: impl FnMut(O) -> OpOutcome,
 ) -> (Vec<TimedOp<O>>, Stats) {
     t.set_thread_scheduler(Arc::clone(sched));
     let _guard = sched.finish_guard(pid);
-    if pid == victim {
-        if let Some(plan) = plan {
-            if plan.remaining() > 0 {
-                t.set_crash_schedule(plan.clone());
-            }
+    if let Some(plan) = plans.plan_for(pid) {
+        if plan.remaining() > 0 {
+            t.set_crash_schedule(plan.clone());
         }
     }
     let _ = t.take_stats();
@@ -585,6 +663,10 @@ pub struct ConcReplayRecord<O> {
     /// Simulated crashes the victim experienced (0 in a replay with a plan ⇒
     /// the schedule never fired).
     pub victim_crashes: u64,
+    /// Crashes that hit the co-victim pids (0 in single-victim replays; in
+    /// multi-victim replays the aggregate across the sweep must be nonzero or
+    /// the co-victim dimension verified nothing).
+    pub covictim_crashes: u64,
     /// The victim's recovery actions (frame recoveries + entry retries, or
     /// LogQueue recovery passes).
     pub victim_recovery_actions: u64,
@@ -620,6 +702,8 @@ pub struct ConcReport<V> {
     pub nested: Vec<u64>,
     /// Whether crashes were full-system power failures.
     pub system: bool,
+    /// The co-victim gap of a multi-victim sweep (`None` = single victim).
+    pub covictim_gap: Option<u64>,
     /// Distinct scheduler fingerprints among the crash-free baselines — the
     /// number of genuinely different interleavings the seed set produced.
     pub distinct_interleavings: u64,
@@ -629,6 +713,8 @@ pub struct ConcReport<V> {
     pub replays: u64,
     /// Total simulated crashes injected across all replays and processes.
     pub crashes_injected: u64,
+    /// Crashes that hit co-victim pids (nonzero only for multi-victim sweeps).
+    pub covictim_crashes: u64,
     /// Total recoveries observed.
     pub recoveries: u64,
     /// Total entry-boundary retries.
@@ -659,8 +745,15 @@ impl<V> ConcReport<V> {
 /// *not* required — and at least one victim recovery action per injected
 /// crash.
 ///
-/// `replay(seed, victim, plan)` runs one scheduled replay (`plan = None` ⇒
-/// crash-free baseline); everything else mirrors [`run_sweep`].
+/// With `covictim_gap = Some(g)`, every scripted replay additionally arms the
+/// pid after the victim (`(victim + 1) % threads`) with the independent
+/// single-crash plan [`CrashPlan::once`]`(g)` — two pids crash inside one
+/// deterministic interleaving, so one pid's recovery races the other's. The
+/// sweep fails if the co-victim schedule never fires across the whole sweep.
+///
+/// `replay(seed, plans)` runs one scheduled replay (a baseline when
+/// `plans.plan_for` is empty everywhere); everything else mirrors
+/// [`run_sweep`].
 #[allow(clippy::too_many_arguments)] // one assembly site, two thin callers
 pub fn run_conc_sweep<V: Copy, M: SeqModel>(
     variant: V,
@@ -669,15 +762,20 @@ pub fn run_conc_sweep<V: Copy, M: SeqModel>(
     threads: usize,
     seeds: &[u64],
     nested: &[u64],
+    covictim_gap: Option<u64>,
     system: bool,
     strict: bool,
     workers_override: Option<usize>,
     initial: impl Fn() -> M,
-    replay: impl Fn(u64, usize, Option<&CrashPlan>) -> ConcReplayRecord<M::Op> + Sync,
+    replay: impl Fn(u64, &VictimPlans) -> ConcReplayRecord<M::Op> + Sync,
 ) -> ConcReport<V>
 where
     M::Op: Send,
 {
+    assert!(
+        covictim_gap.is_none() || threads >= 2,
+        "multi-victim sweeps need at least two scheduled pids"
+    );
     let mut report = ConcReport {
         variant,
         workload: workload_name,
@@ -685,10 +783,12 @@ where
         seeds: seeds.to_vec(),
         nested: nested.to_vec(),
         system,
+        covictim_gap,
         distinct_interleavings: 0,
         crash_points: 0,
         replays: 0,
         crashes_injected: 0,
+        covictim_crashes: 0,
         recoveries: 0,
         entry_retries: 0,
         recovery_crashes: 0,
@@ -698,7 +798,7 @@ where
     let mut fingerprints = BTreeSet::new();
     for &seed in seeds {
         let victim = (seed as usize) % threads;
-        let baseline = replay(seed, victim, None);
+        let baseline = replay(seed, &VictimPlans::baseline(victim));
         assert_eq!(baseline.crashes, 0, "crash-free baseline must not crash");
         report.replays += 1;
         report.audit_flags += baseline.audit_flags;
@@ -719,7 +819,43 @@ where
                 baseline.audit_flags, baseline.audit_reports
             ));
         }
-        let n = baseline.victim_crash_points;
+        let covictim = (victim + 1) % threads;
+        // The victim's reachable crash-point range must be calibrated under
+        // the schedule the fan-out will actually run: with a co-victim armed,
+        // its early crash perturbs the victim's execution (shorter window,
+        // different retry loops), so the crash-free baseline's count would
+        // over- or under-shoot. Run one calibration replay arming only the
+        // co-victim and sweep the victim over *that* range.
+        let n = match covictim_gap {
+            None => baseline.victim_crash_points,
+            Some(gap) => {
+                let plans = VictimPlans::baseline(victim)
+                    .with_covictim(covictim, CrashPlan::once(gap));
+                let cal = replay(seed, &plans);
+                report.replays += 1;
+                report.crashes_injected += cal.crashes;
+                report.covictim_crashes += cal.covictim_crashes;
+                report.recoveries += cal.recoveries;
+                report.entry_retries += cal.entry_retries;
+                report.recovery_crashes += cal.recovery_crashes;
+                report.audit_flags += cal.audit_flags;
+                let cal_tag = format!("{base_tag} calibration covictim={covictim} gap={gap}");
+                if cal.audit_flags > 0 {
+                    report.violations.push(format!(
+                        "{cal_tag}: {} flush-audit flag(s): {:?}",
+                        cal.audit_flags, cal.audit_reports
+                    ));
+                }
+                if cal.drain_overflow {
+                    report.violations.push(format!(
+                        "{cal_tag}: drain overflow — corrupted (cyclic?) chain"
+                    ));
+                } else if let Err(e) = check_linearizable(initial(), &cal.history, &cal.drained) {
+                    report.violations.push(format!("{cal_tag}: {e}"));
+                }
+                cal.victim_crash_points
+            }
+        };
         if n == 0 {
             report.violations.push(format!(
                 "{base_tag}: the victim passed no crash points — nothing to sweep"
@@ -730,23 +866,34 @@ where
         let workers = workers_override
             .map(|w| w.max(1))
             .unwrap_or_else(|| sweep_workers(n));
+        let plans_for = |k: u64| {
+            let mut plans = VictimPlans::scripted(victim, CrashPlan::nested(k, nested));
+            if let Some(gap) = covictim_gap {
+                plans = plans.with_covictim(covictim, CrashPlan::once(gap));
+            }
+            plans
+        };
         let run_one = |k: u64| -> ConcReplayRecord<M::Op> {
-            let plan = CrashPlan::nested(k, nested);
+            let plans = plans_for(k);
             if std::env::var_os("DF_DFCK_TRACE").is_some() {
                 eprintln!(
-                    "{trace_tag}: seed={seed} victim={victim} k={k} gaps={:?} system={system}",
-                    plan.script()
+                    "{trace_tag}: seed={seed} victim={victim} k={k} gaps={:?} covictim_gap={covictim_gap:?} system={system}",
+                    CrashPlan::nested(k, nested).script()
                 );
             }
-            replay(seed, victim, Some(&plan))
+            replay(seed, &plans)
         };
         for (k, r) in fan_out(n, workers, run_one) {
-            let tag = format!(
+            let mut tag = format!(
                 "seed={seed} victim={victim} k={k} gaps={:?}",
                 CrashPlan::nested(k, nested).script()
             );
+            if let Some(gap) = covictim_gap {
+                tag.push_str(&format!(" covictim={covictim} covictim_gap={gap}"));
+            }
             report.replays += 1;
             report.crashes_injected += r.crashes;
+            report.covictim_crashes += r.covictim_crashes;
             report.recoveries += r.recoveries;
             report.entry_retries += r.entry_retries;
             report.recovery_crashes += r.recovery_crashes;
@@ -806,6 +953,14 @@ where
              interleavings",
             report.distinct_interleavings
         ));
+    }
+    // A multi-victim sweep whose co-victim schedule never fired anywhere
+    // silently degenerates to the single-victim sweep — fail loudly instead
+    // of over-claiming coverage.
+    if covictim_gap.is_some() && report.crashes_injected > 0 && report.covictim_crashes == 0 {
+        report.violations.push(
+            "multi-victim sweep: the co-victim schedule never fired in any replay".to_string(),
+        );
     }
     report
 }

@@ -13,7 +13,7 @@
 //! transformation would produce; see the `queues` crate for full examples and the
 //! `delayfree` crate for the simulator-level wrappers.
 
-use pmem::{catch_crash, PAddr, PThread};
+use pmem::{catch_crash, raise_crash, PAddr, PThread};
 
 use crate::frame::{BoundaryStyle, Frame, SEQ_SLOT};
 
@@ -79,6 +79,10 @@ pub struct CapsuleRuntime<'t, 'm> {
     /// full-system (`true` — every unflushed cache line rolls back too). See
     /// [`set_system_crashes`](Self::set_system_crashes).
     system_crashes: bool,
+    /// When set, a caught crash is *not* absorbed: the signal is re-raised so it
+    /// unwinds out of the operation driver entirely (see
+    /// [`set_unwind_on_crash`](Self::set_unwind_on_crash)).
+    unwind_on_crash: bool,
     metrics: CapsuleMetrics,
 }
 
@@ -102,6 +106,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             final_boundary: true,
             war_check: true,
             system_crashes: false,
+            unwind_on_crash: false,
             metrics: CapsuleMetrics::default(),
         }
     }
@@ -128,6 +133,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             final_boundary: true,
             war_check: true,
             system_crashes: false,
+            unwind_on_crash: false,
             metrics: CapsuleMetrics::default(),
         };
         rt.recover();
@@ -205,6 +211,24 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
     /// [`PThread::kill_peers`](pmem::PThread::kill_peers).
     pub fn set_system_crashes(&mut self, enabled: bool) {
         self.system_crashes = enabled;
+    }
+
+    /// Choose what happens when the operation driver catches a crash. The default
+    /// (`false`) absorbs the crash: the runtime applies the machine-level fault,
+    /// reloads the frame and re-enters the body — a process that restarts
+    /// instantly and finishes its operation in place. With unwinding enabled the
+    /// signal is re-raised instead, so the crash propagates out of
+    /// [`run_op`](Self::run_op) / [`resume_op`](Self::resume_op) to whatever
+    /// owns the OS thread — modelling a process incarnation that genuinely
+    /// *dies* mid-operation. The persistent frame is untouched (the restart
+    /// pointer still names it), so a later incarnation can
+    /// [`attach_from_restart_pointer`](Self::attach_from_restart_pointer) and
+    /// finish the operation with `resume_op`. The service harness uses this for
+    /// its kill-restart drills; note the *caller* becomes responsible for
+    /// applying the machine-level crash (e.g. `crash_all` once the shard's
+    /// workers have quiesced).
+    pub fn set_unwind_on_crash(&mut self, enabled: bool) {
+        self.unwind_on_crash = enabled;
     }
 
     /// Record the caught crash with the machine: full-system rollback in system
@@ -347,7 +371,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
     pub fn run_op<R>(
         &mut self,
         entry_pc: u32,
-        mut body: impl FnMut(&mut Self) -> CapsuleStep<R>,
+        body: impl FnMut(&mut Self) -> CapsuleStep<R>,
     ) -> R {
         self.metrics.operations += 1;
         self.pc = entry_pc;
@@ -367,7 +391,10 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             loop {
                 match catch_crash(|| self.boundary(entry_pc)) {
                     Ok(()) => break,
-                    Err(_) => {
+                    Err(crashed) => {
+                        if self.unwind_on_crash {
+                            raise_crash(crashed.signal.pid, crashed.signal.at_step);
+                        }
                         self.metrics.entry_retries += 1;
                         self.apply_crash();
                         self.pc = entry_pc;
@@ -379,12 +406,39 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             self.read_mask = 0;
             self.crashed = false;
         }
+        self.drive(body)
+    }
+
+    /// Drive an *already-entered* operation to completion from the runtime's
+    /// current program counter — no entry boundary, no pc reset.
+    ///
+    /// This is the restart half of [`run_op`](Self::run_op): after
+    /// [`attach_from_restart_pointer`](Self::attach_from_restart_pointer) loaded
+    /// the frame of an operation a previous incarnation left in flight, calling
+    /// `resume_op` with the same body re-enters the persisted capsule (with
+    /// [`crashed()`](Self::crashed) raised, exactly as an in-place recovery
+    /// would) and runs the state machine to its `Done`. Calling it when the
+    /// persisted pc already names a completed capsule simply re-executes that
+    /// result-reporting capsule, which is how a restarted process reads back the
+    /// return value of an operation whose ack was lost in the crash.
+    pub fn resume_op<R>(&mut self, body: impl FnMut(&mut Self) -> CapsuleStep<R>) -> R {
+        self.metrics.operations += 1;
+        self.drive(body)
+    }
+
+    /// The crash-absorbing capsule loop shared by `run_op` and `resume_op`.
+    fn drive<R>(&mut self, mut body: impl FnMut(&mut Self) -> CapsuleStep<R>) -> R {
         loop {
             self.metrics.capsules += 1;
             match catch_crash(|| body(self)) {
                 Ok(CapsuleStep::Done(result)) => return result,
                 Ok(CapsuleStep::Continue) => continue,
-                Err(_) => {
+                Err(crashed) => {
+                    if self.unwind_on_crash {
+                        // Kill-restart mode: the incarnation dies here instead of
+                        // recovering in place; the frame keeps the operation.
+                        raise_crash(crashed.signal.pid, crashed.signal.at_step);
+                    }
                     // The thread's volatile state is gone (the closure unwound);
                     // simulate the restart: mark the crash, reload the frame. The
                     // recovery itself may be interrupted by a further crash — the
@@ -684,6 +738,50 @@ mod tests {
         // And a different seed reaches a different interleaving.
         let (_, fp_other) = run(8);
         assert_ne!(fingerprint, fp_other);
+    }
+
+    #[test]
+    fn unwind_on_crash_kills_the_incarnation_and_resume_op_finishes_the_op() {
+        install_quiet_crash_hook();
+        const CAPSULES: u64 = 10;
+        // The operation body both incarnations share: sum 1..=CAPSULES with one
+        // addend per capsule, accumulator persisted at every boundary.
+        fn body(rt: &mut CapsuleRuntime) -> CapsuleStep<u64> {
+            let i = rt.pc() as u64;
+            if i == CAPSULES {
+                return CapsuleStep::Done(rt.local(0));
+            }
+            let acc = rt.local(0) + (i + 1);
+            rt.set_local(0, acc);
+            rt.boundary(rt.pc() + 1);
+            CapsuleStep::Continue
+        }
+        let mem = PMem::with_threads(1);
+        // Incarnation 1: dies mid-operation — the crash unwinds out of run_op.
+        let died = {
+            let t = mem.thread(0);
+            let mut rt = CapsuleRuntime::new(&t, BoundaryStyle::General, 2);
+            rt.set_unwind_on_crash(true);
+            t.set_crash_policy(CrashPolicy::Countdown(40));
+            catch_crash(|| rt.run_op(0, body))
+        };
+        let signal = died.expect_err("the crash must escape run_op").signal;
+        assert_eq!(signal.pid, 0);
+        // The incarnation is gone; apply the machine-level fault it suffered.
+        mem.crash_all();
+        // Incarnation 2: re-attach the frame the restart pointer still names and
+        // drive the interrupted operation to its exact result.
+        let t = mem.thread(0);
+        let mut rt = CapsuleRuntime::attach_from_restart_pointer(&t, BoundaryStyle::General, 2);
+        assert!(rt.crashed());
+        let pc_at_death = rt.pc();
+        assert!(
+            (1..CAPSULES as u32).contains(&pc_at_death),
+            "the crash should land mid-operation, got pc {pc_at_death}"
+        );
+        let total = rt.resume_op(body);
+        assert_eq!(total, (1..=CAPSULES).sum::<u64>());
+        assert_eq!(rt.pc(), CAPSULES as u32);
     }
 
     #[test]

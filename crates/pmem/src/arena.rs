@@ -131,8 +131,16 @@ impl Word {
     }
 }
 
+/// Process-global arena identity counter. Identities start at 1 so that 0 can
+/// serve as "no arena" in caches keyed by identity.
+static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Lazily grown, never-moving array of persistent words.
 pub struct Arena {
+    /// Process-unique identity. Per-thread `(segment, slice)` caches are keyed
+    /// by this, so a handle whose machine swaps to (or recovers onto) a
+    /// different arena can never serve a stale slice from the old one.
+    id: u64,
     segments: Box<[OnceLock<Box<[Word]>>]>,
     /// Bump-allocation cursor (word index of the next free word).
     next: AtomicU64,
@@ -152,6 +160,7 @@ impl Arena {
         let mut segments = Vec::with_capacity(MAX_SEGMENTS);
         segments.resize_with(MAX_SEGMENTS, OnceLock::new);
         let arena = Arena {
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
             segments: segments.into_boxed_slice(),
             next: AtomicU64::new(reserved),
             segments_ready: AtomicUsize::new(0),
@@ -159,6 +168,14 @@ impl Arena {
         };
         arena.ensure_capacity(reserved);
         arena
+    }
+
+    /// This arena's process-unique identity (never 0, never reused within a
+    /// process). Two arenas always compare unequal, even if their contents are
+    /// word-for-word identical.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The index one past the highest allocated word.
@@ -350,6 +367,15 @@ impl std::fmt::Debug for Arena {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_identities_are_unique_and_nonzero() {
+        let a = Arena::new(8);
+        let b = Arena::new(8);
+        assert_ne!(a.id(), 0);
+        assert_ne!(b.id(), 0);
+        assert_ne!(a.id(), b.id(), "two arenas must never share an identity");
+    }
 
     #[test]
     fn alloc_returns_distinct_non_null_addresses() {
@@ -583,6 +609,7 @@ mod tests {
         let mut segments = Vec::with_capacity(MAX_SEGMENTS);
         segments.resize_with(MAX_SEGMENTS, OnceLock::new);
         let arena = Arena {
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
             segments: segments.into_boxed_slice(),
             next: AtomicU64::new(0),
             segments_ready: AtomicUsize::new(0),

@@ -77,8 +77,8 @@ pub mod typed;
 pub use addr::PAddr;
 pub use audit::FlushAuditor;
 pub use crash::{
-    catch_crash, install_quiet_crash_hook, CrashPlan, CrashPolicy, CrashSchedule, CrashSignal,
-    Crashed,
+    catch_crash, install_quiet_crash_hook, raise_crash, CrashPlan, CrashPolicy, CrashSchedule,
+    CrashSignal, Crashed,
 };
 pub use mem::{MemConfig, PMem, PThread, ThreadOptions};
 pub use mode::Mode;

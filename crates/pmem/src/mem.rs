@@ -13,6 +13,8 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
+
 use crate::addr::PAddr;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
 use crate::audit::FlushAuditor;
@@ -57,10 +59,38 @@ pub struct ThreadOptions {
     pub izraelevitz: bool,
 }
 
+/// System-area word (inside the arena's reserved first line) durably holding
+/// the raw base address of the per-process restart-pointer array. Written at
+/// machine construction; read by [`PMem::with_arena`] so a machine re-attached
+/// over a surviving medium finds the same restart words.
+const SYS_RESTART_BASE: PAddr = PAddr(1);
+/// System-area word durably holding the process count the medium was laid out
+/// for (guards [`PMem::with_arena`] against re-attaching with a different
+/// process count, which would mis-address the restart array).
+const SYS_THREADS: PAddr = PAddr(2);
+
 /// The simulated persistent machine: word arena, per-process crashed flags and
 /// restart pointers, and the crash counter.
+///
+/// The arena — the persistent *medium* — is reference-counted and detachable
+/// from the machine — the *process*: [`arena_handle`](PMem::arena_handle)
+/// shares it, [`with_arena`](PMem::with_arena) boots a fresh machine over a
+/// surviving medium (a process restart after a crash), and
+/// [`swap_arena`](PMem::swap_arena) redirects a live machine to a different
+/// medium. Multiple machines over multiple arenas coexist and recover
+/// independently — the sharded-service scenario.
 pub struct PMem {
-    arena: Arena,
+    /// The current medium. Behind a lock only for [`swap_arena`](PMem::swap_arena);
+    /// the instruction hot path never takes it (per-thread segment caches keyed
+    /// by arena identity absorb nearly every resolution).
+    arena: RwLock<Arc<Arena>>,
+    /// Mirror of the current arena's identity, so the per-instruction segment
+    /// cache check is one relaxed load instead of a lock acquisition.
+    arena_id: AtomicU64,
+    /// Every arena this machine ever used (swapped-out media). Retained for the
+    /// machine's lifetime so `&[Word]` slices handed to thread handles before a
+    /// swap stay valid — see the safety argument on `PThread::segment_at_slow`.
+    retired: Mutex<Vec<Arc<Arena>>>,
     mode: Mode,
     threads: usize,
     crashed: Vec<AtomicBool>,
@@ -70,7 +100,7 @@ pub struct PMem {
 }
 
 impl PMem {
-    /// Build a machine.
+    /// Build a machine over a fresh arena.
     pub fn new(config: MemConfig) -> PMem {
         assert!(config.threads > 0, "a machine needs at least one process");
         let arena = Arena::new(crate::LINE_WORDS);
@@ -78,8 +108,38 @@ impl PMem {
         // that processes never contend on the same line for their private system
         // state (capsule boundaries are local operations — Theorem 5.1).
         let restart_base = arena.alloc(config.threads as u64 * crate::LINE_WORDS);
+        // Make the medium self-describing: a later machine incarnation attaching
+        // to this arena (`with_arena`) rediscovers the restart array from the
+        // reserved system line instead of trusting the caller to recompute it.
+        arena.word(SYS_RESTART_BASE).store(restart_base.to_raw());
+        arena.word(SYS_THREADS).store(config.threads as u64);
+        PMem::assemble(config, Arc::new(arena), restart_base)
+    }
+
+    /// Boot a machine over a surviving medium — the process-restart half of a
+    /// crash-recovery cycle. The arena must have been initialised by a previous
+    /// [`PMem::new`] with the same process count; the restart-pointer array is
+    /// rediscovered from the medium's system area, so capsule runtimes can
+    /// resume from their restart pointers exactly where the dead incarnation
+    /// left them.
+    pub fn with_arena(config: MemConfig, arena: Arc<Arena>) -> PMem {
+        assert!(config.threads > 0, "a machine needs at least one process");
+        let stored_threads = arena.word(SYS_THREADS).load();
+        assert_eq!(
+            stored_threads, config.threads as u64,
+            "arena was laid out for {stored_threads} processes, machine wants {}",
+            config.threads
+        );
+        let restart_base = PAddr::from_raw(arena.word(SYS_RESTART_BASE).load());
+        assert!(!restart_base.is_null(), "arena has no restart area (not initialised by PMem::new)");
+        PMem::assemble(config, arena, restart_base)
+    }
+
+    fn assemble(config: MemConfig, arena: Arc<Arena>, restart_base: PAddr) -> PMem {
         let mem = PMem {
-            arena,
+            arena_id: AtomicU64::new(arena.id()),
+            arena: RwLock::new(arena),
+            retired: Mutex::new(Vec::new()),
             mode: config.mode,
             threads: config.threads,
             crashed: (0..config.threads).map(|_| AtomicBool::new(false)).collect(),
@@ -98,13 +158,36 @@ impl PMem {
                 }
             }
         }
-        mem.arena.persist_all();
+        mem.arena().persist_all();
         mem
     }
 
     /// Convenience constructor: `threads` processes, shared-cache model.
     pub fn with_threads(threads: usize) -> PMem {
         PMem::new(MemConfig::new(threads))
+    }
+
+    /// A shared handle to the current medium. Hold it across the machine's
+    /// death to re-attach with [`with_arena`](PMem::with_arena) — the
+    /// shard-restart idiom of the service harness.
+    pub fn arena_handle(&self) -> Arc<Arena> {
+        self.arena.read().clone()
+    }
+
+    /// Redirect this machine to a different medium, returning the one it was
+    /// using. The old arena is additionally retained by the machine (slices
+    /// cached by thread handles must outlive the swap); handles notice the
+    /// identity change at their next access and re-resolve against the new
+    /// arena.
+    ///
+    /// Quiescence contract as for [`crash_all`](PMem::crash_all): no thread may
+    /// be executing simulated instructions concurrently with the swap.
+    pub fn swap_arena(&self, arena: Arc<Arena>) -> Arc<Arena> {
+        let mut cur = self.arena.write();
+        let old = std::mem::replace(&mut *cur, arena);
+        self.retired.lock().push(old.clone());
+        self.arena_id.store(cur.id(), Ordering::SeqCst);
+        old
     }
 
     /// The cache model of this machine.
@@ -173,7 +256,7 @@ impl PMem {
                 // it — the deterministic form of the descriptor flush gap.
                 self.auditor.note_system_crash();
             }
-            self.arena.rollback_all();
+            self.arena().rollback_all();
         }
         for flag in &self.crashed {
             flag.store(true, Ordering::SeqCst);
@@ -208,33 +291,33 @@ impl PMem {
 
     /// Number of persistent words allocated so far.
     pub fn allocated_words(&self) -> u64 {
-        self.arena.allocated_words()
+        self.arena().allocated_words()
     }
 
     /// Read the *durable* copy of a word — what would survive a crash right now.
     /// Only used by tests and assertions about durability; algorithms must go
     /// through [`PThread::read`].
     pub fn durable_read(&self, addr: PAddr) -> u64 {
-        self.arena.word(addr).durable()
+        self.arena().word(addr).durable()
     }
 
     /// Read the cached copy of a word without a thread handle (test helper; not an
     /// instruction of the model and not counted in any statistics).
     pub fn peek(&self, addr: PAddr) -> u64 {
-        self.arena.word(addr).load()
+        self.arena().word(addr).load()
     }
 
     /// Mark everything currently in memory as durable. Experiments call this after
     /// building an initial state (e.g. pre-filling a queue) so that subsequent
     /// crashes exercise only the algorithm under test.
     pub fn persist_everything(&self) {
-        self.arena.persist_all();
+        self.arena().persist_all();
         // Everything is durable: no line is dirty (or exposed) any more.
         self.auditor.clear_state();
     }
 
-    pub(crate) fn arena(&self) -> &Arena {
-        &self.arena
+    pub(crate) fn arena(&self) -> Arc<Arena> {
+        self.arena.read().clone()
     }
 }
 
@@ -305,10 +388,14 @@ pub struct PThread<'m> {
     /// schedules depend on that).
     step_base: Cell<u64>,
     in_recovery: Cell<bool>,
-    /// Per-thread cache of the last resolved arena segment `(index, slice)`.
-    /// Segments never move once created (boxed slices behind `OnceLock`s owned by
-    /// the `'m` machine), so the borrow stays valid for the handle's lifetime.
-    seg_cache: Cell<Option<(usize, &'m [Word])>>,
+    /// Per-thread cache of the last resolved arena segment, keyed by
+    /// `(arena identity, segment index)`. The identity key makes the cache
+    /// swap-safe: after [`PMem::swap_arena`] the machine's mirrored identity no
+    /// longer matches and the next access re-resolves against the new arena.
+    /// The borrow stays valid for the handle's lifetime because segments never
+    /// move once created (boxed slices behind `OnceLock`s) and the machine
+    /// retains every arena it ever used.
+    seg_cache: Cell<Option<(u64, usize, &'m [Word])>>,
 }
 
 impl<'m> PThread<'m> {
@@ -577,8 +664,13 @@ impl<'m> PThread<'m> {
     fn segment_at(&self, addr: PAddr) -> &'m [Word] {
         debug_assert!(!addr.is_null(), "dereferencing the null PAddr");
         let seg = addr.0 as usize / SEGMENT_WORDS;
-        if let Some((cached, slice)) = self.seg_cache.get() {
-            if cached == seg {
+        // `Relaxed` suffices for the identity mirror: an arena swap happens
+        // under the same quiescence contract as `crash_all`, so the swap and
+        // this access are already ordered by a join/channel edge; the load is
+        // only here so a stale cache entry can never be *served*.
+        let arena_id = self.mem.arena_id.load(Ordering::Relaxed);
+        if let Some((cached_id, cached_seg, slice)) = self.seg_cache.get() {
+            if cached_id == arena_id && cached_seg == seg {
                 return slice;
             }
         }
@@ -587,12 +679,17 @@ impl<'m> PThread<'m> {
 
     #[cold]
     fn segment_at_slow(&self, addr: PAddr, seg: usize) -> &'m [Word] {
-        let slice = self
-            .mem
-            .arena()
+        StatCells::add(&self.stats.seg_resolves, 1);
+        let arena = self.mem.arena();
+        let slice = arena
             .segment(seg)
             .unwrap_or_else(|| panic!("access to unallocated persistent address {addr:?}"));
-        self.seg_cache.set(Some((seg, slice)));
+        // SAFETY: the slice is a boxed segment behind a `OnceLock`; it never
+        // moves or drops while its arena is alive, and the machine `'m` keeps
+        // every arena it ever used alive (the current one in `arena`, retired
+        // ones in `retired`), so extending the borrow to `'m` is sound.
+        let slice: &'m [Word] = unsafe { &*(slice as *const [Word]) };
+        self.seg_cache.set(Some((arena.id(), seg, slice)));
         slice
     }
 
@@ -1119,6 +1216,92 @@ mod tests {
         assert!(t.cas(b, 0, 1)); // every store is already durable: no exposure
         mem.crash_all();
         assert_eq!(mem.flush_auditor().flags(), 0);
+    }
+
+    #[test]
+    fn seg_cache_does_not_survive_an_arena_swap() {
+        // The multi-arena hazard: a handle's `(segment, slice)` cache resolved
+        // against one arena must not be served after the machine swaps to
+        // another — without the identity key, reads/writes would land in the
+        // retired medium.
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 7);
+        assert_eq!(t.read(a), 7); // seg_cache now holds (old arena, segment 0)
+
+        // A second medium with the identical layout but different contents.
+        let donor = PMem::with_threads(1);
+        let d = donor.thread(0);
+        let a2 = d.alloc(1);
+        assert_eq!(a2, a, "same allocation sequence must give the same layout");
+        d.write(a2, 99);
+
+        let old = mem.swap_arena(donor.arena_handle());
+        assert_eq!(t.read(a), 99, "stale segment cache served the retired arena");
+        t.write(a, 100);
+        assert_eq!(donor.peek(a), 100, "write must land in the swapped-in arena");
+        assert_eq!(old.word(a).load(), 7, "retired arena is untouched");
+        assert!(t.stats().seg_resolves >= 2, "the swap must force a re-resolution");
+    }
+
+    #[test]
+    fn machine_reattaches_over_a_surviving_arena() {
+        // Shard-restart idiom: the machine (the "process") dies, the medium
+        // survives, and a fresh machine boots over it, rediscovering the
+        // restart-pointer array from the medium's system area.
+        let arena;
+        let a;
+        {
+            let mem = PMem::with_threads(2);
+            let t = mem.thread(0);
+            a = t.alloc(1);
+            t.write(a, 41);
+            t.persist(a);
+            t.write(t.restart_word(), 0xCAFE);
+            t.persist(t.restart_word());
+            let v = mem.thread(1);
+            v.write(v.restart_word(), 0xBEEF);
+            // Never persisted: lost in the crash below.
+            mem.crash_all();
+            arena = mem.arena_handle();
+        }
+        let mem = PMem::with_arena(MemConfig::new(2), arena);
+        let t = mem.thread(0);
+        assert_eq!(t.read(a), 41, "persisted data must survive the incarnation change");
+        assert_eq!(
+            t.read(t.restart_word()),
+            0xCAFE,
+            "restart words must be rediscovered at the same addresses"
+        );
+        assert_eq!(mem.peek(mem.restart_word(1)), 0, "unflushed restart pointer rolled back");
+    }
+
+    #[test]
+    #[should_panic(expected = "arena was laid out for")]
+    fn reattaching_with_a_different_process_count_panics() {
+        let first = PMem::with_threads(2);
+        let arena = first.arena_handle();
+        drop(first);
+        let _ = PMem::with_arena(MemConfig::new(3), arena);
+    }
+
+    #[test]
+    fn independent_machines_recover_independently() {
+        // Two shards: a crash on one medium must not disturb the other.
+        let shard_a = PMem::with_threads(1);
+        let shard_b = PMem::with_threads(1);
+        let ta = shard_a.thread(0);
+        let tb = shard_b.thread(0);
+        let wa = ta.alloc(1);
+        let wb = tb.alloc(1);
+        ta.write(wa, 1); // never flushed
+        tb.write(wb, 2); // never flushed
+        shard_a.crash_all();
+        assert_eq!(shard_a.peek(wa), 0, "shard A lost its unflushed write");
+        assert_eq!(shard_b.peek(wb), 2, "shard B must be untouched by A's crash");
+        assert!(!shard_b.peek_crashed(0));
+        assert!(shard_a.take_crashed(0));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub(crate) struct StatCells {
     pub(crate) recovery_steps: Cell<u64>,
     pub(crate) crashes: Cell<u64>,
     pub(crate) audit_flags: Cell<u64>,
+    pub(crate) seg_resolves: Cell<u64>,
 }
 
 impl StatCells {
@@ -54,6 +55,7 @@ impl StatCells {
             recovery_steps: self.recovery_steps.get(),
             crashes: self.crashes.get(),
             audit_flags: self.audit_flags.get(),
+            seg_resolves: self.seg_resolves.get(),
         }
     }
 
@@ -70,6 +72,7 @@ impl StatCells {
         self.recovery_steps.set(0);
         self.crashes.set(0);
         self.audit_flags.set(0);
+        self.seg_resolves.set(0);
         snap
     }
 }
@@ -105,6 +108,11 @@ pub struct Stats {
     /// [`FlushAuditor`](crate::FlushAuditor) (zero unless the auditor is armed;
     /// crash-time flags are machine-level and counted on the auditor itself).
     pub audit_flags: u64,
+    /// Slow-path segment-table resolutions: per-thread segment-cache misses,
+    /// including every identity-key invalidation after an arena swap. Stays
+    /// tiny on single-arena runs (one per segment touched); a multi-arena
+    /// harness can use it to confirm the cache re-keys instead of thrashing.
+    pub seg_resolves: u64,
 }
 
 impl Stats {
@@ -122,6 +130,7 @@ impl Stats {
             recovery_steps: 0,
             crashes: 0,
             audit_flags: 0,
+            seg_resolves: 0,
         }
     }
 
@@ -162,6 +171,7 @@ impl Stats {
             recovery_steps: self.recovery_steps + other.recovery_steps,
             crashes: self.crashes + other.crashes,
             audit_flags: self.audit_flags + other.audit_flags,
+            seg_resolves: self.seg_resolves + other.seg_resolves,
         }
     }
 
@@ -181,6 +191,7 @@ impl Stats {
             recovery_steps: self.recovery_steps.saturating_sub(earlier.recovery_steps),
             crashes: self.crashes.saturating_sub(earlier.crashes),
             audit_flags: self.audit_flags.saturating_sub(earlier.audit_flags),
+            seg_resolves: self.seg_resolves.saturating_sub(earlier.seg_resolves),
         }
     }
 
@@ -220,7 +231,7 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={}",
+            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={} seg_resolves={}",
             self.reads,
             self.writes,
             self.cas,
@@ -231,7 +242,8 @@ impl std::fmt::Display for Stats {
             self.recovery_steps,
             self.crashes,
             self.crash_points,
-            self.audit_flags
+            self.audit_flags,
+            self.seg_resolves
         )
     }
 }
@@ -253,6 +265,7 @@ mod tests {
             recovery_steps: 1,
             crashes: 1,
             audit_flags: 2,
+            seg_resolves: 3,
         }
     }
 

@@ -1,0 +1,414 @@
+//! The drill engine: run the whole sharded service — executors, an open-loop
+//! client fleet, and a kill schedule — and time every recovery.
+//!
+//! A *drill* is one kill-restart cycle executed while traffic flows: pick a
+//! victim (round-robin, periodically escalating to a full-system crash of
+//! every shard at once), raise its kill flag, and measure
+//! `detect` (kill → workers unwound and joined), `replay` (machine crashed,
+//! rebuilt over the surviving arena, in-flight operations resumed), and
+//! `total` (kill → serving again) against a recovery deadline. While the
+//! victim is down the engine samples the other shards' completed-op counters
+//! to prove they kept serving.
+//!
+//! Clients keep generating load until the drill schedule completes (with
+//! `ops_per_client` as a floor), so every drill happens under traffic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::generator::{RequestGen, Zipfian};
+use crate::metrics::{DrillKind, DrillRecord, LatencyHistogram, Percentiles};
+use crate::router::{RetryPolicy, Router, RouterStats};
+use crate::shard::{run_shard, ShardReport, ShardShared};
+
+/// Everything a service run is parameterised by. All fields have sensible
+/// defaults; the `service_drill` binary maps `DF_SERVICE_*` knobs onto them.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of independent shards (each with its own arena and machine).
+    pub shards: usize,
+    /// Worker pids per shard.
+    pub workers_per_shard: usize,
+    /// Open-loop client threads.
+    pub clients: usize,
+    /// Keyspace size (keys are Zipfian ranks in `[0, keys)`).
+    pub keys: u64,
+    /// Zipfian skew in `[0, 1)`; 0 = uniform, 0.99 = YCSB default.
+    pub zipf_theta: f64,
+    /// Percentage of requests that are membership probes.
+    pub read_pct: u32,
+    /// Minimum requests per client (clients continue past this until the
+    /// drill schedule completes).
+    pub ops_per_client: u64,
+    /// Kill-restart drills to run (0 = pure throughput run).
+    pub kills: usize,
+    /// Every Nth drill crashes the full system instead of one shard
+    /// (0 = shard-local only).
+    pub full_system_every: usize,
+    /// Recovery deadline a drill must beat to count as `within_deadline`.
+    pub recovery_deadline: Duration,
+    /// Serving time between consecutive drills.
+    pub kill_spacing: Duration,
+    /// Per-shard request queue capacity (backpressure bound).
+    pub queue_cap: usize,
+    /// Drain bound for the final oracle walk.
+    pub drain_cap: usize,
+    /// Master seed; client `c` streams from `seed + c`.
+    pub seed: u64,
+    /// Router retry/backoff policy for down or saturated shards.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            clients: 2,
+            keys: 1 << 20,
+            zipf_theta: 0.99,
+            read_pct: 50,
+            ops_per_client: 20_000,
+            kills: 6,
+            full_system_every: 3,
+            recovery_deadline: Duration::from_secs(2),
+            kill_spacing: Duration::from_millis(25),
+            queue_cap: 1024,
+            drain_cap: 1 << 20,
+            seed: 0x5eed,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of a full service run.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Per-shard life reports (oracle verdicts included).
+    pub shards: Vec<ShardReport>,
+    /// One record per executed drill.
+    pub drills: Vec<DrillRecord>,
+    /// Merged client-side routing stats.
+    pub router: RouterStats,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Service-level violations (recovery watchdog timeouts etc.); per-shard
+    /// exactly-once violations live in the shard reports.
+    pub violations: Vec<String>,
+}
+
+impl ServiceReport {
+    /// Total acknowledged operations across shards.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Aggregate latency across all shards.
+    pub fn aggregate_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for s in &self.shards {
+            all.merge(&s.latency);
+        }
+        all
+    }
+
+    /// Aggregate percentiles (convenience for reporting).
+    pub fn aggregate_percentiles(&self) -> Percentiles {
+        self.aggregate_latency().percentiles()
+    }
+
+    /// Every violation in one list: service-level, per-shard oracle, and
+    /// drill deadline misses.
+    pub fn all_violations(&self) -> Vec<String> {
+        let mut out = self.violations.clone();
+        for s in &self.shards {
+            out.extend(s.violations.iter().cloned());
+        }
+        for d in &self.drills {
+            if !d.within_deadline {
+                out.push(format!(
+                    "drill {} ({}): recovery took {:?}, past the deadline",
+                    d.index,
+                    d.kind.label(),
+                    d.total
+                ));
+            }
+        }
+        out
+    }
+
+    /// `true` iff the run is clean: no violations and every drill recovered
+    /// on deadline.
+    pub fn ok(&self) -> bool {
+        self.all_violations().is_empty()
+    }
+}
+
+fn wait_serving(shard: &ShardShared, timeout: Duration) -> bool {
+    let t0 = Instant::now();
+    while !shard.is_serving() {
+        if t0.elapsed() > timeout {
+            return false;
+        }
+        thread::sleep(Duration::from_micros(200));
+    }
+    true
+}
+
+/// The recovery watchdog bound: a shard that is not serving again within this
+/// many deadlines is reported as a violation and the drill schedule aborts.
+const WATCHDOG_DEADLINES: u32 = 10;
+
+/// Run one drill against `shards`, returning its record (or a violation
+/// string if a victim missed the watchdog).
+fn run_drill(
+    shards: &[ShardShared],
+    index: usize,
+    kind: DrillKind,
+    victim: usize,
+    deadline: Duration,
+) -> Result<DrillRecord, String> {
+    let watchdog = deadline * WATCHDOG_DEADLINES;
+    let healthy_before: u64 = shards
+        .iter()
+        .filter(|s| kind == DrillKind::ShardLocal && s.id != victim)
+        .map(|s| s.completed_ops())
+        .sum();
+    let kill_at = Instant::now();
+    match kind {
+        DrillKind::ShardLocal => {
+            if !shards[victim].request_kill() {
+                return Err(format!("drill {index}: victim {victim} refused the kill while serving"));
+            }
+            if !wait_serving(&shards[victim], watchdog) {
+                return Err(format!(
+                    "drill {index}: shard {victim} not serving {watchdog:?} after the kill"
+                ));
+            }
+            let (detect, replay, total) = shards[victim]
+                .last_recovery()
+                .ok_or_else(|| format!("drill {index}: shard {victim} recorded no recovery"))?;
+            let healthy_after: u64 = shards
+                .iter()
+                .filter(|s| s.id != victim)
+                .map(|s| s.completed_ops())
+                .sum();
+            Ok(DrillRecord {
+                index,
+                kind,
+                victim,
+                detect,
+                replay,
+                total,
+                healthy_ops_during_outage: healthy_after - healthy_before,
+                within_deadline: total <= deadline,
+            })
+        }
+        DrillKind::FullSystem => {
+            for s in shards {
+                // A shard that slipped out of Serving here would mean a
+                // concurrent kill — the drill engine is the only killer, and
+                // it waited for all-serving before this drill.
+                if !s.request_kill() {
+                    return Err(format!("drill {index}: shard {} refused the system kill", s.id));
+                }
+            }
+            for s in shards {
+                if !wait_serving(s, watchdog) {
+                    return Err(format!(
+                        "drill {index}: shard {} not serving {watchdog:?} after the system kill",
+                        s.id
+                    ));
+                }
+            }
+            let total = kill_at.elapsed();
+            // Detect is the slowest shard's kill → quiesce; replay is the
+            // rest of the outage (until the last shard serves again).
+            let detect = shards
+                .iter()
+                .filter_map(|s| s.last_recovery())
+                .map(|(d, _, _)| d)
+                .max()
+                .unwrap_or_default();
+            Ok(DrillRecord {
+                index,
+                kind,
+                victim,
+                detect,
+                replay: total.saturating_sub(detect),
+                total,
+                healthy_ops_during_outage: 0,
+                within_deadline: total <= deadline,
+            })
+        }
+    }
+}
+
+/// Run the service end to end: bring up the shards, drive traffic, execute
+/// the drill schedule, shut down gracefully, and collect every report.
+pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
+    assert!(cfg.shards >= 1 && cfg.workers_per_shard >= 1 && cfg.clients >= 1);
+    let start = Instant::now();
+    let shards: Vec<ShardShared> = (0..cfg.shards)
+        .map(|i| ShardShared::new(i, cfg.queue_cap, start))
+        .collect();
+    let drills_done = AtomicBool::new(false);
+    let mut violations = Vec::new();
+    let (shard_reports, router_stats, drills) = thread::scope(|s| {
+        let executors: Vec<_> = shards
+            .iter()
+            .map(|shard| s.spawn(|| run_shard(shard, cfg.workers_per_shard, cfg.drain_cap)))
+            .collect();
+        let zipf = Zipfian::new(cfg.keys, cfg.zipf_theta);
+        let clients: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let (shards, zipf, drills_done) = (&shards, zipf.clone(), &drills_done);
+                s.spawn(move || {
+                    let mut gen = RequestGen::new(cfg.seed + c as u64, zipf, cfg.read_pct);
+                    let mut router = Router::new(shards, cfg.retry);
+                    let mut issued = 0u64;
+                    while issued < cfg.ops_per_client || !drills_done.load(Ordering::Relaxed) {
+                        let _ = router.submit(gen.next_op());
+                        issued += 1;
+                    }
+                    router.stats
+                })
+            })
+            .collect();
+        // ---- the drill schedule runs on this thread ------------------------
+        let mut drills = Vec::new();
+        let watchdog = cfg.recovery_deadline * WATCHDOG_DEADLINES;
+        for index in 0..cfg.kills {
+            if !shards.iter().all(|sh| wait_serving(sh, watchdog)) {
+                violations.push(format!("drill {index}: service never reached all-serving"));
+                break;
+            }
+            thread::sleep(cfg.kill_spacing);
+            let kind = if cfg.full_system_every > 0 && (index + 1) % cfg.full_system_every == 0 {
+                DrillKind::FullSystem
+            } else {
+                DrillKind::ShardLocal
+            };
+            let victim = index % cfg.shards;
+            match run_drill(&shards, index, kind, victim, cfg.recovery_deadline) {
+                Ok(rec) => drills.push(rec),
+                Err(v) => {
+                    violations.push(v);
+                    break;
+                }
+            }
+        }
+        drills_done.store(true, Ordering::SeqCst);
+        let router_stats = clients.into_iter().fold(RouterStats::default(), |mut acc, c| {
+            let st = c.join().expect("client panicked");
+            acc.accepted += st.accepted;
+            acc.degraded += st.degraded;
+            acc.retries += st.retries;
+            acc
+        });
+        for shard in &shards {
+            shard.request_stop();
+        }
+        let shard_reports: Vec<ShardReport> = executors
+            .into_iter()
+            .map(|e| e.join().expect("shard executor panicked"))
+            .collect();
+        (shard_reports, router_stats, drills)
+    });
+    ServiceReport {
+        shards: shard_reports,
+        drills,
+        router: router_stats,
+        wall: start.elapsed(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::install_quiet_crash_hook;
+
+    #[test]
+    fn bounded_drill_run_is_clean_and_timed() {
+        install_quiet_crash_hook();
+        let cfg = ServiceConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            clients: 2,
+            keys: 1 << 16,
+            zipf_theta: 0.9,
+            read_pct: 30,
+            ops_per_client: 2_000,
+            kills: 3,
+            full_system_every: 3,
+            recovery_deadline: Duration::from_secs(5),
+            kill_spacing: Duration::from_millis(15),
+            queue_cap: 256,
+            drain_cap: 1 << 18,
+            seed: 42,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+            },
+        };
+        let report = run_service(&cfg);
+        assert!(report.ok(), "violations: {:?}", report.all_violations());
+        assert_eq!(report.drills.len(), 3);
+        // Drills 0 and 1 are shard-local, drill 2 is the full-system crash.
+        assert_eq!(report.drills[0].kind, DrillKind::ShardLocal);
+        assert_eq!(report.drills[1].kind, DrillKind::ShardLocal);
+        assert_eq!(report.drills[2].kind, DrillKind::FullSystem);
+        for d in &report.drills {
+            assert!(d.total >= d.detect, "drill {d:?}");
+            assert!(d.within_deadline);
+        }
+        // Victims alternate round-robin across the shard-local drills.
+        assert_ne!(report.drills[0].victim, report.drills[1].victim);
+        // Traffic kept flowing: every shard completed work and acknowledged
+        // counts match the routers' accepted counts.
+        assert!(report.completed() > 0);
+        for sh in &report.shards {
+            assert!(sh.completed > 0, "shard {} served nothing", sh.id);
+        }
+        assert_eq!(report.completed(), report.router.accepted);
+        assert_eq!(report.aggregate_percentiles().count, report.completed());
+        // The healthy shard kept serving during at least one local outage.
+        let healthy: u64 = report
+            .drills
+            .iter()
+            .filter(|d| d.kind == DrillKind::ShardLocal)
+            .map(|d| d.healthy_ops_during_outage)
+            .sum();
+        assert!(healthy > 0, "no healthy-shard progress observed during outages");
+    }
+
+    #[test]
+    fn no_kill_run_matches_issued_traffic_exactly() {
+        let cfg = ServiceConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            clients: 1,
+            keys: 512,
+            zipf_theta: 0.0,
+            read_pct: 50,
+            ops_per_client: 1_000,
+            kills: 0,
+            kill_spacing: Duration::from_millis(1),
+            queue_cap: 64,
+            drain_cap: 4096,
+            seed: 7,
+            ..ServiceConfig::default()
+        };
+        let report = run_service(&cfg);
+        assert!(report.ok(), "violations: {:?}", report.all_violations());
+        assert!(report.drills.is_empty());
+        assert_eq!(report.router.accepted + report.router.degraded, 1_000);
+        assert_eq!(report.completed(), report.router.accepted);
+        for sh in &report.shards {
+            assert_eq!(sh.incarnations, 1);
+        }
+    }
+}

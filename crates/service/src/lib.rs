@@ -1,0 +1,39 @@
+//! A sharded service harness over the delay-free persistent structures, with
+//! kill-restart drills: crash a live system under traffic, recover on a
+//! deadline, keep serving.
+//!
+//! This crate turns the repo's simulated-pmem machinery into something shaped
+//! like a small keyed service and then attacks it the way the paper's model
+//! says a faulty machine would — processes die at arbitrary simulated
+//! instructions and come back with only their persistent state:
+//!
+//! - [`shard`]: one shard = one arena, one detectable [`structs::GeneralSet`]
+//!   and a worker pool, living through kill-restart *incarnations* over the
+//!   same surviving arena. A ticketed exactly-once protocol settles the
+//!   request a kill interrupted (resumed, read back, or
+//!   provably-never-started and re-executed), checked by a per-key balance
+//!   oracle at shutdown.
+//! - [`router`]: the client edge — hash routing plus bounded
+//!   retry-with-backoff that degrades (never blocks) when a shard is down.
+//! - [`generator`]: seeded open-loop traffic — splitmix64 streams, YCSB-style
+//!   Zipfian keys over keyspaces of millions, configurable read/write mix.
+//! - [`drill`]: the drill engine — run executors, clients, and a kill
+//!   schedule (round-robin shard-local kills, periodically a full-system
+//!   crash), timing detect/replay/total per recovery against a deadline.
+//! - [`metrics`]: mergeable log-linear latency histograms and the drill
+//!   record types behind `BENCH_service.json`.
+//!
+//! The `service_drill` binary wires this to `DF_SERVICE_*` environment knobs
+//! and emits `BENCH_service.json` rows (schema `delayfree-bench-v1`).
+
+pub mod drill;
+pub mod generator;
+pub mod metrics;
+pub mod router;
+pub mod shard;
+
+pub use drill::{run_service, ServiceConfig, ServiceReport};
+pub use generator::{hash_key, RequestGen, SplitMix64, Zipfian};
+pub use metrics::{DrillKind, DrillRecord, LatencyHistogram, Percentiles};
+pub use router::{RetryPolicy, RouteError, Router, RouterStats};
+pub use shard::{run_shard, EnqueueError, Request, ShardReport, ShardShared};

@@ -1,0 +1,191 @@
+//! Key-hashed request routing with bounded retry and graceful degradation.
+//!
+//! The router is the client-facing edge: it picks the shard that owns a key
+//! (stateless hash so the Zipfian head spreads across shards), and turns a
+//! down or saturated shard into a bounded retry-with-backoff followed by a
+//! [`RouteError::Degraded`] answer — never an unbounded block. Healthy shards
+//! stay reachable the whole time; only traffic for the victim degrades.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use structs::StructOp;
+
+use crate::generator::{hash_key, op_key};
+use crate::shard::{EnqueueError, Request, ShardShared};
+
+/// Routing outcome for a refused request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The owning shard stayed down (or full) through every retry; the
+    /// request was dropped after bounded backoff. Carries the shard index.
+    Degraded(usize),
+}
+
+/// Retry/backoff policy for requests whose shard is down or saturated.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum enqueue attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Per-client routing statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterStats {
+    /// Requests accepted by a shard queue.
+    pub accepted: u64,
+    /// Requests dropped as [`RouteError::Degraded`].
+    pub degraded: u64,
+    /// Individual retry sleeps taken (accepted-after-retry included).
+    pub retries: u64,
+}
+
+/// A stateless router over the shard set. Cheap to clone per client thread
+/// (stats are per-instance; merge them at the end).
+#[derive(Debug)]
+pub struct Router<'a> {
+    shards: &'a [ShardShared],
+    policy: RetryPolicy,
+    /// Local stats for this router instance.
+    pub stats: RouterStats,
+}
+
+impl<'a> Router<'a> {
+    /// A router over `shards` with the given retry policy.
+    pub fn new(shards: &'a [ShardShared], policy: RetryPolicy) -> Router<'a> {
+        assert!(!shards.is_empty());
+        assert!(policy.max_attempts >= 1);
+        Router {
+            shards,
+            policy,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (hash_key(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Submit one request: bounded retry-with-backoff, then `Degraded`.
+    /// Returns the owning shard index on acceptance.
+    pub fn submit(&mut self, op: StructOp) -> Result<usize, RouteError> {
+        let idx = self.shard_of(op_key(op));
+        let shard = &self.shards[idx];
+        let req = Request {
+            op,
+            enqueued_at: Instant::now(),
+        };
+        let mut backoff = self.policy.initial_backoff;
+        for attempt in 0..self.policy.max_attempts {
+            match shard.try_enqueue(req) {
+                Ok(()) => {
+                    self.stats.accepted += 1;
+                    return Ok(idx);
+                }
+                Err(EnqueueError::Down | EnqueueError::Full) => {
+                    if attempt + 1 == self.policy.max_attempts {
+                        break;
+                    }
+                    self.stats.retries += 1;
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+            }
+        }
+        self.stats.degraded += 1;
+        Err(RouteError::Degraded(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::run_shard;
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_keys() {
+        let epoch = Instant::now();
+        let shards: Vec<ShardShared> = (0..4).map(|i| ShardShared::new(i, 8, epoch)).collect();
+        let r = Router::new(&shards, RetryPolicy::default());
+        let mut hit = [false; 4];
+        for k in 0..256u64 {
+            let a = r.shard_of(k);
+            assert_eq!(a, r.shard_of(k));
+            hit[a] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 keys must touch all 4 shards");
+    }
+
+    #[test]
+    fn down_shard_degrades_after_bounded_retries_without_blocking() {
+        let epoch = Instant::now();
+        // One shard, never serving (fresh shards start in Recovering).
+        let shards = vec![ShardShared::new(0, 8, epoch)];
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+        };
+        let mut r = Router::new(&shards, policy);
+        let t0 = Instant::now();
+        let out = r.submit(StructOp::Insert(7));
+        assert_eq!(out, Err(RouteError::Degraded(0)));
+        assert_eq!(r.stats.degraded, 1);
+        assert_eq!(r.stats.retries, 3, "max_attempts-1 backoff sleeps");
+        // Bounded: well under a second even with generous scheduling slack.
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn healthy_shard_accepts_while_another_is_down() {
+        let epoch = Instant::now();
+        let shards: Vec<ShardShared> = (0..2).map(|i| ShardShared::new(i, 64, epoch)).collect();
+        std::thread::scope(|s| {
+            // Only shard 0 gets an executor; shard 1 stays down forever.
+            let exec = s.spawn(|| run_shard(&shards[0], 1, 1024));
+            while !shards[0].is_serving() {
+                thread::sleep(Duration::from_micros(100));
+            }
+            let policy = RetryPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(50),
+            };
+            let mut r = Router::new(&shards, policy);
+            let (mut ok, mut degraded) = (0, 0);
+            for k in 0..200u64 {
+                match r.submit(StructOp::Insert(k)) {
+                    Ok(idx) => {
+                        assert_eq!(idx, 0);
+                        ok += 1;
+                    }
+                    Err(RouteError::Degraded(idx)) => {
+                        assert_eq!(idx, 1);
+                        degraded += 1;
+                    }
+                }
+            }
+            assert!(ok > 0, "healthy shard must accept");
+            assert!(degraded > 0, "down shard must degrade");
+            shards[0].request_stop();
+            let report = exec.join().unwrap();
+            assert!(report.violations.is_empty(), "{:?}", report.violations);
+            assert_eq!(report.completed, ok);
+        });
+    }
+}

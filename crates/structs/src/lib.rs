@@ -42,7 +42,7 @@ pub mod stack_normalized;
 
 pub use api::{StructHandle, StructOp};
 pub use set::{ListSet, ListSetHandle};
-pub use set_general::{GeneralSet, GeneralSetHandle};
+pub use set_general::{GeneralSet, GeneralSetHandle, Resumption};
 pub use set_normalized::{NormalizedSet, NormalizedSetHandle};
 pub use stack::{TreiberStack, TreiberStackHandle};
 pub use stack_general::{GeneralStack, GeneralStackHandle};

@@ -34,8 +34,9 @@ const L_PRED_ENC: usize = 2; // its expected encoding (decodes to curr, unmarked
 const L_CURR_NEXT: usize = 3; // remove: address of curr's next word (mark target)
 const L_CURR_ENC: usize = 4; // remove: curr's next encoding (unmarked) / contains: result
 const L_NODE: usize = 5; // insert: the new node
+const L_TICKET: usize = 6; // caller-supplied operation ticket (see `set_ticket`)
 /// Number of user locals a handle's capsule runtime uses.
-pub const SET_GENERAL_LOCALS: usize = 6;
+pub const SET_GENERAL_LOCALS: usize = 7;
 
 // Insert program counters.
 const I_FIND: u32 = 0;
@@ -178,6 +179,143 @@ impl GeneralSet {
             thread.fence();
         }
     }
+
+    // ----- capsule bodies --------------------------------------------------------
+    //
+    // One function per operation, dispatching on the runtime's pc. Kept as named
+    // methods (rather than closures inside insert/remove/contains) so that
+    // `resume_interrupted` can re-enter the same state machine from whatever pc a
+    // previous incarnation persisted.
+
+    /// One insert capsule (entry pc [`I_FIND`]).
+    fn insert_step(&self, rt: &mut CapsuleRuntime<'_, '_>) -> CapsuleStep<bool> {
+        let space = self.space;
+        match rt.pc() {
+            // Search capsule (reads + anonymous helping): locate the window,
+            // allocate and initialise the node.
+            I_FIND => {
+                let k = rt.local(L_KEY);
+                let t = rt.thread();
+                let w = self.find(t, k);
+                if w.found {
+                    rt.finish_boundary(I_DONE_FALSE);
+                    return CapsuleStep::Done(false);
+                }
+                let node = t.alloc(NODE_WORDS);
+                t.write(value_addr(node), k);
+                space.init_word(t, next_addr(node), w.pred_enc);
+                self.persist_line(t, node);
+                rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
+                rt.set_local(L_PRED_ENC, w.pred_enc);
+                rt.set_local_addr(L_NODE, node);
+                rt.boundary(I_CAS);
+                CapsuleStep::Continue
+            }
+            // CAS-Read capsule: link the node into the window.
+            I_CAS => {
+                let pred_addr = rt.local_addr(L_PRED_ADDR);
+                let expected = rt.local(L_PRED_ENC);
+                let node = rt.local_addr(L_NODE);
+                let ok = recoverable_cas(rt, &space, pred_addr, expected, enc(node, false));
+                if ok {
+                    self.persist_line(rt.thread(), pred_addr);
+                    rt.finish_boundary(I_DONE_TRUE);
+                    CapsuleStep::Done(true)
+                } else {
+                    rt.boundary(I_FIND);
+                    CapsuleStep::Continue
+                }
+            }
+            I_DONE_TRUE => CapsuleStep::Done(true),
+            I_DONE_FALSE => CapsuleStep::Done(false),
+            pc => unreachable!("general set insert: unexpected pc {pc}"),
+        }
+    }
+
+    /// One remove capsule (entry pc [`R_FIND`]).
+    fn remove_step(&self, rt: &mut CapsuleRuntime<'_, '_>) -> CapsuleStep<bool> {
+        let space = self.space;
+        match rt.pc() {
+            // Search capsule: locate the victim's window.
+            R_FIND => {
+                let k = rt.local(L_KEY);
+                let w = self.find(rt.thread(), k);
+                if !w.found {
+                    rt.finish_boundary(R_DONE_FALSE);
+                    return CapsuleStep::Done(false);
+                }
+                rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
+                rt.set_local(L_PRED_ENC, w.pred_enc);
+                rt.set_local_addr(L_CURR_NEXT, next_addr(w.curr));
+                rt.set_local(L_CURR_ENC, w.curr_enc);
+                rt.boundary(R_MARK);
+                CapsuleStep::Continue
+            }
+            // CAS-Read capsule: the logical mark — the linearization point,
+            // and the only CAS of the protocol that needs exactly-once
+            // recovery.
+            R_MARK => {
+                let curr_next = rt.local_addr(L_CURR_NEXT);
+                let curr_enc = rt.local(L_CURR_ENC);
+                let ok = recoverable_cas(rt, &space, curr_next, curr_enc, curr_enc | 1);
+                if ok {
+                    self.persist_line(rt.thread(), curr_next);
+                    rt.boundary(R_UNLINK);
+                } else {
+                    rt.boundary(R_FIND);
+                }
+                CapsuleStep::Continue
+            }
+            // Helping capsule: best-effort physical unlink (anonymous CAS —
+            // repetition-safe, loss-tolerant; traversals finish the job).
+            R_UNLINK => {
+                let t = rt.thread();
+                let pred_addr = rt.local_addr(L_PRED_ADDR);
+                let pred_enc = rt.local(L_PRED_ENC);
+                let curr_enc = rt.local(L_CURR_ENC);
+                if space.cas_anonymous(t, pred_addr, pred_enc, curr_enc) && self.manual {
+                    t.flush(pred_addr);
+                }
+                rt.finish_boundary(R_DONE_TRUE);
+                CapsuleStep::Done(true)
+            }
+            R_DONE_TRUE => CapsuleStep::Done(true),
+            R_DONE_FALSE => CapsuleStep::Done(false),
+            pc => unreachable!("general set remove: unexpected pc {pc}"),
+        }
+    }
+
+    /// One contains capsule (entry pc [`C_FIND`]).
+    fn contains_step(&self, rt: &mut CapsuleRuntime<'_, '_>) -> CapsuleStep<bool> {
+        let space = self.space;
+        match rt.pc() {
+            C_FIND => {
+                let k = rt.local(L_KEY);
+                let t = rt.thread();
+                let mut found = false;
+                let mut node = enc_addr(space.read(t, self.head));
+                while !node.is_null() {
+                    let next = space.read(t, next_addr(node));
+                    let ck = t.read(value_addr(node));
+                    if !enc_marked(next) {
+                        if ck == k {
+                            found = true;
+                            break;
+                        }
+                        if ck > k {
+                            break;
+                        }
+                    }
+                    node = enc_addr(next);
+                }
+                rt.set_local(L_CURR_ENC, found as u64);
+                rt.finish_boundary(C_DONE);
+                CapsuleStep::Done(found)
+            }
+            C_DONE => CapsuleStep::Done(rt.local(L_CURR_ENC) != 0),
+            pc => unreachable!("general set contains: unexpected pc {pc}"),
+        }
+    }
 }
 
 /// Per-thread handle: the thread's capsule runtime plus a reference to the set.
@@ -200,142 +338,104 @@ impl<'q, 't, 'm> GeneralSetHandle<'q, 't, 'm> {
     /// Insert `k` (detectably); returns whether it was absent.
     pub fn insert(&mut self, k: u64) -> bool {
         let set = self.set;
-        let space = set.space;
         self.rt.set_local(L_KEY, k);
-        self.rt.run_op(I_FIND, |rt| {
-            match rt.pc() {
-                // Search capsule (reads + anonymous helping): locate the window,
-                // allocate and initialise the node.
-                I_FIND => {
-                    let k = rt.local(L_KEY);
-                    let t = rt.thread();
-                    let w = set.find(t, k);
-                    if w.found {
-                        rt.finish_boundary(I_DONE_FALSE);
-                        return CapsuleStep::Done(false);
-                    }
-                    let node = t.alloc(NODE_WORDS);
-                    t.write(value_addr(node), k);
-                    space.init_word(t, next_addr(node), w.pred_enc);
-                    set.persist_line(t, node);
-                    rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
-                    rt.set_local(L_PRED_ENC, w.pred_enc);
-                    rt.set_local_addr(L_NODE, node);
-                    rt.boundary(I_CAS);
-                    CapsuleStep::Continue
-                }
-                // CAS-Read capsule: link the node into the window.
-                I_CAS => {
-                    let pred_addr = rt.local_addr(L_PRED_ADDR);
-                    let expected = rt.local(L_PRED_ENC);
-                    let node = rt.local_addr(L_NODE);
-                    let ok = recoverable_cas(rt, &space, pred_addr, expected, enc(node, false));
-                    if ok {
-                        set.persist_line(rt.thread(), pred_addr);
-                        rt.finish_boundary(I_DONE_TRUE);
-                        CapsuleStep::Done(true)
-                    } else {
-                        rt.boundary(I_FIND);
-                        CapsuleStep::Continue
-                    }
-                }
-                I_DONE_TRUE => CapsuleStep::Done(true),
-                I_DONE_FALSE => CapsuleStep::Done(false),
-                pc => unreachable!("general set insert: unexpected pc {pc}"),
-            }
-        })
+        self.rt.run_op(I_FIND, |rt| set.insert_step(rt))
     }
 
     /// Remove `k` (detectably); returns whether it was present.
     pub fn remove(&mut self, k: u64) -> bool {
         let set = self.set;
-        let space = set.space;
         self.rt.set_local(L_KEY, k);
-        self.rt.run_op(R_FIND, |rt| {
-            match rt.pc() {
-                // Search capsule: locate the victim's window.
-                R_FIND => {
-                    let k = rt.local(L_KEY);
-                    let w = set.find(rt.thread(), k);
-                    if !w.found {
-                        rt.finish_boundary(R_DONE_FALSE);
-                        return CapsuleStep::Done(false);
-                    }
-                    rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
-                    rt.set_local(L_PRED_ENC, w.pred_enc);
-                    rt.set_local_addr(L_CURR_NEXT, next_addr(w.curr));
-                    rt.set_local(L_CURR_ENC, w.curr_enc);
-                    rt.boundary(R_MARK);
-                    CapsuleStep::Continue
-                }
-                // CAS-Read capsule: the logical mark — the linearization point,
-                // and the only CAS of the protocol that needs exactly-once
-                // recovery.
-                R_MARK => {
-                    let curr_next = rt.local_addr(L_CURR_NEXT);
-                    let curr_enc = rt.local(L_CURR_ENC);
-                    let ok = recoverable_cas(rt, &space, curr_next, curr_enc, curr_enc | 1);
-                    if ok {
-                        set.persist_line(rt.thread(), curr_next);
-                        rt.boundary(R_UNLINK);
-                    } else {
-                        rt.boundary(R_FIND);
-                    }
-                    CapsuleStep::Continue
-                }
-                // Helping capsule: best-effort physical unlink (anonymous CAS —
-                // repetition-safe, loss-tolerant; traversals finish the job).
-                R_UNLINK => {
-                    let t = rt.thread();
-                    let pred_addr = rt.local_addr(L_PRED_ADDR);
-                    let pred_enc = rt.local(L_PRED_ENC);
-                    let curr_enc = rt.local(L_CURR_ENC);
-                    if space.cas_anonymous(t, pred_addr, pred_enc, curr_enc) && set.manual {
-                        t.flush(pred_addr);
-                    }
-                    rt.finish_boundary(R_DONE_TRUE);
-                    CapsuleStep::Done(true)
-                }
-                R_DONE_TRUE => CapsuleStep::Done(true),
-                R_DONE_FALSE => CapsuleStep::Done(false),
-                pc => unreachable!("general set remove: unexpected pc {pc}"),
-            }
-        })
+        self.rt.run_op(R_FIND, |rt| set.remove_step(rt))
     }
 
     /// Membership test (read-only, single capsule).
     pub fn contains(&mut self, k: u64) -> bool {
         let set = self.set;
-        let space = set.space;
         self.rt.set_local(L_KEY, k);
-        self.rt.run_op(C_FIND, |rt| match rt.pc() {
-            C_FIND => {
-                let k = rt.local(L_KEY);
-                let t = rt.thread();
-                let mut found = false;
-                let mut node = enc_addr(space.read(t, set.head));
-                while !node.is_null() {
-                    let next = space.read(t, next_addr(node));
-                    let ck = t.read(value_addr(node));
-                    if !enc_marked(next) {
-                        if ck == k {
-                            found = true;
-                            break;
-                        }
-                        if ck > k {
-                            break;
-                        }
-                    }
-                    node = enc_addr(next);
-                }
-                rt.set_local(L_CURR_ENC, found as u64);
-                rt.finish_boundary(C_DONE);
-                CapsuleStep::Done(found)
+        self.rt.run_op(C_FIND, |rt| set.contains_step(rt))
+    }
+
+    /// Stamp the next operation with a caller-chosen ticket. The ticket is a
+    /// persisted local like the key: the operation's entry boundary makes it
+    /// durable together with the arguments, and it survives in the frame until
+    /// a later operation's entry boundary overwrites it. A harness that tags
+    /// every request with a unique nonzero ticket can therefore tell, after a
+    /// kill, *which* request the frame's state belongs to — the disambiguation
+    /// [`resume_interrupted`](Self::resume_interrupted) reports back.
+    pub fn set_ticket(&mut self, ticket: u64) {
+        self.rt.set_local(L_TICKET, ticket);
+    }
+
+    /// After [`GeneralSet::attach_handle`], finish whatever the previous
+    /// incarnation left in the frame.
+    ///
+    /// Reads the persisted program counter and dispatches:
+    /// * mid-operation pc → drives the interrupted operation to completion with
+    ///   [`CapsuleRuntime::resume_op`] (`resumed == true`);
+    /// * result pc → the operation completed before the crash but its result may
+    ///   never have been delivered; the persisted result is read back
+    ///   (`resumed == false`);
+    /// * virgin frame (nothing ever ran: pc at the insert entry with a zero
+    ///   ticket) → `None`.
+    ///
+    /// Exactly-once falls out of the capsule machinery: a resumed operation
+    /// takes effect once no matter how far it had progressed, and a completed
+    /// one is only *read*, never re-applied. The caller matches the returned
+    /// ticket against its own in-flight record to decide whether the resumption
+    /// answers an outstanding request or predates it.
+    pub fn resume_interrupted(&mut self) -> Option<Resumption> {
+        let set = self.set;
+        let pc = self.rt.pc();
+        let ticket = self.rt.local(L_TICKET);
+        let key = self.rt.local(L_KEY);
+        if pc == I_FIND && ticket == 0 {
+            // A frame in its initial state: entry pc, never stamped. (Callers
+            // that never use tickets get `insert(key)` resumed via the arm
+            // below only when they opt in by stamping a nonzero ticket.)
+            return None;
+        }
+        let (op, result, resumed) = match pc {
+            I_FIND | I_CAS => {
+                let r = self.rt.resume_op(|rt| set.insert_step(rt));
+                (StructOp::Insert(key), r, true)
             }
-            C_DONE => CapsuleStep::Done(rt.local(L_CURR_ENC) != 0),
-            pc => unreachable!("general set contains: unexpected pc {pc}"),
+            R_FIND | R_MARK | R_UNLINK => {
+                let r = self.rt.resume_op(|rt| set.remove_step(rt));
+                (StructOp::Remove(key), r, true)
+            }
+            C_FIND => {
+                let r = self.rt.resume_op(|rt| set.contains_step(rt));
+                (StructOp::Contains(key), r, true)
+            }
+            I_DONE_TRUE | I_DONE_FALSE => (StructOp::Insert(key), pc == I_DONE_TRUE, false),
+            R_DONE_TRUE | R_DONE_FALSE => (StructOp::Remove(key), pc == R_DONE_TRUE, false),
+            C_DONE => (StructOp::Contains(key), self.rt.local(L_CURR_ENC) != 0, false),
+            pc => unreachable!("general set resume: unexpected persisted pc {pc}"),
+        };
+        Some(Resumption {
+            ticket,
+            op,
+            result,
+            resumed,
         })
     }
+}
+
+/// What [`GeneralSetHandle::resume_interrupted`] found in a re-attached frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resumption {
+    /// The ticket the operation's entry boundary persisted (`0` if the caller
+    /// never stamped one).
+    pub ticket: u64,
+    /// The operation the frame describes.
+    pub op: StructOp,
+    /// Its exactly-once result.
+    pub result: bool,
+    /// `true` if the operation was still in flight and was driven to completion
+    /// here; `false` if it had already completed and only its persisted result
+    /// was read back.
+    pub resumed: bool,
 }
 
 impl StructHandle for GeneralSetHandle<'_, '_, '_> {
@@ -462,6 +562,49 @@ mod tests {
         let t = mem.thread(0);
         let mut h = s.attach_handle(&t);
         assert_eq!(h.drain_up_to(16).items, vec![2, 9]);
+    }
+
+    #[test]
+    fn kill_mid_operation_then_resume_in_next_incarnation_is_exactly_once() {
+        install_quiet_crash_hook();
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t0 = mem.thread(0);
+        let s = GeneralSet::new(&t0, 1, true, BoundaryStyle::General);
+        drop(t0);
+        // Incarnation 1: one completed op, then an insert killed mid-flight.
+        {
+            let t = mem.thread(0);
+            let mut h = s.handle(&t);
+            h.set_ticket(1);
+            assert!(h.insert(40));
+            h.runtime_mut().set_unwind_on_crash(true);
+            h.set_ticket(2);
+            t.set_crash_policy(CrashPolicy::Countdown(20));
+            let died = pmem::catch_crash(std::panic::AssertUnwindSafe(|| h.insert(41)));
+            assert!(died.is_err(), "the kill must unwind out of the insert");
+        }
+        mem.crash_all();
+        // Incarnation 2: re-attach, finish the interrupted insert exactly once.
+        {
+            let t = mem.thread(0);
+            let mut h = s.attach_handle(&t);
+            let r = h.resume_interrupted().expect("an operation was in flight");
+            assert_eq!(r.ticket, 2);
+            assert_eq!(r.op, StructOp::Insert(41));
+            assert!(r.result, "41 was absent, the resumed insert must report true");
+            assert!(r.resumed);
+            assert_eq!(h.drain_up_to(8).items, vec![40, 41]);
+        }
+        // Incarnation 3: nothing in flight — the frame shows the *completed*
+        // resumed insert; its persisted result reads back without re-applying.
+        mem.crash_all();
+        let t = mem.thread(0);
+        let mut h = s.attach_handle(&t);
+        let r = h.resume_interrupted().expect("frame holds the completed op");
+        assert_eq!(r.ticket, 2);
+        assert_eq!(r.op, StructOp::Insert(41));
+        assert!(r.result && !r.resumed);
+        assert_eq!(h.drain_up_to(8).items, vec![40, 41], "readback must not re-insert");
     }
 
     /// dfck-style exhaustive enumeration at the crate level: every crash point

@@ -1,5 +1,5 @@
 //! Cross-crate integration tests for the *interleaved* dfck sweep: queue and
-//! structure variants driven by 2–3 scheduled processes under the
+//! structure variants driven by 2–4 scheduled processes under the
 //! deterministic [`pmem`] thread scheduler, with the crash-point sweep
 //! generalized from (crash point) to (interleaving seed × crash point). The
 //! tests pin the three properties the layer promises:
@@ -11,15 +11,22 @@
 //!    seeded budget perturbation actually moves the preemption points).
 //! 3. **Correctness** — bounded full sweeps pass the linearization oracle
 //!    with zero violations and zero audit flags, under per-process and
-//!    full-system crashes, single and nested.
+//!    full-system crashes, single and nested — including the multi-victim
+//!    sweeps where a co-victim pid crashes in the same replay, and the
+//!    4-thread full-system path where the scheduler delivers the kill to
+//!    parked peers at their next yield (skipping peers whose `FinishGuard`
+//!    already deregistered them).
 
 use std::collections::BTreeSet;
 
-use bench::dfck::{conc_replay, sweep_interleaved, ConcWorkload, SweepVariant};
+use bench::dfck::{
+    conc_replay, sweep_interleaved, sweep_interleaved_multi, ConcWorkload, SweepVariant,
+};
 use bench::dfck_struct::{
     conc_replay as struct_conc_replay, sweep_interleaved as struct_sweep_interleaved,
     ConcStructWorkload, StructVariant,
 };
+use bench::sweep::VictimPlans;
 use pmem::CrashPlan;
 
 /// The same (variant, workload, seed, victim, plan, system) tuple must
@@ -31,15 +38,15 @@ fn scheduled_replays_are_bit_identical_for_the_same_seed() {
     let w = ConcWorkload::pair(2);
     for variant in [SweepVariant::IzraelevitzMsq, SweepVariant::General, SweepVariant::LogQueue] {
         for system in [false, true] {
-            let baseline = conc_replay(variant, &w, 5, 1, None, system);
-            let again = conc_replay(variant, &w, 5, 1, None, system);
+            let baseline = conc_replay(variant, &w, 5, &VictimPlans::baseline(1), system);
+            let again = conc_replay(variant, &w, 5, &VictimPlans::baseline(1), system);
             assert_eq!(baseline, again, "{variant:?} (system={system}): crash-free replay");
             // Crash the victim mid-window at a point the baseline proved
             // reachable, and require the same determinism.
             let k = baseline.victim_crash_points / 2;
-            let plan = CrashPlan::nested(k, &[]);
-            let crashed = conc_replay(variant, &w, 5, 1, Some(&plan), system);
-            let crashed_again = conc_replay(variant, &w, 5, 1, Some(&plan), system);
+            let plans = VictimPlans::scripted(1, CrashPlan::nested(k, &[]));
+            let crashed = conc_replay(variant, &w, 5, &plans, system);
+            let crashed_again = conc_replay(variant, &w, 5, &plans, system);
             assert_eq!(
                 crashed, crashed_again,
                 "{variant:?} (system={system}): crashed replay at k={k}"
@@ -60,13 +67,14 @@ fn scheduled_struct_replays_are_bit_identical_for_the_same_seed() {
             (StructVariant::StackGeneral, &stack),
             (StructVariant::SetNormalized, &set),
         ] {
-            let baseline = struct_conc_replay(variant, w, 9, threads - 1, None, true);
-            let again = struct_conc_replay(variant, w, 9, threads - 1, None, true);
+            let victim = threads - 1;
+            let baseline = struct_conc_replay(variant, w, 9, &VictimPlans::baseline(victim), true);
+            let again = struct_conc_replay(variant, w, 9, &VictimPlans::baseline(victim), true);
             assert_eq!(baseline, again, "{variant:?} t{threads}: crash-free replay");
             let k = baseline.victim_crash_points / 2;
-            let plan = CrashPlan::nested(k, &[]);
-            let crashed = struct_conc_replay(variant, w, 9, threads - 1, Some(&plan), true);
-            let crashed_again = struct_conc_replay(variant, w, 9, threads - 1, Some(&plan), true);
+            let plans = VictimPlans::scripted(victim, CrashPlan::nested(k, &[]));
+            let crashed = struct_conc_replay(variant, w, 9, &plans, true);
+            let crashed_again = struct_conc_replay(variant, w, 9, &plans, true);
             assert_eq!(crashed, crashed_again, "{variant:?} t{threads}: crashed replay");
         }
     }
@@ -84,7 +92,10 @@ fn eight_seeds_yield_eight_distinct_interleavings_per_variant() {
     for variant in SweepVariant::all() {
         let fingerprints: BTreeSet<u64> = seeds
             .iter()
-            .map(|&s| conc_replay(variant, &w, s, (s % 2) as usize, None, false).fingerprint)
+            .map(|&s| {
+                conc_replay(variant, &w, s, &VictimPlans::baseline((s % 2) as usize), false)
+                    .fingerprint
+            })
             .collect();
         assert_eq!(
             fingerprints.len(),
@@ -96,8 +107,14 @@ fn eight_seeds_yield_eight_distinct_interleavings_per_variant() {
     let fingerprints: BTreeSet<u64> = seeds
         .iter()
         .map(|&s| {
-            struct_conc_replay(StructVariant::StackGeneral, &sw, s, (s % 2) as usize, None, false)
-                .fingerprint
+            struct_conc_replay(
+                StructVariant::StackGeneral,
+                &sw,
+                s,
+                &VictimPlans::baseline((s % 2) as usize),
+                false,
+            )
+            .fingerprint
         })
         .collect();
     assert_eq!(fingerprints.len(), seeds.len(), "Stack-General: distinct interleavings");
@@ -114,8 +131,9 @@ fn three_thread_replays_are_deterministic_and_seed_sensitive() {
     let fingerprints: BTreeSet<u64> = seeds
         .iter()
         .map(|&s| {
-            let r = conc_replay(SweepVariant::General, &w, s, (s % 3) as usize, None, false);
-            let again = conc_replay(SweepVariant::General, &w, s, (s % 3) as usize, None, false);
+            let plans = VictimPlans::baseline((s % 3) as usize);
+            let r = conc_replay(SweepVariant::General, &w, s, &plans, false);
+            let again = conc_replay(SweepVariant::General, &w, s, &plans, false);
             assert_eq!(r, again, "seed {s}: 3-thread replay must be deterministic");
             r.fingerprint
         })
@@ -145,6 +163,9 @@ fn bounded_interleaved_sweeps_pass_the_linearization_oracle() {
             // One crash-free baseline plus one replay per crash point, per seed.
             assert_eq!(report.replays, report.crash_points + seeds.len() as u64);
             assert!(report.crashes_injected >= report.crash_points);
+            // Single-victim sweeps never touch a co-victim.
+            assert_eq!(report.covictim_gap, None);
+            assert_eq!(report.covictim_crashes, 0);
         }
     }
     let sw = ConcStructWorkload::stack_pair(2);
@@ -173,4 +194,108 @@ fn nested_crash_schedules_compose_with_scheduling() {
         report.recovery_crashes > 0,
         "the nested schedule element must land inside recovery"
     );
+}
+
+/// Multi-victim replays: a co-victim pid armed with its own single-crash plan
+/// fires in the same scheduled replay as the victim's scripted crash, the
+/// record is bit-reproducible, and the bounded sweep still passes the
+/// exactly-once linearization oracle with both schedules verified live.
+#[test]
+fn multi_victim_sweeps_crash_two_pids_and_pass_the_oracle() {
+    let w = ConcWorkload::pair(2);
+    // Replay-level: both pids crash in one deterministic replay.
+    let plans = VictimPlans::scripted(0, CrashPlan::once(2)).with_covictim(1, CrashPlan::once(2));
+    let r = conc_replay(SweepVariant::General, &w, 4, &plans, false);
+    let again = conc_replay(SweepVariant::General, &w, 4, &plans, false);
+    assert_eq!(r, again, "multi-victim replay must be deterministic");
+    assert!(r.victim_crashes >= 1, "victim plan must fire");
+    assert!(r.covictim_crashes >= 1, "co-victim plan must fire");
+    // Sweep-level: every (seed × crash point) cell with a co-victim crash in
+    // the mix passes the oracle, and the engine counted the co-victim fires.
+    let seeds = [1u64, 2];
+    for variant in [SweepVariant::General, SweepVariant::LogQueue] {
+        let report = sweep_interleaved_multi(variant, &w, &seeds, &[], 2, false);
+        assert!(report.passed(), "{variant:?} /mv: {:?}", report.violations);
+        assert_eq!(report.covictim_gap, Some(2));
+        assert!(
+            report.covictim_crashes > 0,
+            "{variant:?}: co-victim schedule never fired"
+        );
+        assert!(
+            report.crashes_injected > report.crash_points,
+            "{variant:?}: two-pid replays must inject more crashes than a single-victim sweep"
+        );
+    }
+}
+
+/// Four scheduled threads, full-system crash: the scheduler must deliver the
+/// kill to every *parked* peer at its next yield — the victim's crash raises
+/// [`pmem::CrashSignal`] on the three peers through the scheduler, so the
+/// whole replay records more crashed pids than the victim alone — and the
+/// delivery is bit-deterministic.
+#[test]
+fn four_thread_system_crash_kills_parked_peers_at_their_next_yield() {
+    let w = ConcWorkload::pair(4);
+    let baseline = conc_replay(SweepVariant::General, &w, 11, &VictimPlans::baseline(0), true);
+    assert_eq!(baseline.crashes, 0);
+    let k = baseline.victim_crash_points / 2;
+    let plans = VictimPlans::scripted(0, CrashPlan::nested(k, &[]));
+    let crashed = conc_replay(SweepVariant::General, &w, 11, &plans, true);
+    let again = conc_replay(SweepVariant::General, &w, 11, &plans, true);
+    assert_eq!(crashed, again, "4-thread kill delivery must be deterministic");
+    assert!(crashed.victim_crashes >= 1, "the scripted crash must fire");
+    assert!(
+        crashed.crashes > crashed.victim_crashes,
+        "a full-system crash at 4 threads must kill parked peers too \
+         (victim {} vs total {})",
+        crashed.victim_crashes,
+        crashed.crashes
+    );
+    // Exactly-once still holds: the detectable variant completes every
+    // operation despite three peers being killed mid-window.
+    assert!(
+        crashed.history.iter().all(|t| t.end != u64::MAX),
+        "a detectable variant must complete every operation"
+    );
+}
+
+/// Four scheduled threads, crash scripted at the victim's *last* crash point:
+/// by then some peers have finished their windows and deregistered via the
+/// scheduler's `FinishGuard` — kill delivery must skip them (or the replay
+/// would hang waiting on a finished thread) and still satisfy the oracle.
+/// Swept both mid-window and at the boundary for determinism.
+#[test]
+fn four_thread_kill_delivery_skips_finished_peers() {
+    let w = ConcWorkload::pair(4);
+    let baseline = conc_replay(SweepVariant::General, &w, 13, &VictimPlans::baseline(2), true);
+    let n = baseline.victim_crash_points;
+    assert!(n > 1);
+    for k in [n - 1, n / 2] {
+        let plans = VictimPlans::scripted(2, CrashPlan::nested(k, &[]));
+        let crashed = conc_replay(SweepVariant::General, &w, 13, &plans, true);
+        let again = conc_replay(SweepVariant::General, &w, 13, &plans, true);
+        assert_eq!(crashed, again, "k={k}: late-window kill must be deterministic");
+        assert!(crashed.victim_crashes >= 1, "k={k}: the scripted crash must fire");
+        assert!(
+            crashed.crashes <= 4,
+            "k={k}: each pid can crash at most once for a single scripted system crash"
+        );
+    }
+}
+
+/// Distinct seeds stay distinct at four scheduled threads (the fingerprint
+/// check of the 2-thread matrix, at the widest scheduled width the kill-path
+/// tests use).
+#[test]
+fn four_thread_fingerprints_are_seed_sensitive() {
+    let w = ConcWorkload::pair(4);
+    let seeds: Vec<u64> = (1..=6).collect();
+    let fingerprints: BTreeSet<u64> = seeds
+        .iter()
+        .map(|&s| {
+            conc_replay(SweepVariant::General, &w, s, &VictimPlans::baseline((s % 4) as usize), false)
+                .fingerprint
+        })
+        .collect();
+    assert_eq!(fingerprints.len(), seeds.len(), "4-thread interleavings must stay distinct");
 }

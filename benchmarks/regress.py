@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""bench-regress: gate fresh BENCH_*.json against the committed baselines.
+
+Checks (all fatal, exit 1, every failure reported before exiting):
+
+1. fig7 capsule-variant 4-thread throughput must not regress more than
+   REGRESS_TOL (default 20%) against the committed baseline's same cell.
+2. fig7 General and Normalized-Opt must actually *scale*: their 4-thread
+   mops must exceed the seed's flat ~3.7 Mops ceiling (the pre-adaptive
+   plateau, DESIGN.md §11), and be >= SCALE_MIN (default 1.5) x their own
+   1-thread mops. The scaling ratio is within-run, so it is robust to the
+   absolute speed of the machine.
+3. instr_overhead disarmed rows must stay at-or-above the committed
+   baseline: the crash-point plumbing must remain free when disarmed.
+   "At-or-above" is applied with a noise band (DISARM_TOL, default 30%):
+   these are wall-clock rates from shared single-core CI containers whose
+   run-to-run spread is ~25-30%, and a real disarmed-path regression
+   (accidentally armed bookkeeping) shows up as 2x+, far outside the band.
+   Tighten via DF_REGRESS_DISARM_TOL on quiet hardware.
+
+Usage:
+  regress.py --baseline benchmarks \
+             --fig7 fresh/BENCH_fig7.json \
+             [--instr fresh/BENCH_instr_overhead.json]
+
+Env overrides: DF_REGRESS_TOL, DF_REGRESS_SCALE_MIN, DF_REGRESS_CEILING,
+DF_REGRESS_DISARM_TOL.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+CAPSULE_VARIANTS = ["General", "General-Opt", "Normalized", "Normalized-Opt"]
+SCALING_VARIANTS = ["General", "Normalized-Opt"]
+
+REGRESS_TOL = float(os.environ.get("DF_REGRESS_TOL", "0.20"))
+SCALE_MIN = float(os.environ.get("DF_REGRESS_SCALE_MIN", "1.5"))
+SEED_CEILING = float(os.environ.get("DF_REGRESS_CEILING", "3.7"))
+DISARM_TOL = float(os.environ.get("DF_REGRESS_DISARM_TOL", "0.30"))
+
+
+def rows(doc, variant=None, threads=None):
+    out = []
+    for r in doc["results"]:
+        if variant is not None and r["variant"] != variant:
+            continue
+        if threads is not None and r["threads"] != threads:
+            continue
+        out.append(r)
+    return out
+
+
+def mops(doc, variant, threads):
+    matched = rows(doc, variant, threads)
+    if not matched:
+        return None
+    return matched[0]["mops"]
+
+
+def check_fig7(baseline, fresh, failures):
+    # fig7 sweeps the paper's figure-7 variant set (General and
+    # Normalized-Opt represent the capsule family there); gate whichever
+    # capsule variants the committed baseline actually carries.
+    present = [v for v in CAPSULE_VARIANTS if rows(baseline, v, 4)]
+    if not present:
+        failures.append("fig7 baseline has no capsule-variant rows at 4 threads")
+    for variant in present:
+        base = mops(baseline, variant, 4)
+        new = mops(fresh, variant, 4)
+        if new is None:
+            failures.append(f"fig7 {variant}@4t: fresh row missing")
+            continue
+        floor = base * (1.0 - REGRESS_TOL)
+        if new < floor:
+            failures.append(
+                f"fig7 {variant}@4t regressed: {new:.3f} < {floor:.3f} "
+                f"(baseline {base:.3f}, tol {REGRESS_TOL:.0%})"
+            )
+        else:
+            print(f"ok fig7 {variant}@4t: {new:.3f} vs baseline {base:.3f}")
+    for variant in SCALING_VARIANTS:
+        one = mops(fresh, variant, 1)
+        four = mops(fresh, variant, 4)
+        if one is None or four is None:
+            failures.append(f"fig7 {variant}: 1t/4t row missing")
+            continue
+        if four <= SEED_CEILING:
+            failures.append(
+                f"fig7 {variant}@4t does not clear the seed ceiling: "
+                f"{four:.3f} <= {SEED_CEILING} Mops"
+            )
+        if four < SCALE_MIN * one:
+            failures.append(
+                f"fig7 {variant} does not scale: 4t {four:.3f} < "
+                f"{SCALE_MIN}x 1t {one:.3f}"
+            )
+        else:
+            print(f"ok fig7 {variant} scaling: 1t {one:.3f} -> 4t {four:.3f}")
+
+
+def check_instr(baseline, fresh, failures):
+    disarmed = [r for r in baseline["results"] if r["variant"].endswith("/disarmed")]
+    if not disarmed:
+        failures.append("instr_overhead baseline has no disarmed rows")
+        return
+    for r in disarmed:
+        variant = r["variant"]
+        new = mops(fresh, variant, r["threads"])
+        if new is None:
+            failures.append(f"instr_overhead {variant}: fresh row missing")
+            continue
+        floor = r["mops"] * (1.0 - DISARM_TOL)
+        if new < floor:
+            failures.append(
+                f"instr_overhead {variant} regressed: {new:.3f} < {floor:.3f} "
+                f"(baseline {r['mops']:.3f})"
+            )
+        else:
+            print(f"ok instr_overhead {variant}: {new:.3f} vs baseline {r['mops']:.3f}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True, help="directory with committed BENCH_*.json")
+    ap.add_argument("--fig7", required=True, help="fresh BENCH_fig7.json")
+    ap.add_argument("--instr", help="fresh BENCH_instr_overhead.json (optional)")
+    args = ap.parse_args()
+
+    failures = []
+    with open(os.path.join(args.baseline, "BENCH_fig7.json")) as f:
+        fig7_base = json.load(f)
+    with open(args.fig7) as f:
+        fig7_fresh = json.load(f)
+    check_fig7(fig7_base, fig7_fresh, failures)
+
+    if args.instr:
+        with open(os.path.join(args.baseline, "BENCH_instr_overhead.json")) as f:
+            instr_base = json.load(f)
+        with open(args.instr) as f:
+            instr_fresh = json.load(f)
+        check_instr(instr_base, instr_fresh, failures)
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("bench-regress: all gates passed")
+
+
+if __name__ == "__main__":
+    main()

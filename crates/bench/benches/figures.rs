@@ -14,6 +14,7 @@ fn queue_variants(c: &mut Criterion) {
         threads: 2,
         pairs_per_thread: 2_000,
         prefill: 500,
+        adaptive: capsules::adaptive_enabled(),
     };
     for variant in Variant::all() {
         group.bench_with_input(

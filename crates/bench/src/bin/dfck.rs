@@ -69,6 +69,8 @@ struct ReportView<'a> {
     recoveries: u64,
     entry_retries: u64,
     recovery_crashes: u64,
+    fast_ops: u64,
+    demotions: u64,
     audit_flags: u64,
     violations: &'a [String],
 }
@@ -86,6 +88,8 @@ impl<'a> From<&'a SweepReport> for ReportView<'a> {
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
+            fast_ops: r.fast_ops,
+            demotions: r.demotions,
             audit_flags: r.audit_flags,
             violations: &r.violations,
         }
@@ -105,6 +109,8 @@ impl<'a> From<&'a StructSweepReport> for ReportView<'a> {
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
+            fast_ops: r.fast_ops,
+            demotions: r.demotions,
             audit_flags: r.audit_flags,
             violations: &r.violations,
         }
@@ -135,6 +141,8 @@ fn row(report: &ReportView<'_>) -> JsonRow {
         .with("recoveries", report.recoveries as f64)
         .with("entry_retries", report.entry_retries as f64)
         .with("recovery_crashes", report.recovery_crashes as f64)
+        .with("fast_ops", report.fast_ops as f64)
+        .with("demotions", report.demotions as f64)
         .with("audit_flags", report.audit_flags as f64)
         .with("oracle_failures", report.violations.len() as f64)
 }
@@ -157,6 +165,8 @@ struct ConcView<'a> {
     recoveries: u64,
     entry_retries: u64,
     recovery_crashes: u64,
+    fast_ops: u64,
+    demotions: u64,
     audit_flags: u64,
     violations: &'a [String],
 }
@@ -179,6 +189,8 @@ impl<'a> From<&'a ConcSweepReport> for ConcView<'a> {
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
+            fast_ops: r.fast_ops,
+            demotions: r.demotions,
             audit_flags: r.audit_flags,
             violations: &r.violations,
         }
@@ -203,6 +215,8 @@ impl<'a> From<&'a ConcStructSweepReport> for ConcView<'a> {
             recoveries: r.recoveries,
             entry_retries: r.entry_retries,
             recovery_crashes: r.recovery_crashes,
+            fast_ops: r.fast_ops,
+            demotions: r.demotions,
             audit_flags: r.audit_flags,
             violations: &r.violations,
         }
@@ -240,6 +254,8 @@ fn conc_row(report: &ConcView<'_>) -> JsonRow {
         .with("recoveries", report.recoveries as f64)
         .with("entry_retries", report.entry_retries as f64)
         .with("recovery_crashes", report.recovery_crashes as f64)
+        .with("fast_ops", report.fast_ops as f64)
+        .with("demotions", report.demotions as f64)
         .with("audit_flags", report.audit_flags as f64)
         .with("oracle_failures", report.violations.len() as f64)
 }
@@ -281,6 +297,18 @@ fn main() {
                     // matrix runs under both crash flavours.
                     reports.push(sweep(variant, workload, nested));
                     reports.push(sweep_system(variant, workload, nested));
+                }
+            }
+            // The adaptive fast path is on by default, and an uncontended
+            // single-threaded replay never demotes — so the rows above crash
+            // the fast path at every point. These extra rows pin the replayed
+            // queues to the full simulator so the slow path keeps dedicated
+            // single-threaded crash coverage too.
+            if variant.adaptive_capable() {
+                for workload in &workloads {
+                    let slow = workload.clone().slow_path();
+                    reports.push(sweep(variant, &slow, None));
+                    reports.push(sweep_system(variant, &slow, None));
                 }
             }
         }
@@ -365,6 +393,21 @@ fn main() {
             conc_reports.push(bench::dfck::sweep_interleaved_multi(
                 variant, &w, &seeds, &[], mv_gap, false,
             ));
+            // The sensitized adaptive row: trip threshold 1, so the scheduled
+            // contention demotes fast-path operations inside the swept window
+            // and the crash-point enumeration covers the fast→slow demotion
+            // boundary plus the slow-path helping that follows a fast-path
+            // success (the production threshold of 2 consecutive lost CASes
+            // never trips inside these short scheduled windows).
+            if variant.adaptive_capable() {
+                let sens = w.clone().sensitized();
+                conc_reports.push(bench::dfck::sweep_interleaved(
+                    variant, &sens, &seeds, &[], false,
+                ));
+                conc_reports.push(bench::dfck::sweep_interleaved(
+                    variant, &sens, &seeds, &[], true,
+                ));
+            }
         }
         let sw = ConcStructWorkload::stack_pair(conc_threads);
         for variant in [StructVariant::StackGeneral] {

@@ -17,11 +17,15 @@ fn main() {
         threads: 1,
         pairs_per_thread: bench::env_u64("DF_PAIRS", 20_000),
         prefill: bench::env_u64("DF_PREFILL", 1_000),
+        adaptive: capsules::adaptive_enabled(),
     };
     let wall = Instant::now();
     let mut rows = Vec::new();
     println!("# Table S1 — persistence instructions per operation (single thread)");
-    println!("{:<28} {:>12} {:>12}", "variant", "flushes/op", "fences/op");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "variant", "flushes/op", "fences/op", "dup-flush/op"
+    );
     for variant in [
         Variant::Msq,
         Variant::IzraelevitzMsq,
@@ -36,10 +40,11 @@ fn main() {
     ] {
         let m = run_workload(variant, &cfg);
         println!(
-            "{:<28} {:>12.2} {:>12.2}",
+            "{:<28} {:>12.2} {:>12.2} {:>12.2}",
             variant.label(),
             m.flushes_per_op,
-            m.fences_per_op
+            m.fences_per_op,
+            m.duplicate_flushes_per_op
         );
         rows.push(JsonRow::from(&m));
     }

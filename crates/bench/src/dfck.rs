@@ -46,7 +46,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use capsules::{BoundaryStyle, CapsuleMetrics};
+use capsules::{BoundaryStyle, CapsuleMetrics, ContentionMeasure};
 use pmem::{
     catch_crash, CrashPlan, MemConfig, Mode, PMem, PThread, SchedConfig, ThreadOptions,
     ThreadScheduler,
@@ -108,6 +108,20 @@ impl SweepVariant {
     pub fn detectable(&self) -> bool {
         !matches!(self, SweepVariant::IzraelevitzMsq)
     }
+
+    /// Whether the variant has a contention-adaptive fast path (the four
+    /// capsule variants). Only these get the extra slow-path-pinned sweep
+    /// rows — the fast path is the default, so the simulator-only route
+    /// would otherwise lose single-threaded crash coverage.
+    pub fn adaptive_capable(&self) -> bool {
+        matches!(
+            self,
+            SweepVariant::General
+                | SweepVariant::GeneralOpt
+                | SweepVariant::Normalized
+                | SweepVariant::NormalizedOpt
+        )
+    }
 }
 
 /// One workload operation.
@@ -128,6 +142,12 @@ pub struct Workload {
     pub prefill: Vec<u64>,
     /// The operations executed inside the swept window.
     pub ops: Vec<Op>,
+    /// Whether the replayed queues keep their contention-adaptive fast path
+    /// (the default). [`Workload::slow_path`] pins it off so the matrix
+    /// retains dedicated simulator-route crash coverage — an uncontended
+    /// adaptive replay never demotes, so without these rows the slow path
+    /// would only ever be crashed through interleaved sweeps.
+    pub adaptive: bool,
 }
 
 impl Workload {
@@ -138,6 +158,7 @@ impl Workload {
             name: "pair",
             prefill: (0..4).map(|i| 10_000 + i).collect(),
             ops: vec![Op::Enqueue(1), Op::Dequeue],
+            adaptive: true,
         }
     }
 
@@ -170,7 +191,21 @@ impl Workload {
             name: "multi",
             prefill: (0..prefill as u64).map(|i| value_base + 10_000 + i).collect(),
             ops,
+            adaptive: true,
         }
+    }
+
+    /// Pin the replayed queues to the full simulator (adaptive fast path
+    /// off), relabelling the workload so reports and JSON rows stay
+    /// distinguishable from their adaptive twins.
+    pub fn slow_path(mut self) -> Workload {
+        self.adaptive = false;
+        self.name = match self.name {
+            "pair" => "pair-slow",
+            "multi" => "multi-slow",
+            other => other,
+        };
+        self
     }
 }
 
@@ -183,6 +218,12 @@ pub struct ConcWorkload {
     pub prefill: Vec<u64>,
     /// Per-pid operation sequences; `per_pid.len()` is the process count.
     pub per_pid: Vec<Vec<Op>>,
+    /// Contention-trip-threshold override for the adaptive capsule variants
+    /// (`None` = the production policy). The sensitized demotion sweeps set
+    /// this to 1 so *any* lost fast-path CAS demotes the operation, making
+    /// the fast→slow demotion boundary deterministically reachable under the
+    /// scheduled interleavings.
+    pub trip_threshold: Option<u32>,
 }
 
 impl ConcWorkload {
@@ -195,6 +236,7 @@ impl ConcWorkload {
             per_pid: (0..threads as u64)
                 .map(|p| vec![Op::Enqueue(100 + p), Op::Dequeue])
                 .collect(),
+            trip_threshold: None,
         }
     }
 
@@ -209,7 +251,23 @@ impl ConcWorkload {
                     Workload::seeded_full(seed ^ (p + 1), nops_per_pid, 0, (p + 1) << 32).ops
                 })
                 .collect(),
+            trip_threshold: None,
         }
+    }
+
+    /// Sensitize the adaptive capsule variants' contention policy: a trip
+    /// threshold of 1 makes every lost fast-path CAS demote its operation,
+    /// so the interleaved sweeps crash the demotion boundary rather than
+    /// hoping the production streak (2 consecutive losses) ever trips inside
+    /// a short scheduled window. Relabels the workload for reports.
+    pub fn sensitized(mut self) -> ConcWorkload {
+        self.trip_threshold = Some(1);
+        self.name = match self.name {
+            "conc-pair" => "conc-pair-trip1",
+            "conc-multi" => "conc-multi-trip1",
+            other => other,
+        };
+        self
     }
 
     /// The number of scheduled processes.
@@ -429,6 +487,8 @@ fn replay(
                 recoveries: 0,
                 entry_retries: 0,
                 recovery_crashes: 0,
+                fast_ops: 0,
+                demotions: 0,
                 audit_flags,
                 audit_reports,
             }
@@ -478,12 +538,17 @@ fn replay(
                     } else {
                         BoundaryStyle::General
                     };
-                    general = GeneralQueue::new(&t, 1, Durability::Manual, style);
+                    // `slow_path` workloads pin the simulator route; adaptive
+                    // workloads keep the queue's own default (the `DF_ADAPTIVE`
+                    // knob), so the default matrix crashes the fast path.
+                    general = GeneralQueue::new(&t, 1, Durability::Manual, style)
+                        .with_adaptive(workload.adaptive && capsules::adaptive_enabled());
                     H::G(general.handle(&t))
                 }
                 _ => {
                     let optimised = variant == SweepVariant::NormalizedOpt;
-                    normalized = NormalizedQueue::new(&t, 1, Durability::Manual, optimised);
+                    normalized = NormalizedQueue::new(&t, 1, Durability::Manual, optimised)
+                        .with_adaptive(workload.adaptive && capsules::adaptive_enabled());
                     H::N(normalized.handle(&t))
                 }
             };
@@ -523,6 +588,8 @@ fn replay(
                 recoveries: metrics.recoveries - metrics_before.recoveries,
                 entry_retries: metrics.entry_retries - metrics_before.entry_retries,
                 recovery_crashes: metrics.recovery_crashes - metrics_before.recovery_crashes,
+                fast_ops: metrics.fast_ops - metrics_before.fast_ops,
+                demotions: metrics.demotions - metrics_before.demotions,
                 audit_flags,
                 audit_reports,
             }
@@ -569,6 +636,8 @@ fn replay(
                 recoveries: recoveries.get(),
                 entry_retries: 0,
                 recovery_crashes: recovery_crashes.get(),
+                fast_ops: 0,
+                demotions: 0,
                 audit_flags,
                 audit_reports,
             }
@@ -747,7 +816,10 @@ pub fn conc_replay(
                 } else {
                     BoundaryStyle::General
                 };
-                let q = GeneralQueue::new(&t, nprocs, Durability::Manual, style);
+                let mut q = GeneralQueue::new(&t, nprocs, Durability::Manual, style);
+                if let Some(threshold) = w.trip_threshold {
+                    q = q.with_contention(ContentionMeasure::new().with_threshold(threshold));
+                }
                 {
                     let mut h = q.handle(&t);
                     for &v in &w.prefill {
@@ -758,7 +830,10 @@ pub fn conc_replay(
             }
             SweepVariant::Normalized | SweepVariant::NormalizedOpt => {
                 let optimised = variant == SweepVariant::NormalizedOpt;
-                let q = NormalizedQueue::new(&t, nprocs, Durability::Manual, optimised);
+                let mut q = NormalizedQueue::new(&t, nprocs, Durability::Manual, optimised);
+                if let Some(threshold) = w.trip_threshold {
+                    q = q.with_contention(ContentionMeasure::new().with_threshold(threshold));
+                }
                 {
                     let mut h = q.handle(&t);
                     for &v in &w.prefill {
@@ -788,6 +863,8 @@ pub fn conc_replay(
         recoveries: u64,
         entry_retries: u64,
         recovery_crashes: u64,
+        fast_ops: u64,
+        demotions: u64,
     }
 
     let sched = ThreadScheduler::new(SchedConfig::new(threads, sched_seed));
@@ -834,6 +911,8 @@ pub fn conc_replay(
                                 recoveries: 0,
                                 entry_retries: 0,
                                 recovery_crashes: 0,
+                                fast_ops: 0,
+                                demotions: 0,
                             }
                         }
                         Q::Gen(q) => {
@@ -865,6 +944,8 @@ pub fn conc_replay(
                                 recoveries: m.recoveries - before.recoveries,
                                 entry_retries: m.entry_retries - before.entry_retries,
                                 recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                                fast_ops: m.fast_ops - before.fast_ops,
+                                demotions: m.demotions - before.demotions,
                             }
                         }
                         Q::Norm(q) => {
@@ -896,6 +977,8 @@ pub fn conc_replay(
                                 recoveries: m.recoveries - before.recoveries,
                                 entry_retries: m.entry_retries - before.entry_retries,
                                 recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                                fast_ops: m.fast_ops - before.fast_ops,
+                                demotions: m.demotions - before.demotions,
                             }
                         }
                         Q::Log(q) => {
@@ -928,6 +1011,8 @@ pub fn conc_replay(
                                 recoveries: recoveries.get(),
                                 entry_retries: 0,
                                 recovery_crashes: recovery_crashes.get(),
+                                fast_ops: 0,
+                                demotions: 0,
                             }
                         }
                     }
@@ -976,6 +1061,8 @@ pub fn conc_replay(
         recoveries: outs.iter().map(|o| o.recoveries).sum(),
         entry_retries: outs.iter().map(|o| o.entry_retries).sum(),
         recovery_crashes: outs.iter().map(|o| o.recovery_crashes).sum(),
+        fast_ops: outs.iter().map(|o| o.fast_ops).sum(),
+        demotions: outs.iter().map(|o| o.demotions).sum(),
         audit_flags: 0,
         audit_reports: Vec::new(),
     }
@@ -1095,6 +1182,7 @@ mod tests {
             name: "ambig",
             prefill: vec![7],
             ops: vec![Op::Enqueue(42)],
+            adaptive: true,
         };
         let base = ReplayRecord {
             outcomes: vec![OpOutcome::Interrupted],
@@ -1105,6 +1193,8 @@ mod tests {
             recoveries: 0,
             entry_retries: 0,
             recovery_crashes: 0,
+            fast_ops: 0,
+            demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
         };
@@ -1145,6 +1235,7 @@ mod tests {
             name: "cycled",
             prefill: Vec::new(),
             ops: vec![Op::Enqueue(1), Op::Enqueue(2), Op::Enqueue(3)],
+            adaptive: true,
         };
         let bound = drain_bound(&w);
         assert_eq!(bound, 3);
@@ -1161,6 +1252,8 @@ mod tests {
             recoveries: 0,
             entry_retries: 0,
             recovery_crashes: 0,
+            fast_ops: 0,
+            demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
         };
@@ -1176,6 +1269,7 @@ mod tests {
             name: "deq",
             prefill: vec![1, 2],
             ops: vec![Op::Dequeue, Op::Dequeue],
+            adaptive: true,
         };
         assert_eq!(drain_bound(&all_deq), 2);
     }

@@ -425,6 +425,8 @@ fn replay(
                 recoveries: 0,
                 entry_retries: 0,
                 recovery_crashes: 0,
+                fast_ops: 0,
+                demotions: 0,
                 audit_flags,
                 audit_reports,
             }
@@ -520,6 +522,8 @@ fn replay(
                 recoveries: metrics.recoveries - metrics_before.recoveries,
                 entry_retries: metrics.entry_retries - metrics_before.entry_retries,
                 recovery_crashes: metrics.recovery_crashes - metrics_before.recovery_crashes,
+                fast_ops: metrics.fast_ops - metrics_before.fast_ops,
+                demotions: metrics.demotions - metrics_before.demotions,
                 audit_flags,
                 audit_reports,
             }
@@ -716,6 +720,8 @@ pub fn conc_replay(
         recoveries: u64,
         entry_retries: u64,
         recovery_crashes: u64,
+        fast_ops: u64,
+        demotions: u64,
     }
 
     let sched = ThreadScheduler::new(SchedConfig::new(threads, sched_seed));
@@ -749,6 +755,8 @@ pub fn conc_replay(
                         recoveries: m.recoveries - before.recoveries,
                         entry_retries: m.entry_retries - before.entry_retries,
                         recovery_crashes: m.recovery_crashes - before.recovery_crashes,
+                        fast_ops: m.fast_ops - before.fast_ops,
+                        demotions: m.demotions - before.demotions,
                     }
                 })
             })
@@ -781,6 +789,8 @@ pub fn conc_replay(
         recoveries: outs.iter().map(|o| o.recoveries).sum(),
         entry_retries: outs.iter().map(|o| o.entry_retries).sum(),
         recovery_crashes: outs.iter().map(|o| o.recovery_crashes).sum(),
+        fast_ops: outs.iter().map(|o| o.fast_ops).sum(),
+        demotions: outs.iter().map(|o| o.demotions).sum(),
         audit_flags,
         audit_reports,
     }
@@ -932,6 +942,8 @@ mod tests {
             recoveries: 0,
             entry_retries: 0,
             recovery_crashes: 0,
+            fast_ops: 0,
+            demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
         };

@@ -71,7 +71,9 @@ impl From<&Measurement> for JsonRow {
             mops: m.mops,
             flushes_per_op: m.flushes_per_op,
             fences_per_op: m.fences_per_op,
-            extra: Vec::new(),
+            // Additive field (schema stays delayfree-bench-v1): only
+            // measurement-derived rows carry the duplicate-flush rate.
+            extra: vec![("duplicate_flushes_per_op", m.duplicate_flushes_per_op)],
         }
     }
 }
@@ -254,6 +256,7 @@ mod tests {
             mops: 1.0,
             flushes_per_op: 0.0,
             fences_per_op: 0.0,
+            duplicate_flushes_per_op: 0.0,
         };
         let r = JsonRow::from(&m);
         assert_eq!(r.variant, "MSQ");

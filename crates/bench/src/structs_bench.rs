@@ -236,6 +236,7 @@ mod tests {
             threads,
             pairs_per_thread: 150,
             prefill: 20,
+            adaptive: capsules::adaptive_enabled(),
         }
     }
 

@@ -62,6 +62,12 @@ pub struct ReplayRecord {
     pub entry_retries: u64,
     /// Crashes that landed inside recovery itself (the nested path).
     pub recovery_crashes: u64,
+    /// Operations routed to the contention-adaptive fast entry point
+    /// (capsule variants; zero for variants without a fast path).
+    pub fast_ops: u64,
+    /// Fast→slow demotions: fast-path operations that fell back to the full
+    /// simulator after losing their CAS streak (capsule variants only).
+    pub demotions: u64,
     /// Flush-order violations the armed [`pmem::FlushAuditor`] flagged.
     pub audit_flags: u64,
     /// The auditor's human-readable reports for those flags.
@@ -97,6 +103,12 @@ pub struct Report<V> {
     pub entry_retries: u64,
     /// Crashes that interrupted recovery itself (proof the nested path ran).
     pub recovery_crashes: u64,
+    /// Operations routed to the adaptive fast entry point across all replays
+    /// (baseline included) — the coverage proof that the sweep was crashing
+    /// fast-path code, not just the simulator.
+    pub fast_ops: u64,
+    /// Fast→slow demotions across all replays (baseline included).
+    pub demotions: u64,
     /// Flush-order violations the armed auditor flagged across all replays
     /// (also folded into `violations`). Must be zero.
     pub audit_flags: u64,
@@ -221,6 +233,8 @@ pub fn run_sweep<V: Copy>(
         recoveries: 0,
         entry_retries: 0,
         recovery_crashes: 0,
+        fast_ops: baseline.fast_ops,
+        demotions: baseline.demotions,
         audit_flags: baseline.audit_flags,
         violations: Vec::new(),
     };
@@ -256,6 +270,8 @@ pub fn run_sweep<V: Copy>(
         report.recoveries += r.recoveries;
         report.entry_retries += r.entry_retries;
         report.recovery_crashes += r.recovery_crashes;
+        report.fast_ops += r.fast_ops;
+        report.demotions += r.demotions;
         report.audit_flags += r.audit_flags;
         if r.audit_flags > 0 {
             report.violations.push(format!(
@@ -678,6 +694,13 @@ pub struct ConcReplayRecord<O> {
     pub entry_retries: u64,
     /// Crashes that landed inside recovery itself, across all processes.
     pub recovery_crashes: u64,
+    /// Operations routed to the adaptive fast entry point, across all
+    /// processes (capsule variants; zero elsewhere).
+    pub fast_ops: u64,
+    /// Fast→slow demotions across all processes — nonzero exactly when the
+    /// interleaving produced enough CAS contention to trip the streak, which
+    /// is the coverage proof for the demotion-boundary crash site.
+    pub demotions: u64,
     /// Flush-order violations the armed auditor flagged (0 when the variant
     /// runs with the auditor disarmed — see the drivers).
     pub audit_flags: u64,
@@ -721,6 +744,13 @@ pub struct ConcReport<V> {
     pub entry_retries: u64,
     /// Crashes that interrupted recovery itself.
     pub recovery_crashes: u64,
+    /// Operations routed to the adaptive fast entry point, across all replays
+    /// and processes.
+    pub fast_ops: u64,
+    /// Fast→slow demotions across all replays and processes (the coverage
+    /// proof that the sweep crashed the demotion boundary, not just the fast
+    /// and slow steady states).
+    pub demotions: u64,
     /// Flush-order auditor flags (also folded into `violations`).
     pub audit_flags: u64,
     /// Oracle violations. Must be empty.
@@ -792,6 +822,8 @@ where
         recoveries: 0,
         entry_retries: 0,
         recovery_crashes: 0,
+        fast_ops: 0,
+        demotions: 0,
         audit_flags: 0,
         violations: Vec::new(),
     };
@@ -801,6 +833,8 @@ where
         let baseline = replay(seed, &VictimPlans::baseline(victim));
         assert_eq!(baseline.crashes, 0, "crash-free baseline must not crash");
         report.replays += 1;
+        report.fast_ops += baseline.fast_ops;
+        report.demotions += baseline.demotions;
         report.audit_flags += baseline.audit_flags;
         fingerprints.insert(baseline.fingerprint);
         let base_tag = format!("seed={seed} victim={victim}");
@@ -838,6 +872,8 @@ where
                 report.recoveries += cal.recoveries;
                 report.entry_retries += cal.entry_retries;
                 report.recovery_crashes += cal.recovery_crashes;
+                report.fast_ops += cal.fast_ops;
+                report.demotions += cal.demotions;
                 report.audit_flags += cal.audit_flags;
                 let cal_tag = format!("{base_tag} calibration covictim={covictim} gap={gap}");
                 if cal.audit_flags > 0 {
@@ -897,6 +933,8 @@ where
             report.recoveries += r.recoveries;
             report.entry_retries += r.entry_retries;
             report.recovery_crashes += r.recovery_crashes;
+            report.fast_ops += r.fast_ops;
+            report.demotions += r.demotions;
             report.audit_flags += r.audit_flags;
             if r.audit_flags > 0 {
                 report.violations.push(format!(

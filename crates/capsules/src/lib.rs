@@ -80,9 +80,11 @@
 #![warn(missing_docs)]
 
 pub mod cas_read;
+pub mod contention;
 pub mod frame;
 pub mod runtime;
 
-pub use cas_read::recoverable_cas;
+pub use cas_read::{anonymous_cas, recoverable_cas};
+pub use contention::{adaptive_enabled, ContentionMeasure};
 pub use frame::{BoundaryStyle, Frame};
 pub use runtime::{CapsuleMetrics, CapsuleRuntime, CapsuleStep};

@@ -15,6 +15,7 @@
 
 use pmem::{catch_crash, raise_crash, PAddr, PThread};
 
+use crate::contention::ContentionMeasure;
 use crate::frame::{BoundaryStyle, Frame, SEQ_SLOT};
 
 /// What an encapsulated operation body tells the driver after executing a capsule.
@@ -51,6 +52,14 @@ pub struct CapsuleMetrics {
     /// absorbed, which is how the `dfck` sweeper proves a crash point was
     /// actually handled rather than silently skipped.
     pub entry_retries: u64,
+    /// Operations the contention policy routed to the adaptive fast entry
+    /// point (mirrors [`ContentionMeasure::fast_ops`]); the crash-point
+    /// sweeps assert on this to prove fast-path code was actually crashed.
+    pub fast_ops: u64,
+    /// Fast→slow demotions: operations that started on the fast path and
+    /// fell back to the full simulator after the CAS-failure streak tripped
+    /// (mirrors [`ContentionMeasure::demotions`]).
+    pub demotions: u64,
 }
 
 /// Per-process capsule state: a persistent [`Frame`] plus its volatile mirrors.
@@ -83,6 +92,11 @@ pub struct CapsuleRuntime<'t, 'm> {
     /// unwinds out of the operation driver entirely (see
     /// [`set_unwind_on_crash`](Self::set_unwind_on_crash)).
     unwind_on_crash: bool,
+    /// Volatile contention policy for the adaptive fast path (see
+    /// [`ContentionMeasure`]); never persisted, never affects crash
+    /// correctness — it only routes operations between the fast and slow
+    /// entry points.
+    contention: ContentionMeasure,
     metrics: CapsuleMetrics,
 }
 
@@ -107,6 +121,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             war_check: true,
             system_crashes: false,
             unwind_on_crash: false,
+            contention: ContentionMeasure::new(),
             metrics: CapsuleMetrics::default(),
         }
     }
@@ -134,6 +149,7 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
             war_check: true,
             system_crashes: false,
             unwind_on_crash: false,
+            contention: ContentionMeasure::new(),
             metrics: CapsuleMetrics::default(),
         };
         rt.recover();
@@ -150,9 +166,13 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
         &self.frame
     }
 
-    /// Capsule-level counters.
+    /// Capsule-level counters (the contention policy's fast-path telemetry is
+    /// folded in so sweep harnesses read one struct).
     pub fn metrics(&self) -> CapsuleMetrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.fast_ops = self.contention.fast_ops();
+        m.demotions = self.contention.demotions();
+        m
     }
 
     /// Control whether [`run_op`](Self::run_op) persists a boundary when the
@@ -296,6 +316,31 @@ impl<'t, 'm> CapsuleRuntime<'t, 'm> {
         self.locals[SEQ_SLOT] += 1;
         self.dirty |= 1 << SEQ_SLOT;
         self.locals[SEQ_SLOT]
+    }
+
+    /// Raise the sequence number to `seq` if it is ahead of the volatile mirror —
+    /// the fast-path recovery case where the announcement proves this process
+    /// already advanced (and announced) a sequence number whose boundary never
+    /// persisted. Repeating the operation with the recovered number keeps the
+    /// never-reuse invariant of Algorithm 1.
+    pub fn sync_seq(&mut self, seq: u64) {
+        if seq > self.locals[SEQ_SLOT] {
+            self.locals[SEQ_SLOT] = seq;
+            self.dirty |= 1 << SEQ_SLOT;
+        }
+    }
+
+    /// The volatile contention policy routing operations between the adaptive
+    /// fast path and the full simulator.
+    pub fn contention_mut(&mut self) -> &mut ContentionMeasure {
+        &mut self.contention
+    }
+
+    /// Replace the contention policy (threshold/probation template). Purely
+    /// volatile routing state: the sensitized `dfck` sweeps use a threshold-1
+    /// policy so every lost fast-path CAS exercises the demotion boundary.
+    pub fn set_contention(&mut self, policy: ContentionMeasure) {
+        self.contention = policy;
     }
 
     /// The `crashed()` flag of Algorithm 3: true iff the current capsule is being

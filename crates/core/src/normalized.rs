@@ -214,6 +214,10 @@ pub trait NormalizedOp {
 const PC_GEN: u32 = 0;
 const PC_EXEC: u32 = 1;
 const PC_DONE: u32 = 2;
+/// Contention-adaptive fast path: generator + single-CAS executor + wrap-up in
+/// one un-checkpointed capsule (no persisted CAS list; crash recovery resolves
+/// the attempt from the evidence on the announcement line instead).
+const PC_FAST: u32 = 3;
 
 /// Persisted local slots used by the simulator.
 const L_BUF: usize = 0;
@@ -235,6 +239,7 @@ pub struct NormalizedSimulator {
     space: RcasSpace,
     durable: bool,
     inline_lists: bool,
+    adaptive: bool,
 }
 
 impl NormalizedSimulator {
@@ -248,6 +253,7 @@ impl NormalizedSimulator {
             space,
             durable,
             inline_lists: false,
+            adaptive: false,
         }
     }
 
@@ -261,6 +267,26 @@ impl NormalizedSimulator {
     pub fn with_inline_lists(mut self) -> NormalizedSimulator {
         self.inline_lists = true;
         self
+    }
+
+    /// Enable the contention-adaptive fast path: an uncontended operation whose
+    /// CAS list has at most one entry runs generator, executor and wrap-up in a
+    /// single un-checkpointed capsule around one evidence-carrying recoverable
+    /// CAS ([`RcasSpace::cas_with_evidence`]) — no persisted CAS list, no
+    /// pre-executor boundary. The runtime's [`ContentionMeasure`] demotes the
+    /// operation to the full Algorithm 4 machinery when that CAS keeps losing
+    /// (or when a generator produces a multi-CAS list, which the fast path
+    /// never attempts).
+    ///
+    /// [`ContentionMeasure`]: capsules::ContentionMeasure
+    pub fn with_adaptive(mut self, adaptive: bool) -> NormalizedSimulator {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Whether the contention-adaptive fast path is enabled.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
     }
 
     /// The recoverable-CAS space used by this simulator.
@@ -283,8 +309,17 @@ impl NormalizedSimulator {
         // Volatile cache of the CAS list: valid only while no crash intervened
         // (after a crash the list is reloaded from its persisted buffer).
         let mut cached: Option<CasList> = None;
-        rt.run_op(PC_GEN, |rt| {
+        let entry = if self.adaptive && !rt.contention_mut().begin_op() {
+            PC_FAST
+        } else {
+            PC_GEN
+        };
+        rt.run_op(entry, |rt| {
             match rt.pc() {
+                PC_FAST => match self.run_fast(rt, op, input, &mut cached) {
+                    Some(out) => CapsuleStep::Done(out),
+                    None => CapsuleStep::Continue,
+                },
                 PC_GEN => {
                     let list = op.generator(&mut NormalizedCtx::new(rt, &self.space), input);
                     self.persist_list_and_boundary(rt, &list);
@@ -335,6 +370,105 @@ impl NormalizedSimulator {
                 pc => unreachable!("normalized simulator: unexpected pc {pc}"),
             }
         })
+    }
+
+    /// The contention-adaptive fast capsule: run the whole operation without
+    /// intermediate boundaries as long as the generator proposes at most one
+    /// CAS. Returns `Some(out)` when the operation finished (the final
+    /// boundary has been emitted), `None` when it demoted itself to the full
+    /// simulator (a boundary to `PC_GEN` or `PC_EXEC` has been emitted).
+    fn run_fast<O: NormalizedOp>(
+        &self,
+        rt: &mut CapsuleRuntime<'_, '_>,
+        op: &O,
+        input: &O::Input,
+        cached: &mut Option<CasList>,
+    ) -> Option<O::Output> {
+        if rt.crashed() {
+            // Crash triage from the announcement line alone. Honour the
+            // sharding contract first: re-run the notify step for the group.
+            let t = rt.thread();
+            let _ = self.space.help_group(t);
+            let ann = self.space.announcement(t);
+            if ann.seq > rt.seq() {
+                // The crash hit at or after this operation's announce; no
+                // sequence number may ever be reused, so raise ours past it.
+                rt.sync_seq(ann.seq);
+                if let Some(ev) = self.space.evidence(t) {
+                    if ev.result.seq == ann.seq && self.space.recover(t, ev.x).flag {
+                        // The fast CAS took effect: re-persist its target (the
+                        // original flush may have been interrupted), rebuild
+                        // the one-entry list from the evidence and let the
+                        // wrap-up finish the operation.
+                        if self.durable {
+                            t.persist(ev.x);
+                        }
+                        let list = vec![CasDesc {
+                            obj: ev.x,
+                            expected: ev.expected,
+                            new: ev.new,
+                            aux: ev.aux,
+                        }];
+                        let wrap =
+                            op.wrap_up(&mut NormalizedCtx::new(rt, &self.space), input, &list, 1);
+                        if let WrapUp::Done(out) = wrap {
+                            rt.set_local(L_OUT, out.to_word());
+                            rt.finish_boundary(PC_DONE);
+                            return Some(out);
+                        }
+                        // A wrap-up that restarts even though every CAS of its
+                        // list succeeded (not the MSQ, but legal): fall through
+                        // and run the loop below from a clean slate.
+                    }
+                }
+                // No durable effect escaped the crash: plain retry is safe.
+            }
+        }
+        loop {
+            let list = op.generator(&mut NormalizedCtx::new(rt, &self.space), input);
+            if list.len() > 1 {
+                // The fast path only covers single-CAS operations; hand the
+                // multi-CAS list to the full executor machinery.
+                self.persist_list_and_boundary(rt, &list);
+                *cached = Some(list);
+                return None;
+            }
+            let mut failed = false;
+            let executed = match list.first() {
+                Some(c) => {
+                    let seq = rt.advance_seq();
+                    if self
+                        .space
+                        .cas_with_evidence(rt.thread(), c.obj, c.expected, c.new, seq, c.aux)
+                    {
+                        if self.durable {
+                            rt.thread().persist(c.obj);
+                        }
+                        rt.contention_mut().record_success();
+                        1
+                    } else {
+                        failed = true;
+                        0
+                    }
+                }
+                None => 0,
+            };
+            let wrap = op.wrap_up(&mut NormalizedCtx::new(rt, &self.space), input, &list, executed);
+            match wrap {
+                WrapUp::Done(out) => {
+                    rt.set_local(L_OUT, out.to_word());
+                    rt.finish_boundary(PC_DONE);
+                    return Some(out);
+                }
+                WrapUp::Restart => {
+                    if failed && rt.contention_mut().record_failure() {
+                        // Contended: demote to the full simulator.
+                        rt.boundary(PC_GEN);
+                        return None;
+                    }
+                }
+            }
+        }
     }
 
     /// Write the CAS list to a fresh persistent buffer, record it in the frame

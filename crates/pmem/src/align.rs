@@ -1,0 +1,98 @@
+//! Cache-line alignment for *host-side* per-process hot state.
+//!
+//! The simulated arena handles alignment of *persistent* words itself
+//! ([`alloc_aligned`](crate::PThread::alloc_aligned) plus the sharded
+//! announcement layouts in the `rcas` crate). But the harness also keeps
+//! per-process state in ordinary Rust memory — the live statistics counters in
+//! every [`PThread`](crate::PThread), the executor-owned worker slots of the
+//! service drill — and when those blocks for *different* threads end up
+//! adjacent in one allocation, every counter bump invalidates the neighbours'
+//! cache line. [`CacheAligned`] pads and aligns a value to the host cache line
+//! so per-pid blocks never share one.
+
+/// Host cache-line size in bytes assumed by [`CacheAligned`].
+///
+/// 64 bytes matches x86-64 and most aarch64 parts; on machines with larger
+/// lines the wrapper still removes sharing between blocks ≥ one line apart,
+/// which is the common case for per-pid arrays.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Pads and aligns `T` to a full host cache line.
+///
+/// `#[repr(align(64))]` guarantees both the alignment of the wrapper *and*
+/// (because size is always a multiple of alignment in Rust) that the wrapper
+/// occupies a whole number of lines, so two `CacheAligned<T>` elements of an
+/// array can never split a line between them.
+///
+/// The wrapper is transparent in use: it derefs to `T`, so field access and
+/// method calls on the inner value need no unwrapping.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wrap a value, padding it to a cache-line boundary.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CacheAligned(value)
+    }
+
+    /// Unwrap the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CacheAligned<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CacheAligned<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::{align_of, size_of};
+
+    #[test]
+    fn wrapper_is_aligned_and_padded_to_whole_lines() {
+        // A tiny payload still occupies (and is aligned to) one full line...
+        assert_eq!(align_of::<CacheAligned<u8>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CacheAligned<u8>>(), CACHE_LINE_BYTES);
+        // ...and a payload larger than a line rounds up to a multiple of it,
+        // so array elements can never share a line.
+        struct Big(#[allow(dead_code)] [u64; 9]);
+        assert_eq!(align_of::<CacheAligned<Big>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CacheAligned<Big>>() % CACHE_LINE_BYTES, 0);
+        assert!(size_of::<CacheAligned<Big>>() >= size_of::<Big>());
+    }
+
+    #[test]
+    fn per_pid_stat_cells_fill_whole_lines() {
+        // The live counter block each `PThread` owns: the hottest host-side
+        // per-pid state in the tree. Regression-guard its padding so a new
+        // counter field can't silently reintroduce cross-thread line sharing.
+        use crate::stats::StatCells;
+        assert_eq!(align_of::<CacheAligned<StatCells>>(), CACHE_LINE_BYTES);
+        assert_eq!(size_of::<CacheAligned<StatCells>>() % CACHE_LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn deref_makes_the_wrapper_transparent() {
+        let mut cell = CacheAligned::new(7u64);
+        assert_eq!(*cell, 7);
+        *cell += 1;
+        assert_eq!(cell.into_inner(), 8);
+    }
+}

@@ -129,6 +129,17 @@ impl Word {
     pub fn durable(&self) -> u64 {
         self.persisted.load(Ordering::Relaxed)
     }
+
+    /// Whether the durable copy already equals the cached value, i.e. a flush
+    /// of this word would be a no-op. Racy by nature: a concurrent store can
+    /// land between the two loads. That is fine for the flush-coalescing use —
+    /// eliding a flush because the word *was* clean is indistinguishable from
+    /// a real flush that linearized just before the racing store, which the
+    /// crash model already allows.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.persisted.load(Ordering::Relaxed) == self.current.load(Ordering::Relaxed)
+    }
 }
 
 /// Process-global arena identity counter. Identities start at 1 so that 0 can

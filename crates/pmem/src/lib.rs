@@ -65,6 +65,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod addr;
+pub mod align;
 pub mod arena;
 pub mod audit;
 pub mod crash;
@@ -75,6 +76,7 @@ pub mod stats;
 pub mod typed;
 
 pub use addr::PAddr;
+pub use align::{CacheAligned, CACHE_LINE_BYTES};
 pub use audit::FlushAuditor;
 pub use crash::{
     catch_crash, install_quiet_crash_hook, raise_crash, CrashPlan, CrashPolicy, CrashSchedule,

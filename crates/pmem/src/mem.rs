@@ -16,6 +16,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::addr::PAddr;
+use crate::align::CacheAligned;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
 use crate::audit::FlushAuditor;
 use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy, CrashSchedule};
@@ -97,6 +98,10 @@ pub struct PMem {
     restart_base: PAddr,
     crash_events: AtomicU64,
     auditor: FlushAuditor,
+    /// Whether thread handles elide provably no-op duplicate flushes
+    /// (`DF_COALESCE`, default on; shared-cache model only — the private-cache
+    /// model has no flush work to elide).
+    coalesce: bool,
 }
 
 impl PMem {
@@ -146,6 +151,11 @@ impl PMem {
             restart_base,
             crash_events: AtomicU64::new(0),
             auditor: FlushAuditor::new(),
+            // `DF_COALESCE=0` disables per-line flush coalescing (the "before"
+            // measurement mode: duplicate flushes are still *counted*, just not
+            // elided). Anything else — including unset — leaves it on.
+            coalesce: config.mode == Mode::SharedCache
+                && std::env::var_os("DF_COALESCE").map_or(true, |v| v != "0" && !v.is_empty()),
         };
         // `DF_FLUSH_AUDIT=1` arms the flush-order auditor on every machine the
         // process creates — the switch the CI audit-armed tier-1 run uses. Only
@@ -213,7 +223,7 @@ impl PMem {
             pid,
             mode: self.mode,
             opts,
-            stats: StatCells::default(),
+            stats: CacheAligned::new(StatCells::default()),
             schedule: RefCell::new(Box::new(ArmedPolicy::arm(CrashPolicy::Never, pid))),
             hot_armed: Cell::new(0),
             audit_armed: Cell::new(self.mode == Mode::SharedCache && self.auditor.is_armed()),
@@ -224,6 +234,9 @@ impl PMem {
             step_base: Cell::new(0),
             in_recovery: Cell::new(false),
             seg_cache: Cell::new(None),
+            coalesce: Cell::new(self.coalesce),
+            pending_lines: Default::default(),
+            pending_len: Cell::new(0),
         }
     }
 
@@ -332,6 +345,13 @@ impl std::fmt::Debug for PMem {
     }
 }
 
+/// Capacity of the per-thread flush-coalescing window (distinct cache lines
+/// tracked between two fences). The durable code paths in this workspace touch
+/// at most a handful of lines per fence window (a capsule frame line, an
+/// announcement line, a node line), so a small fixed window catches virtually
+/// every duplicate without a hash set on the hot path.
+const COALESCE_LINES: usize = 8;
+
 /// A process's handle onto the machine. One per OS thread; not `Sync`.
 ///
 /// Every method that touches persistent memory is an *instruction* in the sense of
@@ -350,7 +370,11 @@ pub struct PThread<'m> {
     /// `mem` pointer just to branch on it.
     mode: Mode,
     opts: ThreadOptions,
-    stats: StatCells,
+    /// Live per-instruction counters, padded to a full host cache line
+    /// ([`CacheAligned`]) so handles that end up adjacent in one allocation
+    /// (a harness `Vec`, scoped-thread captures) never false-share the
+    /// hottest cells in the simulator.
+    stats: CacheAligned<StatCells>,
     /// Installed crash schedule. Only consulted when the `ARMED_CRASH` bit of
     /// `hot_armed` is set, so both the `RefCell` borrow bookkeeping and the
     /// dynamic dispatch are off the throughput path entirely.
@@ -396,6 +420,17 @@ pub struct PThread<'m> {
     /// move once created (boxed slices behind `OnceLock`s) and the machine
     /// retains every arena it ever used.
     seg_cache: Cell<Option<(u64, usize, &'m [Word])>>,
+    /// Flush coalescing is enabled for this handle (mirrors the machine's
+    /// `DF_COALESCE` decision; shared-cache model only).
+    coalesce: Cell<bool>,
+    /// Line bases this thread has flushed since its last fence — the per-line
+    /// coalescing window. Bounded: once full, further lines simply are not
+    /// tracked (their flushes execute normally). Entries are dropped when this
+    /// thread re-dirties the line (write / successful CAS / fetch-add), and the
+    /// whole set empties at the fence.
+    pending_lines: [Cell<u64>; COALESCE_LINES],
+    /// Number of live entries in `pending_lines`.
+    pending_len: Cell<usize>,
 }
 
 impl<'m> PThread<'m> {
@@ -490,6 +525,22 @@ impl<'m> PThread<'m> {
     /// [`CrashSignal`](crate::CrashSignal).
     pub fn note_crash(&self) {
         StatCells::add(&self.stats.crashes, 1);
+        // A crash ends the fence window: recovery starts with a fresh
+        // coalescing set. (Stale entries would still be harmless — elision is
+        // gated on the line being clean — but the window is per-execution.)
+        self.pending_len.set(0);
+    }
+
+    /// Whether this handle elides provably no-op duplicate flushes.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce.get()
+    }
+
+    /// Enable or disable flush coalescing for this handle (overrides the
+    /// machine-level `DF_COALESCE` default; duplicate flushes are counted
+    /// either way).
+    pub fn set_coalesce(&self, on: bool) {
+        self.coalesce.set(on && self.mode == Mode::SharedCache);
     }
 
     /// Begin counting instructions as *recovery* steps (for recovery-delay
@@ -755,6 +806,7 @@ impl<'m> PThread<'m> {
         if self.mode == Mode::PrivateCache {
             word.persist_now();
         }
+        self.coalesce_invalidate(addr);
         if self.audit_armed.get() {
             self.audit_store(addr);
         }
@@ -783,6 +835,9 @@ impl<'m> PThread<'m> {
         if result.is_ok() && self.mode == Mode::PrivateCache {
             word.persist_now();
         }
+        if result.is_ok() {
+            self.coalesce_invalidate(addr);
+        }
         if result.is_ok() && self.audit_armed.get() {
             // A successful CAS is a publication: everything this thread wrote
             // and has not flushed may now be reachable by other processes (and
@@ -807,6 +862,7 @@ impl<'m> PThread<'m> {
         if self.mode == Mode::PrivateCache {
             word.persist_now();
         }
+        self.coalesce_invalidate(addr);
         if self.audit_armed.get() {
             self.audit_publish(addr);
         }
@@ -821,13 +877,38 @@ impl<'m> PThread<'m> {
 
     /// Flush the cache line containing `addr` (`clflushopt`). In the private-cache
     /// model this is a counted no-op (shared memory is already durable).
+    ///
+    /// Duplicate flushes — same line, already flushed by this thread since its
+    /// last fence, and not re-dirtied since — are counted in
+    /// [`Stats::duplicate_flushes`] and, when coalescing is enabled
+    /// (`DF_COALESCE`, default on), elided. Elision is gated on the line being
+    /// *clean* (every word's durable copy equals its cached copy), so an elided
+    /// flush is a provable no-op: skipping it leaves the durable image — and
+    /// therefore every crash schedule's outcome — bit-identical. A tracked line
+    /// that a peer re-dirtied fails the clean check and is flushed in full.
     #[inline]
     pub fn flush(&self, addr: PAddr) {
         self.bump(&self.stats.flushes);
         if self.mode == Mode::SharedCache {
             // Resolve the segment once for the whole 8-word line (and usually for
             // free, out of the per-thread segment cache).
-            for word in self.line_at(addr) {
+            let line = self.line_at(addr);
+            let base = addr.line_base().0;
+            let len = self.pending_len.get();
+            let tracked = (0..len).any(|i| self.pending_lines[i].get() == base);
+            if tracked && line.iter().all(Word::is_clean) {
+                StatCells::add(&self.stats.duplicate_flushes, 1);
+                if self.coalesce.get() {
+                    // The first flush of this window already ran `audit_flush`
+                    // for the line and nothing re-dirtied it, so the auditor's
+                    // per-line state needs no update either.
+                    return;
+                }
+            } else if !tracked && len < COALESCE_LINES {
+                self.pending_lines[len].set(base);
+                self.pending_len.set(len + 1);
+            }
+            for word in line {
                 word.persist_now();
             }
             if self.audit_armed.get() {
@@ -836,13 +917,38 @@ impl<'m> PThread<'m> {
         }
     }
 
+    /// Drop `addr`'s line from the coalescing window, if tracked: this thread
+    /// re-dirtied the line, so its next flush must execute in full.
+    #[inline]
+    fn coalesce_invalidate(&self, addr: PAddr) {
+        let len = self.pending_len.get();
+        if len != 0 {
+            self.coalesce_invalidate_slow(addr, len);
+        }
+    }
+
+    #[cold]
+    fn coalesce_invalidate_slow(&self, addr: PAddr, len: usize) {
+        let base = addr.line_base().0;
+        for i in 0..len {
+            if self.pending_lines[i].get() == base {
+                self.pending_lines[i].set(self.pending_lines[len - 1].get());
+                self.pending_len.set(len - 1);
+                return;
+            }
+        }
+    }
+
     /// Store fence (`sfence`): orders previously issued flushes before subsequent
     /// stores. The simulator persists eagerly at the flush, so the fence only
     /// contributes to instruction counts (and issues a real compiler/CPU fence so
     /// the simulation does not reorder more than the modelled machine would).
+    /// Closes the flush-coalescing window: lines flushed before the fence
+    /// become dedup candidates again only after being re-flushed.
     #[inline]
     pub fn fence(&self) {
         self.bump(&self.stats.fences);
+        self.pending_len.set(0);
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -997,6 +1103,133 @@ mod tests {
         // And the data really is durable without any manual flush.
         mem.crash_all();
         assert_eq!(mem.peek(a), 7);
+    }
+
+    #[test]
+    fn duplicate_flush_in_one_fence_window_is_counted_and_elided() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        assert!(t.coalescing(), "coalescing defaults on in the shared-cache model");
+        let a = t.alloc(1);
+        t.write(a, 7);
+        t.flush(a);
+        t.flush(a); // same line, nothing re-dirtied: dedup-able
+        t.flush(a.line_base()); // any word of the line dedups, not just `a`
+        let s = t.stats();
+        assert_eq!(s.flushes, 3, "elided flushes are still counted as issued");
+        assert_eq!(s.duplicate_flushes, 2);
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 7);
+    }
+
+    #[test]
+    fn fence_closes_the_coalescing_window() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let a = t.alloc(1);
+        t.write(a, 1);
+        t.flush(a);
+        t.fence();
+        t.flush(a); // new window: a real (if no-op) flush, not a duplicate
+        assert_eq!(t.stats().duplicate_flushes, 0);
+        t.flush(a); // second flush in the new window: duplicate again
+        assert_eq!(t.stats().duplicate_flushes, 1);
+    }
+
+    #[test]
+    fn own_store_invalidates_the_tracked_line() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let a = t.alloc(2);
+        t.write(a, 1);
+        t.flush(a);
+        t.write(a.offset(1), 2); // re-dirties the tracked line
+        t.flush(a); // must be a full flush, or the second write is lost
+        assert_eq!(t.stats().duplicate_flushes, 0);
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 1);
+        assert_eq!(mem.peek(a.offset(1)), 2);
+        // Successful CAS and fetch-add invalidate the same way.
+        let t = mem.thread(0);
+        t.flush(a);
+        assert!(t.cas(a, 1, 3));
+        t.flush(a);
+        t.fetch_add(a, 1);
+        t.flush(a);
+        assert_eq!(t.stats().duplicate_flushes, 0);
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 4);
+    }
+
+    #[test]
+    fn peer_dirtied_line_fails_the_clean_check_and_flushes_in_full() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let a = t0.alloc(1);
+        t0.write(a, 1);
+        t0.flush(a);
+        t1.write(a, 9); // peer re-dirties the line t0 has tracked
+        t0.flush(a); // tracked but not clean: the persist walk must run
+        assert_eq!(
+            t0.stats().duplicate_flushes,
+            0,
+            "a flush that persists fresh peer data is not a duplicate"
+        );
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 9, "the helping flush made the peer's store durable");
+    }
+
+    #[test]
+    fn disabled_coalescing_still_counts_duplicates() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        t.set_coalesce(false);
+        let a = t.alloc(1);
+        t.write(a, 5);
+        t.flush(a);
+        t.flush(a);
+        let s = t.stats();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.duplicate_flushes, 1, "the 'before' mode measures the opportunity");
+        mem.crash_all();
+        assert_eq!(mem.peek(a), 5);
+    }
+
+    #[test]
+    fn private_cache_mode_never_coalesces() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::PrivateCache));
+        let t = mem.thread(0);
+        assert!(!t.coalescing());
+        t.set_coalesce(true); // a no-op request in this model
+        assert!(!t.coalescing());
+        let a = t.alloc(1);
+        t.write(a, 3);
+        t.flush(a);
+        t.flush(a);
+        assert_eq!(t.stats().duplicate_flushes, 0, "PPM flushes are counted no-ops");
+    }
+
+    #[test]
+    fn coalescing_window_is_bounded() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let t = mem.thread(0);
+        let base = t.alloc_aligned((2 * COALESCE_LINES as u64 + 1) * crate::LINE_WORDS);
+        // Fill the window, then flush an untracked line twice: with the window
+        // full it cannot be tracked, so its repeat is not counted — but it must
+        // still persist correctly.
+        for i in 0..COALESCE_LINES as u64 {
+            let a = base.offset(i * crate::LINE_WORDS);
+            t.write(a, i + 1);
+            t.flush(a);
+        }
+        let extra = base.offset(COALESCE_LINES as u64 * crate::LINE_WORDS);
+        t.write(extra, 77);
+        t.flush(extra);
+        t.flush(extra);
+        assert_eq!(t.stats().duplicate_flushes, 0);
+        mem.crash_all();
+        assert_eq!(mem.peek(extra), 77);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub(crate) struct StatCells {
     pub(crate) cas: Cell<u64>,
     pub(crate) cas_success: Cell<u64>,
     pub(crate) flushes: Cell<u64>,
+    pub(crate) duplicate_flushes: Cell<u64>,
     pub(crate) fences: Cell<u64>,
     pub(crate) words_allocated: Cell<u64>,
     pub(crate) recovery_steps: Cell<u64>,
@@ -50,6 +51,7 @@ impl StatCells {
             cas: self.cas.get(),
             cas_success: self.cas_success.get(),
             flushes: self.flushes.get(),
+            duplicate_flushes: self.duplicate_flushes.get(),
             fences: self.fences.get(),
             words_allocated: self.words_allocated.get(),
             recovery_steps: self.recovery_steps.get(),
@@ -67,6 +69,7 @@ impl StatCells {
         self.cas.set(0);
         self.cas_success.set(0);
         self.flushes.set(0);
+        self.duplicate_flushes.set(0);
         self.fences.set(0);
         self.words_allocated.set(0);
         self.recovery_steps.set(0);
@@ -95,6 +98,13 @@ pub struct Stats {
     pub cas_success: u64,
     /// Cache-line flush instructions (`clflushopt` equivalents).
     pub flushes: u64,
+    /// Flushes (already counted in `flushes`) whose target cache line was
+    /// already flushed since the thread's last fence — the dedup-able
+    /// population that per-line flush coalescing can elide. When coalescing is
+    /// enabled (`DF_COALESCE=1`, the default) these flushes skip the persist
+    /// work; when disabled they execute in full but are still counted, so the
+    /// same field measures the opportunity ("before") and the win ("after").
+    pub duplicate_flushes: u64,
     /// Store fences (`sfence` equivalents).
     pub fences: u64,
     /// Persistent-memory words allocated by this thread.
@@ -125,6 +135,7 @@ impl Stats {
             cas: 0,
             cas_success: 0,
             flushes: 0,
+            duplicate_flushes: 0,
             fences: 0,
             words_allocated: 0,
             recovery_steps: 0,
@@ -166,6 +177,7 @@ impl Stats {
             cas: self.cas + other.cas,
             cas_success: self.cas_success + other.cas_success,
             flushes: self.flushes + other.flushes,
+            duplicate_flushes: self.duplicate_flushes + other.duplicate_flushes,
             fences: self.fences + other.fences,
             words_allocated: self.words_allocated + other.words_allocated,
             recovery_steps: self.recovery_steps + other.recovery_steps,
@@ -186,6 +198,9 @@ impl Stats {
             cas: self.cas.saturating_sub(earlier.cas),
             cas_success: self.cas_success.saturating_sub(earlier.cas_success),
             flushes: self.flushes.saturating_sub(earlier.flushes),
+            duplicate_flushes: self
+                .duplicate_flushes
+                .saturating_sub(earlier.duplicate_flushes),
             fences: self.fences.saturating_sub(earlier.fences),
             words_allocated: self.words_allocated.saturating_sub(earlier.words_allocated),
             recovery_steps: self.recovery_steps.saturating_sub(earlier.recovery_steps),
@@ -212,6 +227,16 @@ impl Stats {
             self.fences as f64 / ops as f64
         }
     }
+
+    /// Dedup-able (same line, same fence window) flushes per high-level
+    /// operation, given an operation count.
+    pub fn duplicate_flushes_per_op(&self, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            self.duplicate_flushes as f64 / ops as f64
+        }
+    }
 }
 
 impl std::ops::Add for Stats {
@@ -231,12 +256,13 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} cas={} (ok={}) flushes={} fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={} seg_resolves={}",
+            "reads={} writes={} cas={} (ok={}) flushes={} (dup={}) fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={} seg_resolves={}",
             self.reads,
             self.writes,
             self.cas,
             self.cas_success,
             self.flushes,
+            self.duplicate_flushes,
             self.fences,
             self.words_allocated,
             self.recovery_steps,
@@ -260,6 +286,7 @@ mod tests {
             cas: 3,
             cas_success: 2,
             flushes: 4,
+            duplicate_flushes: 3,
             fences: 2,
             words_allocated: 7,
             recovery_steps: 1,
@@ -282,6 +309,7 @@ mod tests {
         let s = sample().merge(&sample());
         assert_eq!(s.reads, 20);
         assert_eq!(s.flushes, 8);
+        assert_eq!(s.duplicate_flushes, 6);
         assert_eq!(s.crashes, 2);
         assert_eq!(s.crash_points, 48);
     }
@@ -305,6 +333,8 @@ mod tests {
         assert!((s.flushes_per_op(2) - 2.0).abs() < 1e-9);
         assert_eq!(s.flushes_per_op(0), 0.0);
         assert!((s.fences_per_op(4) - 0.5).abs() < 1e-9);
+        assert!((s.duplicate_flushes_per_op(2) - 1.5).abs() < 1e-9);
+        assert_eq!(s.duplicate_flushes_per_op(0), 0.0);
     }
 
     #[test]
@@ -318,6 +348,7 @@ mod tests {
     fn display_contains_counters() {
         let text = sample().to_string();
         assert!(text.contains("flushes=4"));
+        assert!(text.contains("(dup=3)"));
         assert!(text.contains("crashes=1"));
         assert!(text.contains("crash_points=24"));
         assert!(text.contains("audit_flags=2"));

@@ -18,7 +18,7 @@
 //! Durability in the shared-cache model comes from [`Durability::Manual`] flushes
 //! (Figure 6) or from the Izraelevitz thread option (Figure 5).
 
-use capsules::{recoverable_cas, BoundaryStyle, CapsuleRuntime, CapsuleStep};
+use capsules::{adaptive_enabled, recoverable_cas, BoundaryStyle, CapsuleRuntime, CapsuleStep, ContentionMeasure};
 use pmem::{PAddr, PThread};
 use rcas::{RcasLayout, RcasSpace};
 
@@ -39,12 +39,16 @@ const E_LINK: u32 = 1;
 const E_SWING: u32 = 2;
 const E_ADVANCE: u32 = 3;
 const E_DONE: u32 = 4;
+/// Contention-adaptive fast enqueue: the whole operation in one capsule.
+const F_ENQ: u32 = 5;
 // Dequeue program counters.
 const D_START: u32 = 10;
 const D_CAS_HEAD: u32 = 11;
 const D_DONE_SOME: u32 = 12;
 const D_ADVANCE: u32 = 13;
 const D_DONE_NONE: u32 = 14;
+/// Contention-adaptive fast dequeue: the whole operation in one capsule.
+const F_DEQ: u32 = 15;
 
 /// The shared, persistent part of the transformed queue.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +58,10 @@ pub struct GeneralQueue {
     space: RcasSpace,
     durability: Durability,
     style: BoundaryStyle,
+    /// Whether handles try the contention-adaptive fast path (`DF_ADAPTIVE`).
+    adaptive: bool,
+    /// Contention-policy template copied into every handle's runtime.
+    contention: ContentionMeasure,
 }
 
 impl GeneralQueue {
@@ -87,7 +95,29 @@ impl GeneralQueue {
             space,
             durability,
             style,
+            adaptive: adaptive_enabled(),
+            contention: ContentionMeasure::new(),
         }
+    }
+
+    /// Override the contention policy handles start with (the sensitized
+    /// `dfck` sweeps lower the trip threshold to 1 so any lost fast-path CAS
+    /// deterministically exercises the fast→slow demotion boundary).
+    pub fn with_contention(mut self, policy: ContentionMeasure) -> GeneralQueue {
+        self.contention = policy;
+        self
+    }
+
+    /// Override the contention-adaptive fast path (tests and the `dfck` sweeper
+    /// force it on or off regardless of the `DF_ADAPTIVE` environment knob).
+    pub fn with_adaptive(mut self, adaptive: bool) -> GeneralQueue {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Whether handles of this queue try the contention-adaptive fast path.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
     }
 
     /// The recoverable-CAS space used by this queue.
@@ -102,7 +132,8 @@ impl GeneralQueue {
 
     /// Create the calling thread's handle (allocating its capsule frame).
     pub fn handle<'q, 't, 'm>(&'q self, thread: &'t PThread<'m>) -> GeneralQueueHandle<'q, 't, 'm> {
-        let rt = CapsuleRuntime::new(thread, self.style, GENERAL_LOCALS);
+        let mut rt = CapsuleRuntime::new(thread, self.style, GENERAL_LOCALS);
+        rt.set_contention(self.contention);
         GeneralQueueHandle { queue: self, rt }
     }
 
@@ -114,7 +145,8 @@ impl GeneralQueue {
         &'q self,
         thread: &'t PThread<'m>,
     ) -> GeneralQueueHandle<'q, 't, 'm> {
-        let rt = CapsuleRuntime::attach_from_restart_pointer(thread, self.style, GENERAL_LOCALS);
+        let mut rt = CapsuleRuntime::attach_from_restart_pointer(thread, self.style, GENERAL_LOCALS);
+        rt.set_contention(self.contention);
         GeneralQueueHandle { queue: self, rt }
     }
 
@@ -172,12 +204,105 @@ impl<'q, 't, 'm> GeneralQueueHandle<'q, 't, 'm> {
         self.rt.set_entry_boundary(enabled);
     }
 
+    /// Pick the entry capsule for the next operation: the adaptive fast pc when
+    /// the queue is adaptive and the handle's contention measure is off
+    /// probation, the full simulator otherwise.
+    fn entry_pc(&mut self, fast: u32, slow: u32) -> u32 {
+        if self.queue.adaptive && !self.rt.contention_mut().begin_op() {
+            fast
+        } else {
+            slow
+        }
+    }
+
+    /// Fast-path crash triage shared by both operations: returns `Some(evidence)`
+    /// when the crash interrupted *this* operation's evidence-carrying CAS and
+    /// that CAS took effect (the operation is complete); `None` means no durable
+    /// effect escaped and the fast loop may simply retry. Either way the
+    /// runtime's sequence number is raised past every announced attempt so no
+    /// sequence number is ever reused.
+    fn recover_fast(
+        rt: &mut CapsuleRuntime<'_, '_>,
+        space: &RcasSpace,
+    ) -> Option<rcas::CasEvidence> {
+        let t = rt.thread();
+        // Honour the sharding contract: a recovering process re-runs the notify
+        // step for its own announcement group before consulting its own state.
+        let _ = space.help_group(t);
+        let ann = space.announcement(t);
+        if ann.seq <= rt.seq() {
+            return None; // crash hit before this op announced anything
+        }
+        rt.sync_seq(ann.seq);
+        let ev = space.evidence(t)?;
+        if ev.result.seq != ann.seq {
+            return None;
+        }
+        if space.recover(t, ev.x).flag {
+            Some(ev)
+        } else {
+            None // announced but the CAS never took durable effect: retry
+        }
+    }
+
     fn enqueue_impl(&mut self, value: u64) {
         let queue = self.queue;
         let space = queue.space;
         self.rt.set_local(L_VAL, value);
-        self.rt.run_op(E_START, |rt| {
+        let entry = self.entry_pc(F_ENQ, E_START);
+        self.rt.run_op(entry, |rt| {
             match rt.pc() {
+                // Adaptive fast path: the whole Michael–Scott enqueue as one
+                // un-checkpointed capsule around a single evidence-carrying
+                // recoverable CAS. A crash anywhere inside re-enters here and is
+                // resolved from the announcement line alone.
+                F_ENQ => {
+                    if rt.crashed() {
+                        if let Some(ev) = Self::recover_fast(rt, &space) {
+                            // The link CAS took effect; re-persist its line (the
+                            // crash may have interrupted the original flush) and
+                            // finish. The tail may lag by one node, which the
+                            // Michael–Scott invariant allows (any later
+                            // operation helps swing it).
+                            queue.persist_line(rt.thread(), ev.x);
+                            rt.finish_boundary(E_DONE);
+                            return CapsuleStep::Done(());
+                        }
+                    }
+                    let value = rt.local(L_VAL);
+                    let t = rt.thread();
+                    let node = t.alloc(NODE_WORDS);
+                    t.write(value_addr(node), value);
+                    space.init_word(t, next_addr(node), 0);
+                    queue.persist_line(t, node);
+                    loop {
+                        let last = PAddr::from_raw(space.read(t, queue.tail));
+                        let next = space.read(t, next_addr(last));
+                        if next != 0 {
+                            // Help swing a lagging tail; anonymous CASes are
+                            // repeat-safe, so no boundary is needed.
+                            let _ = space.cas_anonymous(t, queue.tail, last.to_raw(), next);
+                            queue.persist_line(t, queue.tail);
+                            continue;
+                        }
+                        let seq = rt.advance_seq();
+                        if space.cas_with_evidence(t, next_addr(last), 0, node.to_raw(), seq, 0) {
+                            rt.contention_mut().record_success();
+                            queue.persist_line(t, next_addr(last));
+                            let _ = space.cas_anonymous(t, queue.tail, last.to_raw(), node.to_raw());
+                            queue.persist_line(t, queue.tail);
+                            rt.finish_boundary(E_DONE);
+                            return CapsuleStep::Done(());
+                        }
+                        if rt.contention_mut().record_failure() {
+                            // Contended: demote this operation to the full
+                            // simulator (the node is abandoned, as on any lost
+                            // race; E_START allocates afresh).
+                            rt.boundary(E_START);
+                            return CapsuleStep::Continue;
+                        }
+                    }
+                }
                 // Read-only capsule: allocate and initialise the node, read the
                 // tail and its successor, and branch.
                 E_START => {
@@ -241,8 +366,59 @@ impl<'q, 't, 'm> GeneralQueueHandle<'q, 't, 'm> {
     fn dequeue_impl(&mut self) -> Option<u64> {
         let queue = self.queue;
         let space = queue.space;
-        self.rt.run_op(D_START, |rt| {
+        let entry = self.entry_pc(F_DEQ, D_START);
+        self.rt.run_op(entry, |rt| {
             match rt.pc() {
+                // Adaptive fast path: the whole Michael–Scott dequeue as one
+                // un-checkpointed capsule. The dequeued value rides the
+                // evidence's aux word so a post-CAS crash can still report it.
+                F_DEQ => {
+                    if rt.crashed() {
+                        if let Some(ev) = Self::recover_fast(rt, &space) {
+                            queue.persist_line(rt.thread(), ev.x);
+                            let value = ev.aux;
+                            rt.set_local(L_VAL, value);
+                            rt.finish_boundary(D_DONE_SOME);
+                            return CapsuleStep::Done(Some(value));
+                        }
+                    }
+                    let t = rt.thread();
+                    loop {
+                        let first = PAddr::from_raw(space.read(t, queue.head));
+                        let last = PAddr::from_raw(space.read(t, queue.tail));
+                        let next = PAddr::from_raw(space.read(t, next_addr(first)));
+                        if first == last {
+                            if next.is_null() {
+                                rt.finish_boundary(D_DONE_NONE);
+                                return CapsuleStep::Done(None);
+                            }
+                            let _ =
+                                space.cas_anonymous(t, queue.tail, last.to_raw(), next.to_raw());
+                            queue.persist_line(t, queue.tail);
+                            continue;
+                        }
+                        let value = t.read(value_addr(next));
+                        let seq = rt.advance_seq();
+                        if space.cas_with_evidence(
+                            t,
+                            queue.head,
+                            first.to_raw(),
+                            next.to_raw(),
+                            seq,
+                            value,
+                        ) {
+                            rt.contention_mut().record_success();
+                            queue.persist_line(t, queue.head);
+                            rt.set_local(L_VAL, value);
+                            rt.finish_boundary(D_DONE_SOME);
+                            return CapsuleStep::Done(Some(value));
+                        }
+                        if rt.contention_mut().record_failure() {
+                            rt.boundary(D_START);
+                            return CapsuleStep::Continue;
+                        }
+                    }
+                }
                 // Read-only capsule: read head, tail and head.next, and branch.
                 D_START => {
                     let t = rt.thread();

@@ -13,7 +13,7 @@
 //! word and updated with plain CASes (§7 explains why such locations need no
 //! recoverable CAS).
 
-use capsules::{BoundaryStyle, CapsuleRuntime};
+use capsules::{adaptive_enabled, BoundaryStyle, CapsuleRuntime, ContentionMeasure};
 use delayfree::{CasDesc, CasList, NormalizedCtx, NormalizedOp, NormalizedSimulator, WrapUp};
 use pmem::{PAddr, PThread};
 use rcas::{RcasLayout, RcasSpace};
@@ -36,6 +36,10 @@ pub struct NormalizedQueue {
     durability: Durability,
     style: BoundaryStyle,
     optimised: bool,
+    /// Whether handles try the contention-adaptive fast path (`DF_ADAPTIVE`).
+    adaptive: bool,
+    /// Contention-policy template copied into every handle's runtime.
+    contention: ContentionMeasure,
 }
 
 impl NormalizedQueue {
@@ -73,7 +77,29 @@ impl NormalizedQueue {
                 BoundaryStyle::General
             },
             optimised,
+            adaptive: adaptive_enabled(),
+            contention: ContentionMeasure::new(),
         }
+    }
+
+    /// Override the contention policy handles start with (the sensitized
+    /// `dfck` sweeps lower the trip threshold to 1 so any lost fast-path CAS
+    /// deterministically exercises the fast→slow demotion boundary).
+    pub fn with_contention(mut self, policy: ContentionMeasure) -> NormalizedQueue {
+        self.contention = policy;
+        self
+    }
+
+    /// Override the contention-adaptive fast path (tests and the `dfck` sweeper
+    /// force it on or off regardless of the `DF_ADAPTIVE` environment knob).
+    pub fn with_adaptive(mut self, adaptive: bool) -> NormalizedQueue {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Whether handles of this queue try the contention-adaptive fast path.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
     }
 
     /// The recoverable-CAS space used by this queue.
@@ -91,7 +117,9 @@ impl NormalizedQueue {
         // stack-allocated local); the MSQ's lists have at most one entry, so they
         // always fit inline in the frame. The heap-buffer fallback only exists for
         // operations with long CAS lists.
-        NormalizedSimulator::new(self.space, self.durability.manual()).with_inline_lists()
+        NormalizedSimulator::new(self.space, self.durability.manual())
+            .with_inline_lists()
+            .with_adaptive(self.adaptive)
     }
 
     /// Create the calling thread's handle (allocating its capsule frame).
@@ -99,7 +127,8 @@ impl NormalizedQueue {
         &'q self,
         thread: &'t PThread<'m>,
     ) -> NormalizedQueueHandle<'q, 't, 'm> {
-        let rt = CapsuleRuntime::new(thread, self.style, NORMALIZED_QUEUE_LOCALS);
+        let mut rt = CapsuleRuntime::new(thread, self.style, NORMALIZED_QUEUE_LOCALS);
+        rt.set_contention(self.contention);
         NormalizedQueueHandle {
             queue: self,
             sim: self.simulator(),
@@ -112,8 +141,9 @@ impl NormalizedQueue {
         &'q self,
         thread: &'t PThread<'m>,
     ) -> NormalizedQueueHandle<'q, 't, 'm> {
-        let rt =
+        let mut rt =
             CapsuleRuntime::attach_from_restart_pointer(thread, self.style, NORMALIZED_QUEUE_LOCALS);
+        rt.set_contention(self.contention);
         NormalizedQueueHandle {
             queue: self,
             sim: self.simulator(),
@@ -418,8 +448,9 @@ mod tests {
     fn normalized_uses_fewer_boundaries_than_general() {
         let mem = PMem::with_threads(1);
         let t = mem.thread(0);
+        // This compares the two *simulators*, so pin both to the slow path.
         // Normalized: one boundary before the executor + the final one per op.
-        let qn = NormalizedQueue::new(&t, 1, Durability::Manual, false);
+        let qn = NormalizedQueue::new(&t, 1, Durability::Manual, false).with_adaptive(false);
         let mut hn = qn.handle(&t);
         hn.set_entry_boundary(false);
         for i in 0..20 {
@@ -427,7 +458,8 @@ mod tests {
         }
         let norm_boundaries = hn.runtime_mut().metrics().boundaries;
         // General: three boundaries per uncontended enqueue.
-        let qg = crate::GeneralQueue::new(&t, 1, Durability::Manual, BoundaryStyle::General);
+        let qg = crate::GeneralQueue::new(&t, 1, Durability::Manual, BoundaryStyle::General)
+            .with_adaptive(false);
         let mut hg = qg.handle(&t);
         hg.set_entry_boundary(false);
         for i in 0..20 {

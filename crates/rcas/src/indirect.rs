@@ -60,8 +60,12 @@ impl IndirectRcas {
     pub fn new(thread: &PThread<'_>, nprocs: usize, durable_records: bool) -> IndirectRcas {
         assert!(nprocs >= 1);
         // Line-aligned for the same reason as [`RcasSpace`]: one announcement
-        // line per pid, never shared with neighbouring records.
-        let ann_base = thread.alloc_aligned(nprocs as u64 * LINE_WORDS);
+        // line per pid, never shared with neighbouring records — and grouped
+        // into the same per-pid-group shard blocks (one padding line between
+        // groups of [`SHARD_PIDS`](crate::SHARD_PIDS)).
+        let groups = nprocs.div_ceil(crate::SHARD_PIDS) as u64;
+        let stride = (crate::SHARD_PIDS as u64 + 1) * LINE_WORDS;
+        let ann_base = thread.alloc_aligned(groups * stride);
         IndirectRcas {
             ann_base,
             nprocs,
@@ -71,7 +75,10 @@ impl IndirectRcas {
 
     fn ann_addr(&self, pid: usize) -> PAddr {
         assert!(pid < self.nprocs);
-        self.ann_base.offset(pid as u64 * LINE_WORDS)
+        let group = (pid / crate::SHARD_PIDS) as u64;
+        let slot = (pid % crate::SHARD_PIDS) as u64;
+        let stride = (crate::SHARD_PIDS as u64 + 1) * LINE_WORDS;
+        self.ann_base.offset(group * stride + slot * LINE_WORDS)
     }
 
     /// The sentinel pid stored in records installed by [`init_word`](Self::init_word)

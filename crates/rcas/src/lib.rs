@@ -73,5 +73,5 @@ pub use attiya::AttiyaRcas;
 pub use check::check_recovery;
 pub use indirect::IndirectRcas;
 pub use layout::RcasLayout;
-pub use space::{RCas, RcasSpace, RecoverResult};
+pub use space::{CasEvidence, RCas, RcasSpace, RecoverResult, SHARD_PIDS};
 pub use writable::{WritableCasArray, WritableCasHandle};

@@ -69,6 +69,45 @@ use pmem::{PAddr, PThread, LINE_WORDS};
 
 use crate::layout::RcasLayout;
 
+/// Number of processes per announcement *shard*: each group of `SHARD_PIDS`
+/// consecutive pids owns one cache-line-aligned block of announcement lines,
+/// and group-scoped helpers ([`RcasSpace::help_group`]) scan only their own
+/// block. Shard blocks are separated by one padding line so that adjacent
+/// shards never share a spatial-prefetch pair and a helper's scan stays
+/// entirely inside its group's lines.
+pub const SHARD_PIDS: usize = 4;
+
+/// Offsets of the recovery-evidence words inside a process's announcement
+/// line (word 0 is the ⟨seq, flag⟩ announcement itself). Written by
+/// [`RcasSpace::cas_with_evidence`] *before* the announcement word so the
+/// one announcement flush covers attempt and evidence together.
+const EVIDENCE_SEQ: u64 = 1;
+const EVIDENCE_X: u64 = 2;
+const EVIDENCE_NEW: u64 = 3;
+const EVIDENCE_EXPECTED: u64 = 4;
+const EVIDENCE_AUX: u64 = 5;
+
+/// The durable evidence a [`RcasSpace::cas_with_evidence`] call leaves on the
+/// caller's announcement line: which object the announced sequence number
+/// targeted and what it tried to install. Valid only while the evidence seq
+/// matches the announcement seq (a later evidence-free CAS re-uses the
+/// announcement word and invalidates the pairing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CasEvidence {
+    /// The announced attempt: sequence number and success flag.
+    pub result: RecoverResult,
+    /// The recoverable-CAS word the attempt targeted.
+    pub x: PAddr,
+    /// The value the attempt tried to install.
+    pub new: u64,
+    /// The application value the attempt expected to find.
+    pub expected: u64,
+    /// Caller-defined payload persisted with the attempt (the normalized
+    /// simulator stores its `CasDesc::aux` word here so a crashed fast-path
+    /// wrap-up can be replayed from evidence alone).
+    pub aux: u64,
+}
+
 /// Result of a `Recover` call: the announcement word of the recovering process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoverResult {
@@ -125,7 +164,11 @@ impl RcasSpace {
         // Line-aligned: a plain multi-line `alloc` may start mid-line, putting
         // the first/last slots on lines shared with neighbouring records, whose
         // flushes and rollbacks would then couple to announcement state.
-        let ann_base = thread.alloc_aligned(nprocs as u64 * LINE_WORDS);
+        // Slots are grouped into per-pid-group shards of `SHARD_PIDS` lines
+        // (plus a padding line between shards), so group-scoped helpers touch
+        // only their own shard's lines.
+        let groups = nprocs.div_ceil(SHARD_PIDS) as u64;
+        let ann_base = thread.alloc_aligned(groups * Self::shard_stride());
         RcasSpace {
             ann_base,
             nprocs,
@@ -168,10 +211,24 @@ impl RcasSpace {
         self.layout.max_pid()
     }
 
+    /// Words from one shard block's start to the next: `SHARD_PIDS`
+    /// announcement lines plus one padding line.
+    fn shard_stride() -> u64 {
+        (SHARD_PIDS as u64 + 1) * LINE_WORDS
+    }
+
+    /// The shard (pid group) index `pid` belongs to.
+    pub fn shard_of(&self, pid: usize) -> usize {
+        pid / SHARD_PIDS
+    }
+
     /// Address of process `pid`'s announcement word.
     pub fn ann_addr(&self, pid: usize) -> PAddr {
         assert!(pid < self.nprocs, "pid {pid} out of range");
-        self.ann_base.offset(pid as u64 * LINE_WORDS)
+        let group = (pid / SHARD_PIDS) as u64;
+        let slot = (pid % SHARD_PIDS) as u64;
+        self.ann_base
+            .offset(group * Self::shard_stride() + slot * LINE_WORDS)
     }
 
     /// Format the persistent word at `addr` as a recoverable CAS object holding
@@ -239,6 +296,41 @@ impl RcasSpace {
     /// *attempt group* (a capsule may retry the same ⟨seq, a, b⟩ after a crash —
     /// that is exactly the case the recovery machinery makes safe).
     pub fn cas(&self, thread: &PThread<'_>, x: PAddr, expected: u64, new: u64, seq: u64) -> bool {
+        self.cas_inner(thread, x, expected, new, seq, None)
+    }
+
+    /// [`cas`](RcasSpace::cas), additionally leaving durable *evidence* on the
+    /// caller's announcement line: the ⟨seq, x, new, expected, aux⟩ of this
+    /// attempt, written before the announcement word so that the announcement
+    /// flush covers both. The contention-adaptive fast path uses this so a
+    /// crash anywhere inside an un-checkpointed fast operation can be resolved
+    /// from the announcement line alone ([`evidence`](RcasSpace::evidence)):
+    /// evidence seq newer than the last capsule boundary means the crash hit
+    /// this attempt, and the flag (after a [`recover`](RcasSpace::recover)
+    /// re-notify on the recorded `x`) tells whether the CAS took effect.
+    /// `aux` is an operation-defined payload carried for the caller's recovery
+    /// code (e.g. the value a fast dequeue is about to return).
+    pub fn cas_with_evidence(
+        &self,
+        thread: &PThread<'_>,
+        x: PAddr,
+        expected: u64,
+        new: u64,
+        seq: u64,
+        aux: u64,
+    ) -> bool {
+        self.cas_inner(thread, x, expected, new, seq, Some(aux))
+    }
+
+    fn cas_inner(
+        &self,
+        thread: &PThread<'_>,
+        x: PAddr,
+        expected: u64,
+        new: u64,
+        seq: u64,
+        evidence: Option<u64>,
+    ) -> bool {
         let pid = thread.pid();
         debug_assert!(pid < self.nprocs, "thread pid {pid} not covered by this RcasSpace");
         debug_assert!(seq >= 1, "sequence numbers must start at 1");
@@ -249,8 +341,19 @@ impl RcasSpace {
         }
         // Notify the previous winner before we overwrite its triple.
         self.notify(thread, owner_pid, owner_seq);
-        // Announce our own attempt: ⟨seq, 0⟩.
         let ann = self.ann_addr(pid);
+        if let Some(aux) = evidence {
+            // Evidence rides the announcement line and is written first, so
+            // the announcement flush below makes ⟨attempt, evidence⟩ durable
+            // as one unit: whenever the announcement word is durable, so is
+            // the evidence that interprets it.
+            thread.write(ann.offset(EVIDENCE_SEQ), seq);
+            thread.write(ann.offset(EVIDENCE_X), x.to_raw());
+            thread.write(ann.offset(EVIDENCE_NEW), new);
+            thread.write(ann.offset(EVIDENCE_EXPECTED), expected);
+            thread.write(ann.offset(EVIDENCE_AUX), aux);
+        }
+        // Announce our own attempt: ⟨seq, 0⟩.
         thread.write(
             ann,
             RecoverResult {
@@ -268,6 +371,72 @@ impl RcasSpace {
         }
         let desired = self.layout.pack(new, pid, seq);
         thread.cas(x, observed, desired)
+    }
+
+    /// The caller's current announcement word ⟨seq, flag⟩, *without* the
+    /// re-notify step of [`recover`](RcasSpace::recover) (recovery code uses
+    /// this to decide whether an evidence-carrying attempt is newer than the
+    /// last capsule boundary before it knows which object to re-notify on).
+    pub fn announcement(&self, thread: &PThread<'_>) -> RecoverResult {
+        RecoverResult::unpack(thread.read(self.ann_addr(thread.pid())))
+    }
+
+    /// The caller's evidence triple, if the announcement line currently holds
+    /// one: `None` when no evidence was ever written, when a later evidence-free
+    /// CAS re-announced over it, or when the announcement is still the initial
+    /// zero state.
+    pub fn evidence(&self, thread: &PThread<'_>) -> Option<CasEvidence> {
+        let ann = self.ann_addr(thread.pid());
+        let result = RecoverResult::unpack(thread.read(ann));
+        if result.seq == 0 || thread.read(ann.offset(EVIDENCE_SEQ)) != result.seq {
+            return None;
+        }
+        let x = PAddr::from_raw(thread.read(ann.offset(EVIDENCE_X)));
+        if x.is_null() {
+            return None;
+        }
+        Some(CasEvidence {
+            result,
+            x,
+            new: thread.read(ann.offset(EVIDENCE_NEW)),
+            expected: thread.read(ann.offset(EVIDENCE_EXPECTED)),
+            aux: thread.read(ann.offset(EVIDENCE_AUX)),
+        })
+    }
+
+    /// Scan the caller's own announcement shard and re-run the notify step for
+    /// every group member with a pending evidence-carrying attempt, so their
+    /// success flags become observable without them having to run first. The
+    /// scan touches only this group's shard block — helpers never walk the
+    /// whole announcement array (the sharding contract). Safe to run at any
+    /// time: notify is idempotent and only sets a flag the protocol already
+    /// owes. Returns the number of members whose pending attempt was examined.
+    pub fn help_group(&self, thread: &PThread<'_>) -> usize {
+        let me = thread.pid();
+        let lo = self.shard_of(me) * SHARD_PIDS;
+        let hi = (lo + SHARD_PIDS).min(self.nprocs);
+        let mut helped = 0;
+        for q in lo..hi {
+            if q == me {
+                continue; // own attempts go through `recover` / `evidence`
+            }
+            let ann = self.ann_addr(q);
+            let r = RecoverResult::unpack(thread.read(ann));
+            if r.seq == 0 || r.flag {
+                continue; // nothing announced, or already notified
+            }
+            if thread.read(ann.offset(EVIDENCE_SEQ)) != r.seq {
+                continue; // evidence-free attempt: its owner recovers via its frame
+            }
+            let x = PAddr::from_raw(thread.read(ann.offset(EVIDENCE_X)));
+            if x.is_null() {
+                continue;
+            }
+            let (_, owner_pid, owner_seq) = self.layout.unpack(thread.read(x));
+            self.notify(thread, owner_pid, owner_seq);
+            helped += 1;
+        }
+        helped
     }
 
     /// A CAS that installs the anonymous pid (§7): other processes will not notify
@@ -578,6 +747,82 @@ mod tests {
             3 * PER_THREAD,
             "each logical increment must be applied exactly once despite crashes"
         );
+    }
+
+    #[test]
+    fn announcement_slots_are_sharded_per_pid_group() {
+        let mem = PMem::with_threads(SHARD_PIDS * 2);
+        let t = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t, SHARD_PIDS * 2);
+        // Within a shard: consecutive pids are one line apart.
+        for pid in 0..SHARD_PIDS - 1 {
+            assert_eq!(
+                space.ann_addr(pid + 1).to_raw() - space.ann_addr(pid).to_raw(),
+                LINE_WORDS,
+            );
+        }
+        // Across the shard boundary: one padding line separates the blocks.
+        assert_eq!(
+            space.ann_addr(SHARD_PIDS).to_raw() - space.ann_addr(SHARD_PIDS - 1).to_raw(),
+            2 * LINE_WORDS,
+            "shard blocks must be separated by a padding line"
+        );
+        assert_eq!(space.shard_of(SHARD_PIDS - 1), 0);
+        assert_eq!(space.shard_of(SHARD_PIDS), 1);
+        // Every slot sits at a line boundary.
+        for pid in 0..SHARD_PIDS * 2 {
+            assert_eq!(space.ann_addr(pid), space.ann_addr(pid).line_base());
+        }
+    }
+
+    #[test]
+    fn evidence_round_trip_and_invalidation() {
+        let (mem, space, x) = setup(2);
+        let t = mem.thread(0);
+        assert!(space.evidence(&t).is_none(), "fresh slot carries no evidence");
+        assert!(space.cas_with_evidence(&t, x, 0, 10, 1, 77));
+        let ev = space.evidence(&t).expect("evidence must survive the CAS");
+        assert_eq!(ev.x, x);
+        assert_eq!(ev.new, 10);
+        assert_eq!(ev.expected, 0);
+        assert_eq!(ev.aux, 77);
+        assert_eq!(ev.result.seq, 1);
+        // After a re-notify on the recorded object, the flag shows success.
+        let r = space.recover(&t, x);
+        assert!(r.flag && r.seq == 1);
+        let ev = space.evidence(&t).unwrap();
+        assert!(ev.result.flag);
+        // A later evidence-free CAS re-announces over the slot: the stale
+        // evidence no longer matches the announcement seq and must vanish.
+        assert!(space.cas(&t, x, 10, 20, 2));
+        assert!(space.evidence(&t).is_none());
+        assert_eq!(space.announcement(&t).seq, 2);
+    }
+
+    #[test]
+    fn help_group_completes_a_group_members_notification() {
+        let nprocs = SHARD_PIDS + 1;
+        let mem = PMem::with_threads(nprocs);
+        let t0 = mem.thread(0);
+        let space = RcasSpace::with_default_layout(&t0, nprocs);
+        let x = space.create(&t0, 0).addr();
+        // p0 wins an evidence-carrying CAS and "crashes" before anyone notices.
+        assert!(space.cas_with_evidence(&t0, x, 0, 5, 1, 0));
+        assert!(!RecoverResult::unpack(t0.read(space.ann_addr(0))).flag);
+        // A pid outside p0's shard scans only its own (empty) group.
+        let t_far = mem.thread(SHARD_PIDS);
+        assert_eq!(space.help_group(&t_far), 0);
+        assert!(
+            !RecoverResult::unpack(t_far.read(space.ann_addr(0))).flag,
+            "helpers must not scan outside their shard"
+        );
+        // A group member's scan finds the pending attempt and notifies it.
+        let t1 = mem.thread(1);
+        assert_eq!(space.help_group(&t1), 1);
+        let r = RecoverResult::unpack(t1.read(space.ann_addr(0)));
+        assert!(r.flag && r.seq == 1, "help_group must complete the notify: {r:?}");
+        // p0 itself is skipped by its own scan.
+        assert_eq!(space.help_group(&t0), 0);
     }
 
     #[test]

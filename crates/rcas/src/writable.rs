@@ -18,7 +18,9 @@
 //! location in amortised constant time (the scan is O(P) and happens at most once
 //! per Θ(P) writes).
 
-use pmem::{PAddr, PThread};
+use pmem::{PAddr, PThread, LINE_WORDS};
+
+use crate::SHARD_PIDS;
 
 /// The shared, persistent part of the construction: the backing array `B`, the
 /// per-object pointers `Ptr`, the per-process announcements `A` and the per-location
@@ -71,10 +73,18 @@ impl WritableCasArray {
         // never pin every retired location at once (see module docs).
         let per_proc = 2 * p + 2;
         let b_len = m + p * per_proc;
+        // The announcement array is the construction's hottest cross-process
+        // state: every read/CAS/write announces. One cache line per pid —
+        // grouped into the same per-pid-group shard blocks as `RcasSpace`
+        // (padding line between groups) — so announcing never false-shares
+        // with another process's slot and the reclamation scan walks whole
+        // shard lines at a time.
+        let ann_groups = p.div_ceil(SHARD_PIDS) as u64;
+        let ann_stride = (SHARD_PIDS as u64 + 1) * LINE_WORDS;
         let arr = WritableCasArray {
             b_base: thread.alloc(b_len as u64),
             ptr_base: thread.alloc(m as u64),
-            ann_base: thread.alloc(p as u64),
+            ann_base: thread.alloc_aligned(ann_groups * ann_stride),
             status_base: thread.alloc(b_len as u64),
             m,
             p,
@@ -124,7 +134,10 @@ impl WritableCasArray {
 
     fn ann_addr(&self, pid: usize) -> PAddr {
         debug_assert!(pid < self.p);
-        self.ann_base.offset(pid as u64)
+        let group = (pid / SHARD_PIDS) as u64;
+        let slot = (pid % SHARD_PIDS) as u64;
+        let stride = (SHARD_PIDS as u64 + 1) * LINE_WORDS;
+        self.ann_base.offset(group * stride + slot * LINE_WORDS)
     }
 
     fn status_addr(&self, idx: u64) -> PAddr {
@@ -234,7 +247,18 @@ impl WritableCasHandle {
 
         if self.free_list.is_empty() {
             let mut ann_list: Vec<u64> = Vec::with_capacity(arr.p);
-            for q in 0..arr.p {
+            // Walk the announcement array shard by shard, own group first:
+            // every pid is still visited (any process can protect one of our
+            // locations, so correctness needs the full scan), but the memory
+            // order follows the shard blocks — each group's lines are read
+            // together, and the scan's hot start is the group the scanner
+            // already shares lines-of-interest with.
+            let groups = arr.p.div_ceil(SHARD_PIDS);
+            let my_group = me / SHARD_PIDS;
+            let group_ordered = (0..groups)
+                .map(|gi| (my_group + gi) % groups)
+                .flat_map(|g| g * SHARD_PIDS..((g + 1) * SHARD_PIDS).min(arr.p));
+            for q in group_ordered {
                 // Help slow announcements complete, then record which of our
                 // locations are protected.
                 let a_word = thread.read(arr.ann_addr(q));

@@ -45,7 +45,7 @@ use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use capsules::BoundaryStyle;
-use pmem::{catch_crash, CrashSchedule, MemConfig, Mode, PMem};
+use pmem::{catch_crash, CacheAligned, CrashSchedule, MemConfig, Mode, PMem};
 use structs::{GeneralSet, StructHandle, StructOp};
 
 use crate::metrics::LatencyHistogram;
@@ -405,7 +405,11 @@ pub fn run_shard(shard: &ShardShared, workers: usize, drain_cap: usize) -> Shard
         let t0 = mem.thread(0);
         GeneralSet::new(&t0, workers, true, BoundaryStyle::General)
     };
-    let mut slots: Vec<WorkerSlot> = (0..workers).map(|_| WorkerSlot::default()).collect();
+    // Workers mutate their own slot concurrently from sibling threads; the
+    // cache-line padding keeps one worker's ticket/ack bookkeeping from
+    // invalidating its neighbours' lines.
+    let mut slots: Vec<CacheAligned<WorkerSlot>> =
+        (0..workers).map(|_| CacheAligned::default()).collect();
     let mut incarnations = 0u64;
     let mut first = true;
     loop {

@@ -17,14 +17,21 @@ Checks (all fatal, exit 1, every failure reported before exiting):
    run-to-run spread is ~25-30%, and a real disarmed-path regression
    (accidentally armed bookkeeping) shows up as 2x+, far outside the band.
    Tighten via DF_REGRESS_DISARM_TOL on quiet hardware.
+4. fig_map (--map): every map-variant row of the committed BENCH_map.json
+   must be present fresh with nonzero throughput no more than MAP_TOL
+   (default 60%) below the baseline, and the baseline itself must carry the
+   million-key scenario (params.keys >= 2^20). The wide default tolerance is
+   deliberate: the mixed workload includes bucket-array resizes, whose
+   placement relative to the timed window shifts with machine speed.
 
 Usage:
   regress.py --baseline benchmarks \
              --fig7 fresh/BENCH_fig7.json \
-             [--instr fresh/BENCH_instr_overhead.json]
+             [--instr fresh/BENCH_instr_overhead.json] \
+             [--map fresh/BENCH_map.json]
 
 Env overrides: DF_REGRESS_TOL, DF_REGRESS_SCALE_MIN, DF_REGRESS_CEILING,
-DF_REGRESS_DISARM_TOL.
+DF_REGRESS_DISARM_TOL, DF_REGRESS_MAP_TOL.
 """
 
 import argparse
@@ -39,6 +46,8 @@ REGRESS_TOL = float(os.environ.get("DF_REGRESS_TOL", "0.20"))
 SCALE_MIN = float(os.environ.get("DF_REGRESS_SCALE_MIN", "1.5"))
 SEED_CEILING = float(os.environ.get("DF_REGRESS_CEILING", "3.7"))
 DISARM_TOL = float(os.environ.get("DF_REGRESS_DISARM_TOL", "0.30"))
+MAP_TOL = float(os.environ.get("DF_REGRESS_MAP_TOL", "0.60"))
+MILLION_KEYS = 1 << 20
 
 
 def rows(doc, variant=None, threads=None):
@@ -121,11 +130,38 @@ def check_instr(baseline, fresh, failures):
             print(f"ok instr_overhead {variant}: {new:.3f} vs baseline {r['mops']:.3f}")
 
 
+def check_map(baseline, fresh, failures):
+    keys = baseline.get("params", {}).get("keys", 0)
+    if keys < MILLION_KEYS:
+        failures.append(
+            f"fig_map baseline is not the million-key scenario: "
+            f"params.keys = {keys} < {MILLION_KEYS}"
+        )
+    base_rows = baseline["results"]
+    if not base_rows:
+        failures.append("fig_map baseline has no rows")
+    for r in base_rows:
+        variant = r["variant"]
+        new = mops(fresh, variant, r["threads"])
+        if new is None:
+            failures.append(f"fig_map {variant}: fresh row missing")
+            continue
+        floor = r["mops"] * (1.0 - MAP_TOL)
+        if new <= 0.0 or new < floor:
+            failures.append(
+                f"fig_map {variant} regressed: {new:.3f} < {floor:.3f} "
+                f"(baseline {r['mops']:.3f}, tol {MAP_TOL:.0%})"
+            )
+        else:
+            print(f"ok fig_map {variant}: {new:.3f} vs baseline {r['mops']:.3f}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True, help="directory with committed BENCH_*.json")
     ap.add_argument("--fig7", required=True, help="fresh BENCH_fig7.json")
     ap.add_argument("--instr", help="fresh BENCH_instr_overhead.json (optional)")
+    ap.add_argument("--map", dest="map_json", help="fresh BENCH_map.json (optional)")
     args = ap.parse_args()
 
     failures = []
@@ -141,6 +177,13 @@ def main():
         with open(args.instr) as f:
             instr_fresh = json.load(f)
         check_instr(instr_base, instr_fresh, failures)
+
+    if args.map_json:
+        with open(os.path.join(args.baseline, "BENCH_map.json")) as f:
+            map_base = json.load(f)
+        with open(args.map_json) as f:
+            map_fresh = json.load(f)
+        check_map(map_base, map_fresh, failures)
 
     if failures:
         for msg in failures:

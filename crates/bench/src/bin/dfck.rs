@@ -3,10 +3,11 @@
 //!
 //! For each of MSQ-Izraelevitz, General, General-Opt, Normalized,
 //! Normalized-Opt and LogQueue — plus the structure family of the `structs`
-//! crate (Treiber stack and linked-list set, each as Izraelevitz / General /
-//! Normalized, with LIFO- and membership-exactly-once oracles) — runs the
-//! seeded single-pair and multi-op workloads once per possible crash point
-//! (count taken from
+//! crate (Treiber stack, linked-list set and bucketed hash map, each as
+//! Izraelevitz / General / Normalized, with LIFO- and membership-exactly-once
+//! oracles) — runs the seeded single-pair and multi-op workloads — and, for
+//! the maps, the resize-crossing window on a [`structs::MapConfig::tiny`]
+//! bucket array — once per possible crash point (count taken from
 //! [`pmem::Stats::crash_points`], never hard-coded) under *both* crash
 //! flavours — per-process faults (the PPM model) and full-system power
 //! failures (`/system`: unflushed cache lines roll back, verifying flush
@@ -321,6 +322,14 @@ fn main() {
                     StructWorkload::stack_pair(),
                     StructWorkload::stack_seeded(seed, ops),
                 ]
+            } else if variant.is_map() {
+                // The map's pair analogue crosses a bucket-array resize inside
+                // the swept window; the seeded multi workload shares the set's
+                // generator (same op alphabet) on the tiny bucket array.
+                [
+                    StructWorkload::map_resize(),
+                    StructWorkload::set_seeded(seed, ops),
+                ]
             } else {
                 [
                     StructWorkload::set_pair(),
@@ -409,8 +418,20 @@ fn main() {
                 ));
             }
         }
-        let sw = ConcStructWorkload::stack_pair(conc_threads);
-        for variant in [StructVariant::StackGeneral] {
+        for (variant, sw) in [
+            (
+                StructVariant::StackGeneral,
+                ConcStructWorkload::stack_pair(conc_threads),
+            ),
+            (
+                StructVariant::MapGeneral,
+                ConcStructWorkload::map_pair(conc_threads),
+            ),
+            (
+                StructVariant::MapNormalized,
+                ConcStructWorkload::map_pair(conc_threads),
+            ),
+        ] {
             if !conc_wants(variant.label()) {
                 continue;
             }
@@ -422,6 +443,19 @@ fn main() {
                     variant, &sw, &seeds, nested, true,
                 ));
             }
+        }
+        // A wider map row: three scheduled pids race the resize trigger while
+        // the victim *and* a co-victim crash in the same replay.
+        if conc_wants(StructVariant::MapGeneral.label()) {
+            let sw3 = ConcStructWorkload::map_pair(conc_threads.max(3));
+            conc_struct_reports.push(dfck_struct::sweep_interleaved_multi(
+                StructVariant::MapGeneral,
+                &sw3,
+                &seeds,
+                &[],
+                mv_gap,
+                false,
+            ));
         }
     }
     let conc_views: Vec<ConcView<'_>> = conc_reports

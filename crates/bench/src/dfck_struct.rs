@@ -33,8 +33,8 @@ use pmem::{catch_crash, CrashPlan, MemConfig, Mode, PMem, SchedConfig, ThreadOpt
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use structs::{
-    GeneralSet, GeneralStack, ListSet, NormalizedSet, NormalizedStack, StructHandle, StructOp,
-    TreiberStack,
+    DetMap, GeneralDetMap, GeneralSet, GeneralStack, ListSet, MapConfig, NormalizedDetMap,
+    NormalizedSet, NormalizedStack, StructHandle, StructOp, TreiberStack,
 };
 
 use crate::sweep::{self, OpOutcome, ReplayRecord, TimedOp, TurnGate};
@@ -56,6 +56,12 @@ pub enum StructVariant {
     SetGeneral,
     /// List set through the Persistent Normalized Simulator.
     SetNormalized,
+    /// Bucketed hash map + Izraelevitz construction.
+    MapIzraelevitz,
+    /// Hash map through the CAS-Read (General) transformation.
+    MapGeneral,
+    /// Hash map through the Persistent Normalized Simulator.
+    MapNormalized,
 }
 
 impl StructVariant {
@@ -68,6 +74,9 @@ impl StructVariant {
             StructVariant::SetIzraelevitz => "Set-Izraelevitz",
             StructVariant::SetGeneral => "Set-General",
             StructVariant::SetNormalized => "Set-Normalized",
+            StructVariant::MapIzraelevitz => "Map-Izraelevitz",
+            StructVariant::MapGeneral => "Map-General",
+            StructVariant::MapNormalized => "Map-Normalized",
         }
     }
 
@@ -80,6 +89,9 @@ impl StructVariant {
             StructVariant::SetIzraelevitz,
             StructVariant::SetGeneral,
             StructVariant::SetNormalized,
+            StructVariant::MapIzraelevitz,
+            StructVariant::MapGeneral,
+            StructVariant::MapNormalized,
         ]
     }
 
@@ -87,7 +99,9 @@ impl StructVariant {
     pub fn detectable(&self) -> bool {
         !matches!(
             self,
-            StructVariant::StackIzraelevitz | StructVariant::SetIzraelevitz
+            StructVariant::StackIzraelevitz
+                | StructVariant::SetIzraelevitz
+                | StructVariant::MapIzraelevitz
         )
     }
 
@@ -98,6 +112,19 @@ impl StructVariant {
             StructVariant::StackIzraelevitz
                 | StructVariant::StackGeneral
                 | StructVariant::StackNormalized
+        )
+    }
+
+    /// Whether this is a map-shaped variant: same membership oracle as the
+    /// set (so map workloads carry `stack: false`), but swept on the bucketed
+    /// structure with [`MapConfig::tiny`] so the crash window crosses the
+    /// resize protocol.
+    pub fn is_map(&self) -> bool {
+        matches!(
+            self,
+            StructVariant::MapIzraelevitz
+                | StructVariant::MapGeneral
+                | StructVariant::MapNormalized
         )
     }
 }
@@ -137,6 +164,27 @@ impl StructWorkload {
             stack: false,
             prefill: vec![10, 20, 30],
             ops: vec![StructOp::Insert(15), StructOp::Remove(20)],
+        }
+    }
+
+    /// The canonical map workload: the same membership paths as
+    /// [`StructWorkload::set_pair`] *plus* a bucket-array resize inside the
+    /// swept window — map replays build with [`MapConfig::tiny`] (2 buckets,
+    /// `max_chain` 3), so the sixth insert's trigger fires mid-window and
+    /// every crash point of the freeze/copy/promote migration is enumerated.
+    pub fn map_resize() -> StructWorkload {
+        StructWorkload {
+            name: "map-resize",
+            stack: false,
+            prefill: vec![10, 20, 30],
+            ops: vec![
+                StructOp::Insert(15),
+                StructOp::Insert(25),
+                StructOp::Insert(15),
+                StructOp::Remove(10),
+                StructOp::Contains(15),
+                StructOp::Remove(99),
+            ],
         }
     }
 
@@ -265,6 +313,27 @@ impl ConcStructWorkload {
         }
     }
 
+    /// The canonical concurrent map workload: distinct inserts per pid on a
+    /// [`MapConfig::tiny`] map, so the pids race the resize trigger and the
+    /// migration helping paths against each other (and against the scripted
+    /// crashes) while the removes exercise tombstoning under contention.
+    pub fn map_pair(threads: usize) -> ConcStructWorkload {
+        ConcStructWorkload {
+            name: "conc-map",
+            stack: false,
+            prefill: vec![10, 20, 30],
+            per_pid: (0..threads as u64)
+                .map(|p| {
+                    vec![
+                        StructOp::Insert(11 + 2 * p),
+                        StructOp::Insert(40 + p),
+                        StructOp::Remove(10 * (p + 1)),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
     /// The number of scheduled processes.
     pub fn threads(&self) -> usize {
         self.per_pid.len()
@@ -377,16 +446,26 @@ fn replay(
     let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
     let bound = drain_bound(workload);
     match variant {
-        StructVariant::StackIzraelevitz | StructVariant::SetIzraelevitz => {
+        StructVariant::StackIzraelevitz
+        | StructVariant::SetIzraelevitz
+        | StructVariant::MapIzraelevitz => {
             let t = mem.thread_with(0, ThreadOptions { izraelevitz: true });
             let stack;
             let set;
-            let mut h: Box<dyn StructHandle + '_> = if variant.is_stack() {
-                stack = TreiberStack::new(&t);
-                Box::new(stack.handle(&t))
-            } else {
-                set = ListSet::new(&t);
-                Box::new(set.handle(&t))
+            let map;
+            let mut h: Box<dyn StructHandle + '_> = match variant {
+                StructVariant::StackIzraelevitz => {
+                    stack = TreiberStack::new(&t);
+                    Box::new(stack.handle(&t))
+                }
+                StructVariant::SetIzraelevitz => {
+                    set = ListSet::new(&t);
+                    Box::new(set.handle(&t))
+                }
+                _ => {
+                    map = DetMap::new(&t, MapConfig::tiny());
+                    Box::new(map.handle(&t))
+                }
             };
             for op in workload.prefill_ops() {
                 let _ = h.apply(op);
@@ -434,12 +513,16 @@ fn replay(
         StructVariant::StackGeneral
         | StructVariant::StackNormalized
         | StructVariant::SetGeneral
-        | StructVariant::SetNormalized => {
+        | StructVariant::SetNormalized
+        | StructVariant::MapGeneral
+        | StructVariant::MapNormalized => {
             enum H<'q, 't, 'm> {
                 Sg(structs::GeneralStackHandle<'q, 't, 'm>),
                 Sn(structs::NormalizedStackHandle<'q, 't, 'm>),
                 Tg(structs::GeneralSetHandle<'q, 't, 'm>),
                 Tn(structs::NormalizedSetHandle<'q, 't, 'm>),
+                Mg(structs::GeneralDetMapHandle<'q, 't, 'm>),
+                Mn(structs::NormalizedDetMapHandle<'q, 't, 'm>),
             }
             impl H<'_, '_, '_> {
                 fn as_dyn(&mut self) -> &mut dyn StructHandle {
@@ -448,6 +531,8 @@ fn replay(
                         H::Sn(h) => h,
                         H::Tg(h) => h,
                         H::Tn(h) => h,
+                        H::Mg(h) => h,
+                        H::Mn(h) => h,
                     }
                 }
                 fn metrics(&mut self) -> CapsuleMetrics {
@@ -456,6 +541,8 @@ fn replay(
                         H::Sn(h) => h.runtime_mut().metrics(),
                         H::Tg(h) => h.runtime_mut().metrics(),
                         H::Tn(h) => h.runtime_mut().metrics(),
+                        H::Mg(h) => h.runtime_mut().metrics(),
+                        H::Mn(h) => h.runtime_mut().metrics(),
                     }
                 }
                 fn set_system_crashes(&mut self, system: bool) {
@@ -464,6 +551,8 @@ fn replay(
                         H::Sn(h) => h.runtime_mut().set_system_crashes(system),
                         H::Tg(h) => h.runtime_mut().set_system_crashes(system),
                         H::Tn(h) => h.runtime_mut().set_system_crashes(system),
+                        H::Mg(h) => h.runtime_mut().set_system_crashes(system),
+                        H::Mn(h) => h.runtime_mut().set_system_crashes(system),
                     }
                 }
             }
@@ -472,6 +561,8 @@ fn replay(
             let ns;
             let gt;
             let nt;
+            let gm;
+            let nm;
             let mut h = match variant {
                 StructVariant::StackGeneral => {
                     gs = GeneralStack::new(&t, 1, true, BoundaryStyle::General);
@@ -485,9 +576,17 @@ fn replay(
                     gt = GeneralSet::new(&t, 1, true, BoundaryStyle::General);
                     H::Tg(gt.handle(&t))
                 }
-                _ => {
+                StructVariant::SetNormalized => {
                     nt = NormalizedSet::new(&t, 1, true, false);
                     H::Tn(nt.handle(&t))
+                }
+                StructVariant::MapGeneral => {
+                    gm = GeneralDetMap::new(&t, 1, MapConfig::tiny(), true, BoundaryStyle::General);
+                    H::Mg(gm.handle(&t))
+                }
+                _ => {
+                    nm = NormalizedDetMap::new(&t, 1, MapConfig::tiny(), true, false);
+                    H::Mn(nm.handle(&t))
                 }
             };
             h.set_system_crashes(system);
@@ -655,6 +754,8 @@ pub fn conc_replay(
         Sn(NormalizedStack),
         Tg(GeneralSet),
         Tn(NormalizedSet),
+        Mg(GeneralDetMap),
+        Mn(NormalizedDetMap),
     }
     /// The capsule-handle surface the workers need beyond [`StructHandle`].
     trait CapsHandle: StructHandle {
@@ -677,12 +778,16 @@ pub fn conc_replay(
     caps_handle!(structs::NormalizedStackHandle<'_, '_, '_>);
     caps_handle!(structs::GeneralSetHandle<'_, '_, '_>);
     caps_handle!(structs::NormalizedSetHandle<'_, '_, '_>);
+    caps_handle!(structs::GeneralDetMapHandle<'_, '_, '_>);
+    caps_handle!(structs::NormalizedDetMapHandle<'_, '_, '_>);
     fn handle_of<'a>(q: &'a Q, t: &'a pmem::PThread<'a>) -> Box<dyn CapsHandle + 'a> {
         match q {
             Q::Sg(q) => Box::new(q.handle(t)),
             Q::Sn(q) => Box::new(q.handle(t)),
             Q::Tg(q) => Box::new(q.handle(t)),
             Q::Tn(q) => Box::new(q.handle(t)),
+            Q::Mg(q) => Box::new(q.handle(t)),
+            Q::Mn(q) => Box::new(q.handle(t)),
         }
     }
 
@@ -701,6 +806,16 @@ pub fn conc_replay(
                 Q::Tg(GeneralSet::new(&t, nprocs, true, BoundaryStyle::General))
             }
             StructVariant::SetNormalized => Q::Tn(NormalizedSet::new(&t, nprocs, true, false)),
+            StructVariant::MapGeneral => Q::Mg(GeneralDetMap::new(
+                &t,
+                nprocs,
+                MapConfig::tiny(),
+                true,
+                BoundaryStyle::General,
+            )),
+            StructVariant::MapNormalized => {
+                Q::Mn(NormalizedDetMap::new(&t, nprocs, MapConfig::tiny(), true, false))
+            }
             _ => unreachable!("checked detectable() above"),
         };
         {
@@ -861,6 +976,8 @@ mod tests {
         for variant in StructVariant::all() {
             let w = if variant.is_stack() {
                 StructWorkload::stack_pair()
+            } else if variant.is_map() {
+                StructWorkload::map_resize()
             } else {
                 StructWorkload::set_pair()
             };

@@ -14,8 +14,8 @@ use std::time::Instant;
 use capsules::BoundaryStyle;
 use pmem::{MemConfig, Mode, PMem, Stats, ThreadOptions};
 use structs::{
-    GeneralSet, GeneralStack, ListSet, NormalizedSet, NormalizedStack, StructHandle, StructOp,
-    TreiberStack,
+    DetMap, GeneralDetMap, GeneralSet, GeneralStack, ListSet, MapConfig, NormalizedDetMap,
+    NormalizedSet, NormalizedStack, StructHandle, StructOp, TreiberStack,
 };
 
 use crate::dfck_struct::StructVariant;
@@ -57,6 +57,16 @@ enum Built {
     SetPlain(ListSet),
     SetGeneral(GeneralSet),
     SetNormalized(NormalizedSet),
+    MapPlain(DetMap),
+    MapGeneral(GeneralDetMap),
+    MapNormalized(NormalizedDetMap),
+}
+
+/// Bucket sizing for the throughput maps: small enough that the measured
+/// window still crosses grow cycles (the resize protocol is part of the cost
+/// being measured), large enough that steady-state chains stay short.
+fn bench_map_config() -> MapConfig {
+    MapConfig::new(64, 8)
 }
 
 fn build(variant: StructVariant, mem: &PMem, threads: usize) -> Built {
@@ -76,6 +86,21 @@ fn build(variant: StructVariant, mem: &PMem, threads: usize) -> Built {
         StructVariant::SetNormalized => {
             Built::SetNormalized(NormalizedSet::new(&t, threads, true, false))
         }
+        StructVariant::MapIzraelevitz => Built::MapPlain(DetMap::new(&t, bench_map_config())),
+        StructVariant::MapGeneral => Built::MapGeneral(GeneralDetMap::new(
+            &t,
+            threads,
+            bench_map_config(),
+            true,
+            BoundaryStyle::General,
+        )),
+        StructVariant::MapNormalized => Built::MapNormalized(NormalizedDetMap::new(
+            &t,
+            threads,
+            bench_map_config(),
+            true,
+            false,
+        )),
     }
 }
 
@@ -91,6 +116,9 @@ where
         Built::SetPlain(s) => Box::new(s.handle(t)),
         Built::SetGeneral(s) => Box::new(s.handle(t)),
         Built::SetNormalized(s) => Box::new(s.handle(t)),
+        Built::MapPlain(m) => Box::new(m.handle(t)),
+        Built::MapGeneral(m) => Box::new(m.handle(t)),
+        Built::MapNormalized(m) => Box::new(m.handle(t)),
     }
 }
 
@@ -105,7 +133,9 @@ pub fn run_struct_workload(variant: StructVariant, cfg: &WorkloadConfig) -> Stru
     let opts = ThreadOptions {
         izraelevitz: matches!(
             variant,
-            StructVariant::StackIzraelevitz | StructVariant::SetIzraelevitz
+            StructVariant::StackIzraelevitz
+                | StructVariant::SetIzraelevitz
+                | StructVariant::MapIzraelevitz
         ),
     };
     let stack = variant.is_stack();
@@ -187,7 +217,7 @@ pub fn run_struct_workload(variant: StructVariant, cfg: &WorkloadConfig) -> Stru
 pub fn run_struct_figure() -> Vec<StructMeasurement> {
     let max = crate::max_threads();
     let wall = Instant::now();
-    println!("# structure family: Treiber stack + linked-list set, all variants");
+    println!("# structure family: Treiber stack + linked-list set + hash map, all variants");
     println!(
         "# iterations/thread = {}, prefill = {}, threads = 1..={max}",
         crate::env_u64("DF_PAIRS", crate::DEFAULT_PAIRS),
@@ -257,6 +287,9 @@ mod tests {
             StructVariant::SetIzraelevitz,
             StructVariant::SetGeneral,
             StructVariant::SetNormalized,
+            StructVariant::MapIzraelevitz,
+            StructVariant::MapGeneral,
+            StructVariant::MapNormalized,
         ] {
             let m = run_struct_workload(variant, &tiny(1));
             assert!(m.flushes_per_op > 0.0, "{variant:?} should flush");

@@ -10,6 +10,55 @@
 //! preserved as long as the sequence-number field never wraps; [`RcasLayout::pack`]
 //! therefore *panics* on overflow rather than silently truncating.
 
+/// Why a [`RcasLayout::try_pack`] encode was rejected: one variant per field,
+/// each carrying the offending input and the width it had to fit. Long-running
+/// drivers (the million-op map workload, for example) match on `SeqExhausted`
+/// to surface sequence-number exhaustion as a typed error at the call site
+/// instead of an "ABA hazard" panic deep inside a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackError {
+    /// The application value does not fit `value_bits`.
+    ValueTooWide {
+        /// The rejected value.
+        value: u64,
+        /// The layout's value width.
+        bits: u32,
+    },
+    /// The process id does not fit `pid_bits`.
+    PidTooWide {
+        /// The rejected pid.
+        pid: usize,
+        /// The layout's pid width.
+        bits: u32,
+    },
+    /// The per-process sequence number reached the field's ceiling — continuing
+    /// by truncation would reintroduce the ABA problem.
+    SeqExhausted {
+        /// The rejected sequence number.
+        seq: u64,
+        /// The layout's sequence width.
+        bits: u32,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::ValueTooWide { value, bits } => {
+                write!(f, "recoverable-CAS value {value:#x} does not fit in {bits} bits")
+            }
+            PackError::PidTooWide { pid, bits } => {
+                write!(f, "pid {pid} does not fit in {bits} bits")
+            }
+            PackError::SeqExhausted { seq, bits } => {
+                write!(f, "sequence number {seq} does not fit in {bits} bits (ABA hazard)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
 /// Field widths for packing ⟨value, pid, seq⟩ into a 64-bit word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RcasLayout {
@@ -78,24 +127,38 @@ impl RcasLayout {
 
     /// Pack a ⟨value, pid, seq⟩ triple. Panics if any field overflows its width
     /// (an overflowing sequence number would reintroduce the ABA problem).
+    /// Callers that must survive exhaustion use [`try_pack`](Self::try_pack).
     #[inline]
     pub fn pack(&self, value: u64, pid: usize, seq: u64) -> u64 {
-        assert!(
-            value <= self.max_value(),
-            "recoverable-CAS value {value:#x} does not fit in {} bits",
-            self.value_bits
-        );
-        assert!(
-            pid as u64 <= mask(self.pid_bits),
-            "pid {pid} does not fit in {} bits",
-            self.pid_bits
-        );
-        assert!(
-            seq <= self.max_seq(),
-            "sequence number {seq} does not fit in {} bits (ABA hazard)",
-            self.seq_bits
-        );
-        (value << (self.pid_bits + self.seq_bits)) | ((pid as u64) << self.seq_bits) | seq
+        match self.try_pack(value, pid, seq) {
+            Ok(word) => word,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The checked encode: pack a ⟨value, pid, seq⟩ triple, or report *which*
+    /// field overflowed as a typed [`PackError`] instead of panicking.
+    #[inline]
+    pub fn try_pack(&self, value: u64, pid: usize, seq: u64) -> Result<u64, PackError> {
+        if value > self.max_value() {
+            return Err(PackError::ValueTooWide {
+                value,
+                bits: self.value_bits,
+            });
+        }
+        if pid as u64 > mask(self.pid_bits) {
+            return Err(PackError::PidTooWide {
+                pid,
+                bits: self.pid_bits,
+            });
+        }
+        if seq > self.max_seq() {
+            return Err(PackError::SeqExhausted {
+                seq,
+                bits: self.seq_bits,
+            });
+        }
+        Ok((value << (self.pid_bits + self.seq_bits)) | ((pid as u64) << self.seq_bits) | seq)
     }
 
     /// Unpack a word into ⟨value, pid, seq⟩.
@@ -154,6 +217,28 @@ mod tests {
         let l = RcasLayout::DEFAULT;
         assert_eq!(l.pack(0, 0, 0), 0);
         assert_eq!(l.unpack(0), (0, 0, 0));
+    }
+
+    #[test]
+    fn try_pack_reports_the_offending_field() {
+        let l = RcasLayout::DEFAULT;
+        assert_eq!(
+            l.try_pack(1 << 32, 0, 0),
+            Err(PackError::ValueTooWide { value: 1 << 32, bits: 32 })
+        );
+        assert_eq!(
+            l.try_pack(0, 64, 0),
+            Err(PackError::PidTooWide { pid: 64, bits: 6 })
+        );
+        assert_eq!(
+            l.try_pack(0, 0, 1 << 26),
+            Err(PackError::SeqExhausted { seq: 1 << 26, bits: 26 })
+        );
+        // The typed error renders the same diagnosis `pack` panics with.
+        let msg = PackError::SeqExhausted { seq: 1 << 26, bits: 26 }.to_string();
+        assert!(msg.contains("ABA hazard"), "missing diagnosis: {msg}");
+        // At the ceiling itself the encode still succeeds.
+        assert!(l.try_pack(0, 0, l.max_seq()).is_ok());
     }
 
     #[test]

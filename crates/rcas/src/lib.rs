@@ -72,6 +72,6 @@ pub mod writable;
 pub use attiya::AttiyaRcas;
 pub use check::check_recovery;
 pub use indirect::IndirectRcas;
-pub use layout::RcasLayout;
+pub use layout::{PackError, RcasLayout};
 pub use space::{CasEvidence, RCas, RcasSpace, RecoverResult, SHARD_PIDS};
 pub use writable::{WritableCasArray, WritableCasHandle};

@@ -67,7 +67,7 @@
 
 use pmem::{PAddr, PThread, LINE_WORDS};
 
-use crate::layout::RcasLayout;
+use crate::layout::{PackError, RcasLayout};
 
 /// Number of processes per announcement *shard*: each group of `SHARD_PIDS`
 /// consecutive pids owns one cache-line-aligned block of announcement lines,
@@ -297,6 +297,25 @@ impl RcasSpace {
     /// that is exactly the case the recovery machinery makes safe).
     pub fn cas(&self, thread: &PThread<'_>, x: PAddr, expected: u64, new: u64, seq: u64) -> bool {
         self.cas_inner(thread, x, expected, new, seq, None)
+    }
+
+    /// [`cas`](RcasSpace::cas) with a checked encode: sequence-number (or value)
+    /// exhaustion surfaces as a typed [`PackError`] at the call site instead of
+    /// a panic deep inside a sweep. The encode is validated *before* any
+    /// protocol side effect, so an `Err` leaves the object, the announcement
+    /// slot and the notification state untouched — long-running drivers (the
+    /// million-key map workload) check this once per operation and bail out
+    /// cleanly when a pid runs its seq field dry.
+    pub fn try_cas(
+        &self,
+        thread: &PThread<'_>,
+        x: PAddr,
+        expected: u64,
+        new: u64,
+        seq: u64,
+    ) -> Result<bool, PackError> {
+        self.layout.try_pack(new, thread.pid(), seq)?;
+        Ok(self.cas_inner(thread, x, expected, new, seq, None))
     }
 
     /// [`cas`](RcasSpace::cas), additionally leaving durable *evidence* on the
@@ -823,6 +842,37 @@ mod tests {
         assert!(r.flag && r.seq == 1, "help_group must complete the notify: {r:?}");
         // p0 itself is skipped by its own scan.
         assert_eq!(space.help_group(&t0), 0);
+    }
+
+    #[test]
+    fn seq_exhaustion_surfaces_as_typed_error_not_a_panic() {
+        // Regression (million-key scenario): a narrow seq field exhausts mid-run
+        // and `pack` panics with the "ABA hazard" assert. `try_cas` must instead
+        // return the typed error, with no protocol side effects.
+        let mem = PMem::with_threads(1);
+        let t = mem.thread(0);
+        let layout = RcasLayout::new(52, 6, 6); // 63-op seq ceiling
+        let space = RcasSpace::new(&t, 1, layout);
+        let x = space.create(&t, 0).addr();
+        // Drive the single pid all the way to the ceiling...
+        let mut v = 0;
+        for seq in 1..=layout.max_seq() {
+            assert_eq!(space.try_cas(&t, x, v, v + 1, seq), Ok(true));
+            v += 1;
+        }
+        assert_eq!(space.read(&t, x), layout.max_seq());
+        // ...one more op exhausts the field: typed error at the call site.
+        let over = layout.max_seq() + 1;
+        assert_eq!(
+            space.try_cas(&t, x, v, v + 1, over),
+            Err(PackError::SeqExhausted { seq: over, bits: 6 })
+        );
+        assert_eq!(space.read(&t, x), v, "failed encode must leave the object untouched");
+        assert_eq!(
+            space.announcement(&t).seq,
+            layout.max_seq(),
+            "failed encode must not announce"
+        );
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! `fig_map` — Zipf-skewed million-key mixed workload on the detectable hash
+//! map family (Izraelevitz / General / Normalized), emitting `BENCH_map.json`
+//! under `DF_JSON`. See [`service::map_bench`] for the `DF_MAP_*` knobs.
+
+fn main() {
+    service::map_bench::run_map_figure();
+}

@@ -76,12 +76,20 @@ impl Zipfian {
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         let zetan = Self::zeta(items, theta);
         let zeta2 = Self::zeta(2.min(items), theta);
+        // Degenerate single-key keyspace: zeta2 == zetan makes the eta
+        // denominator 0.0 and the division NaN. Every sample is rank 0
+        // regardless, so pin eta to a harmless finite value.
+        let eta = if items == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         Zipfian {
             items,
             theta,
             alpha: 1.0 / (1.0 - theta),
             zetan,
-            eta: (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            eta,
             half_pow_theta: 0.5f64.powf(theta),
         }
     }
@@ -203,6 +211,42 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         assert!(min > 500 && max < 2000, "min {min} max {max}");
+    }
+
+    #[test]
+    fn zipfian_single_key_keyspace_is_finite_and_deterministic() {
+        // Regression: items == 1 passed the `items > 0` assert but divided by
+        // `1.0 - zeta2/zetan == 0.0`, leaving a NaN eta inside the sampler.
+        let z = Zipfian::new(1, 0.99);
+        let dbg = format!("{z:?}");
+        assert!(!dbg.contains("NaN"), "sampler state must stay finite: {dbg}");
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng), 0, "the only key is rank 0");
+        }
+    }
+
+    #[test]
+    fn zipfian_head_matches_closed_form() {
+        // Empirical head probabilities against the closed form p(rank r) =
+        // (1/(r+1)^theta) / zeta(n, theta) for a small keyspace.
+        let (items, theta) = (5u64, 0.9f64);
+        let zetan: f64 = (1..=items).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let z = Zipfian::new(items, theta);
+        let mut rng = SplitMix64::new(17);
+        let mut counts = [0u64; 5];
+        let n = 200_000u64;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate().take(2) {
+            let expected = (1.0 / ((rank + 1) as f64).powf(theta)) / zetan;
+            let observed = count as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "rank {rank}: observed {observed:.4} vs closed form {expected:.4}"
+            );
+        }
     }
 
     #[test]

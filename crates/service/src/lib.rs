@@ -22,12 +22,15 @@
 //!   crash), timing detect/replay/total per recovery against a deadline.
 //! - [`metrics`]: mergeable log-linear latency histograms and the drill
 //!   record types behind `BENCH_service.json`.
+//! - [`map_bench`]: the `fig_map` figure — the Zipf-skewed million-key mixed
+//!   workload on the detectable hash map family (`BENCH_map.json`).
 //!
 //! The `service_drill` binary wires this to `DF_SERVICE_*` environment knobs
 //! and emits `BENCH_service.json` rows (schema `delayfree-bench-v1`).
 
 pub mod drill;
 pub mod generator;
+pub mod map_bench;
 pub mod metrics;
 pub mod router;
 pub mod shard;

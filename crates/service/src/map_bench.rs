@@ -1,0 +1,273 @@
+//! `fig_map` — the million-key scenario: a Zipf-skewed mixed workload on the
+//! detectable hash map family, reported as `BENCH_map.json`.
+//!
+//! This is the workload the map was built for: a keyspace of 2²⁰+ keys, a
+//! YCSB-style skewed read/insert/remove mix from [`crate::generator`], the
+//! bucket array growing through its crash-safe resize protocol under the
+//! timed window. Each variant of the matrix (Izraelevitz / General /
+//! Normalized) runs the same seeded request streams; throughput plus
+//! flush/fence rates land in the usual `delayfree-bench-v1` rows.
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `DF_MAP_KEYS`        | keyspace size (Zipfian ranks)            | 1048576 |
+//! | `DF_MAP_OPS`         | total timed operations across threads    | 1048576 |
+//! | `DF_MAP_READ_PCT`    | membership-probe percentage of the mix   | 80 |
+//! | `DF_MAP_PREFILL`     | keys inserted before the timed window    | keys/2 |
+//! | `DF_MAP_BUCKETS`     | initial bucket count (power of two)      | 16384 |
+//! | `DF_MAP_THREADS`     | worker threads                           | 4 |
+//! | `DF_MAP_SEED`        | base stream seed (client i uses seed+i)  | 42 |
+//! | `DF_MAP_THETA_MILLI` | Zipfian theta in thousandths             | 990 |
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use bench::dfck_struct::StructVariant;
+use bench::env_u64;
+use bench::json::JsonRow;
+use capsules::BoundaryStyle;
+use pmem::{MemConfig, Mode, PMem, Stats, ThreadOptions};
+use structs::{DetMap, GeneralDetMap, MapConfig, NormalizedDetMap, StructHandle, StructOp};
+
+use crate::generator::{RequestGen, Zipfian};
+
+/// The `fig_map` workload parameters (see the module table for the knobs).
+#[derive(Clone, Debug)]
+pub struct MapBenchConfig {
+    /// Keyspace size: Zipfian ranks are drawn from `[0, keys)`.
+    pub keys: u64,
+    /// Total timed operations, split across the worker threads.
+    pub ops: u64,
+    /// Percentage of operations that are membership probes; the rest split
+    /// evenly between inserts and removes.
+    pub read_pct: u32,
+    /// Keys inserted (the even ones first) before the timed window.
+    pub prefill: u64,
+    /// Initial bucket count — deliberately far below `keys / max_chain`, so
+    /// the prefill *and* the timed window drive the resize protocol.
+    pub buckets: u64,
+    /// Worker-thread count.
+    pub threads: usize,
+    /// Base request-stream seed (client `i` streams from `seed + i`).
+    pub seed: u64,
+    /// Zipfian skew in thousandths (990 = YCSB's default 0.99).
+    pub theta_milli: u64,
+}
+
+impl MapBenchConfig {
+    /// Read the configuration from the `DF_MAP_*` environment.
+    pub fn from_env() -> MapBenchConfig {
+        let keys = env_u64("DF_MAP_KEYS", 1 << 20);
+        MapBenchConfig {
+            keys,
+            ops: env_u64("DF_MAP_OPS", 1 << 20),
+            read_pct: env_u64("DF_MAP_READ_PCT", 80).min(100) as u32,
+            prefill: env_u64("DF_MAP_PREFILL", keys / 2).min(keys),
+            buckets: env_u64("DF_MAP_BUCKETS", 1 << 14),
+            threads: (env_u64("DF_MAP_THREADS", 4) as usize).max(1),
+            seed: env_u64("DF_MAP_SEED", 42),
+            theta_milli: env_u64("DF_MAP_THETA_MILLI", 990).min(999),
+        }
+    }
+
+    fn theta(&self) -> f64 {
+        self.theta_milli as f64 / 1000.0
+    }
+
+    fn map_config(&self) -> MapConfig {
+        MapConfig::new(self.buckets, 8)
+    }
+}
+
+enum BuiltMap {
+    Plain(DetMap),
+    General(GeneralDetMap),
+    Normalized(NormalizedDetMap),
+}
+
+fn build(variant: StructVariant, mem: &PMem, threads: usize, cfg: &MapBenchConfig) -> BuiltMap {
+    let t = mem.thread(0);
+    match variant {
+        StructVariant::MapIzraelevitz => BuiltMap::Plain(DetMap::new(&t, cfg.map_config())),
+        StructVariant::MapGeneral => BuiltMap::General(GeneralDetMap::new(
+            &t,
+            threads,
+            cfg.map_config(),
+            true,
+            BoundaryStyle::General,
+        )),
+        StructVariant::MapNormalized => BuiltMap::Normalized(NormalizedDetMap::new(
+            &t,
+            threads,
+            cfg.map_config(),
+            true,
+            false,
+        )),
+        other => panic!("fig_map covers the map variants only, got {other:?}"),
+    }
+}
+
+fn handle<'q, 't, 'm>(built: &'q BuiltMap, t: &'t pmem::PThread<'m>) -> Box<dyn StructHandle + 'q>
+where
+    't: 'q,
+    'm: 'q,
+{
+    match built {
+        BuiltMap::Plain(m) => Box::new(m.handle(t)),
+        BuiltMap::General(m) => Box::new(m.handle(t)),
+        BuiltMap::Normalized(m) => Box::new(m.handle(t)),
+    }
+}
+
+/// Run the Zipfian mixed workload for one map variant; returns the JSON row
+/// (`mops` > 0 is the `DF_REQUIRE_NONZERO` signal).
+pub fn run_map_workload(variant: StructVariant, cfg: &MapBenchConfig) -> JsonRow {
+    assert!(variant.is_map(), "fig_map drives map variants");
+    let mem = PMem::new(MemConfig::new(cfg.threads).mode(Mode::SharedCache));
+    let built = build(variant, &mem, cfg.threads, cfg);
+    let opts = ThreadOptions {
+        izraelevitz: matches!(variant, StructVariant::MapIzraelevitz),
+    };
+
+    // Prefill the even keys from thread 0 (untimed, uncounted): half the
+    // Zipfian head is present and half absent, so probes, inserts and removes
+    // all exercise both return paths. The bulk of the bucket-array growth
+    // happens here, leaving the timed window with steady-state chains plus
+    // the residual resizes the write mix still triggers.
+    {
+        let t = mem.thread_with(0, opts);
+        let mut h = handle(&built, &t);
+        for i in 0..cfg.prefill {
+            let _ = h.apply(StructOp::Insert((2 * i) % cfg.keys.max(1)));
+        }
+    }
+    mem.persist_everything();
+
+    let zipf = Zipfian::new(cfg.keys, cfg.theta());
+    let per_thread = (cfg.ops / cfg.threads as u64).max(1);
+    let barrier = Barrier::new(cfg.threads);
+    let results: Vec<(f64, Stats, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|pid| {
+                let (mem, built, barrier, zipf) = (&mem, &built, &barrier, &zipf);
+                s.spawn(move || {
+                    let t = mem.thread_with(pid, opts);
+                    let mut h = handle(built, &t);
+                    let mut gen =
+                        RequestGen::new(cfg.seed + pid as u64, zipf.clone(), cfg.read_pct);
+                    let _ = t.take_stats();
+                    barrier.wait();
+                    let start = Instant::now();
+                    for _ in 0..per_thread {
+                        let _ = h.apply(gen.next_op());
+                    }
+                    (start.elapsed().as_secs_f64(), t.stats(), per_thread)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let wall = results.iter().map(|(t, _, _)| *t).fold(0.0f64, f64::max);
+    let total_ops: u64 = results.iter().map(|(_, _, ops)| ops).sum();
+    let total_stats: Stats = results.iter().map(|(_, s, _)| *s).sum();
+    JsonRow {
+        variant: variant.label().to_string(),
+        threads: cfg.threads,
+        mops: total_ops as f64 / wall / 1e6,
+        flushes_per_op: total_stats.flushes_per_op(total_ops),
+        fences_per_op: total_stats.fences_per_op(total_ops),
+        extra: vec![
+            ("keys", cfg.keys as f64),
+            ("prefill", cfg.prefill as f64),
+            ("read_pct", cfg.read_pct as f64),
+        ],
+    }
+}
+
+/// Run the whole figure: the three map variants under the `DF_MAP_*`
+/// configuration, printing the usual table and emitting `BENCH_map.json`
+/// when `DF_JSON` is set.
+pub fn run_map_figure() -> Vec<JsonRow> {
+    let cfg = MapBenchConfig::from_env();
+    let wall = Instant::now();
+    println!("# fig_map — Zipfian mixed workload on the detectable hash map family");
+    println!(
+        "# keys = {}, ops = {}, read_pct = {}%, prefill = {}, buckets = {}, threads = {}, theta = {:.3}",
+        cfg.keys, cfg.ops, cfg.read_pct, cfg.prefill, cfg.buckets, cfg.threads, cfg.theta()
+    );
+    println!(
+        "{:<10} {:<22} {:>10} {:>12} {:>12}",
+        "threads", "variant", "Mops/s", "flushes/op", "fences/op"
+    );
+    let mut rows = Vec::new();
+    for variant in [
+        StructVariant::MapIzraelevitz,
+        StructVariant::MapGeneral,
+        StructVariant::MapNormalized,
+    ] {
+        let row = run_map_workload(variant, &cfg);
+        println!(
+            "{:<10} {:<22} {:>10.3} {:>12.2} {:>12.2}",
+            row.threads, row.variant, row.mops, row.flushes_per_op, row.fences_per_op
+        );
+        rows.push(row);
+    }
+    bench::json::emit(
+        "map",
+        &[
+            ("keys", cfg.keys),
+            ("ops", cfg.ops),
+            ("read_pct", cfg.read_pct as u64),
+            ("prefill", cfg.prefill),
+            ("buckets", cfg.buckets),
+            ("threads", cfg.threads as u64),
+            ("seed", cfg.seed),
+            ("theta_milli", cfg.theta_milli),
+        ],
+        wall.elapsed().as_secs_f64(),
+        &rows,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MapBenchConfig {
+        MapBenchConfig {
+            keys: 512,
+            ops: 600,
+            read_pct: 70,
+            prefill: 128,
+            buckets: 4,
+            threads: 2,
+            seed: 7,
+            theta_milli: 900,
+        }
+    }
+
+    #[test]
+    fn every_map_variant_runs_the_zipfian_mix() {
+        for variant in [
+            StructVariant::MapIzraelevitz,
+            StructVariant::MapGeneral,
+            StructVariant::MapNormalized,
+        ] {
+            let row = run_map_workload(variant, &tiny());
+            assert!(row.mops > 0.0, "{variant:?} produced no throughput");
+            assert!(row.flushes_per_op > 0.0, "{variant:?} should flush");
+        }
+    }
+
+    #[test]
+    fn config_defaults_cover_the_million_key_scenario() {
+        // The committed baseline must carry a ≥ 2²⁰-key Zipfian row; pin the
+        // defaults so a stray env-knob edit can't silently shrink it.
+        let keys = 1u64 << 20;
+        assert_eq!(env_u64("DF_MAP_KEYS", keys), keys);
+        let cfg = tiny();
+        assert!(cfg.map_config().initial_buckets.is_power_of_two());
+    }
+}

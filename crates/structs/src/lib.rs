@@ -32,6 +32,9 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod map;
+pub mod map_general;
+pub mod map_normalized;
 pub mod node;
 pub mod set;
 pub mod set_general;
@@ -41,6 +44,9 @@ pub mod stack_general;
 pub mod stack_normalized;
 
 pub use api::{StructHandle, StructOp};
+pub use map::{map_bucket_of, map_mix64, DetMap, DetMapHandle, MapConfig, MAP_RCAS_LAYOUT};
+pub use map_general::{GeneralDetMap, GeneralDetMapHandle, MAP_GENERAL_LOCALS};
+pub use map_normalized::{NormalizedDetMap, NormalizedDetMapHandle, MAP_NORMALIZED_LOCALS};
 pub use set::{ListSet, ListSetHandle};
 pub use set_general::{GeneralSet, GeneralSetHandle, Resumption};
 pub use set_normalized::{NormalizedSet, NormalizedSetHandle};

@@ -72,14 +72,20 @@ fn sampled_workloads_pass_the_struct_sweep_on_rotating_variants() {
         StructVariant::StackNormalized,
         StructVariant::SetGeneral,
         StructVariant::SetNormalized,
+        StructVariant::MapGeneral,
+        StructVariant::MapNormalized,
         StructVariant::StackIzraelevitz,
         StructVariant::SetIzraelevitz,
+        StructVariant::MapIzraelevitz,
     ];
     for (case, &(seed, ops, prefill, base)) in sample_cases(cases().min(MAX_CASES))
         .iter()
         .enumerate()
     {
         let variant = variants[case % variants.len()];
+        // Maps share the set's op alphabet, so the set generator drives them
+        // too — on the tiny bucket array, where the sampled inserts trip
+        // resizes mid-sweep.
         let workload = if variant.is_stack() {
             StructWorkload::stack_seeded_full(seed, ops, prefill, base)
         } else {

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests for the structure-family exhaustive
-//! crash-point sweeper (`bench::dfck_struct`): Treiber stack and linked-list
-//! set, every variant, every crash point of the canonical pair workloads,
+//! crash-point sweeper (`bench::dfck_struct`): Treiber stack, linked-list
+//! set and bucketed hash map, every variant, every crash point of the
+//! canonical pair workloads (resize-crossing for the maps),
 //! single and nested (crash-during-recovery) schedules, per-process *and*
 //! full-system crash semantics, flush auditor armed — mirroring
 //! `tests/dfck_sweep.rs` for the non-queue shapes.
@@ -16,6 +17,12 @@ use structs::{
 fn pair_for(variant: StructVariant) -> StructWorkload {
     if variant.is_stack() {
         StructWorkload::stack_pair()
+    } else if variant.is_map() {
+        // The map's pair analogue additionally crosses a bucket-array resize
+        // inside the swept window (tiny bucket array, sixth insert trips the
+        // grow trigger), so these sweeps enumerate every crash point of the
+        // freeze/copy/promote migration too.
+        StructWorkload::map_resize()
     } else {
         StructWorkload::set_pair()
     }
@@ -193,6 +200,8 @@ fn seeded_multi_op_sweep_is_exact_for_detectable_struct_variants() {
         StructVariant::StackNormalized,
         StructVariant::SetGeneral,
         StructVariant::SetNormalized,
+        StructVariant::MapGeneral,
+        StructVariant::MapNormalized,
     ] {
         let workload = if variant.is_stack() {
             StructWorkload::stack_seeded(7, 6)

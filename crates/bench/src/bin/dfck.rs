@@ -13,9 +13,9 @@
 //! failures (`/system`: unflushed cache lines roll back, verifying flush
 //! placement) — plus a nested sweep that injects a second crash inside the
 //! recovery triggered by the first. Every replay runs with the
-//! [`pmem::FlushAuditor`] armed and is checked against the exactly-once /
-//! durable-linearizability oracle. Exits non-zero on any oracle violation or
-//! auditor flag. The per-crash-point replays fan out across worker threads
+//! [`pmem::FlushAuditor`] and the [`pmem::HbAnalyzer`] armed and is checked
+//! against the exactly-once / durable-linearizability oracle. Exits non-zero
+//! on any oracle violation, auditor flag or happens-before flag. The per-crash-point replays fan out across worker threads
 //! (`DF_DFCK_THREADS`), keeping the full matrix inside the CI budget.
 //!
 //! On top of the single-threaded matrix, the binary sweeps the **interleaved**
@@ -73,6 +73,7 @@ struct ReportView<'a> {
     fast_ops: u64,
     demotions: u64,
     audit_flags: u64,
+    hb_flags: u64,
     violations: &'a [String],
 }
 
@@ -92,6 +93,7 @@ impl<'a> From<&'a SweepReport> for ReportView<'a> {
             fast_ops: r.fast_ops,
             demotions: r.demotions,
             audit_flags: r.audit_flags,
+            hb_flags: r.hb_flags,
             violations: &r.violations,
         }
     }
@@ -113,6 +115,7 @@ impl<'a> From<&'a StructSweepReport> for ReportView<'a> {
             fast_ops: r.fast_ops,
             demotions: r.demotions,
             audit_flags: r.audit_flags,
+            hb_flags: r.hb_flags,
             violations: &r.violations,
         }
     }
@@ -145,6 +148,7 @@ fn row(report: &ReportView<'_>) -> JsonRow {
         .with("fast_ops", report.fast_ops as f64)
         .with("demotions", report.demotions as f64)
         .with("audit_flags", report.audit_flags as f64)
+        .with("hb_flags", report.hb_flags as f64)
         .with("oracle_failures", report.violations.len() as f64)
 }
 
@@ -169,6 +173,7 @@ struct ConcView<'a> {
     fast_ops: u64,
     demotions: u64,
     audit_flags: u64,
+    hb_flags: u64,
     violations: &'a [String],
 }
 
@@ -193,6 +198,7 @@ impl<'a> From<&'a ConcSweepReport> for ConcView<'a> {
             fast_ops: r.fast_ops,
             demotions: r.demotions,
             audit_flags: r.audit_flags,
+            hb_flags: r.hb_flags,
             violations: &r.violations,
         }
     }
@@ -219,6 +225,7 @@ impl<'a> From<&'a ConcStructSweepReport> for ConcView<'a> {
             fast_ops: r.fast_ops,
             demotions: r.demotions,
             audit_flags: r.audit_flags,
+            hb_flags: r.hb_flags,
             violations: &r.violations,
         }
     }
@@ -258,6 +265,7 @@ fn conc_row(report: &ConcView<'_>) -> JsonRow {
         .with("fast_ops", report.fast_ops as f64)
         .with("demotions", report.demotions as f64)
         .with("audit_flags", report.audit_flags as f64)
+        .with("hb_flags", report.hb_flags as f64)
         .with("oracle_failures", report.violations.len() as f64)
 }
 
@@ -351,14 +359,14 @@ fn main() {
         .collect();
     if !views.is_empty() {
         println!(
-            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
-            "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "audit", "violations"
+            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>5} {:>10}",
+            "sweep", "crash pts", "replays", "crashes", "recoveries", "nested", "audit", "hb", "violations"
         );
     }
     for report in &views {
         let label = label(report);
         println!(
-            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>10}",
+            "{:<46} {:>12} {:>9} {:>9} {:>11} {:>9} {:>7} {:>5} {:>10}",
             label,
             report.crash_points,
             report.replays,
@@ -366,6 +374,7 @@ fn main() {
             report.recoveries + report.entry_retries,
             report.recovery_crashes,
             report.audit_flags,
+            report.hb_flags,
             report.violations.len()
         );
         for v in report.violations {
@@ -469,7 +478,7 @@ fn main() {
             conc_seeds, conc_threads
         );
         println!(
-            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>10}",
+            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>5} {:>10}",
             "sweep",
             "seeds",
             "interleavings",
@@ -478,13 +487,14 @@ fn main() {
             "crashes",
             "recoveries",
             "audit",
+            "hb",
             "violations"
         );
     }
     for report in &conc_views {
         let label = conc_label(report);
         println!(
-            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>10}",
+            "{:<46} {:>7} {:>13} {:>12} {:>9} {:>9} {:>11} {:>7} {:>5} {:>10}",
             label,
             report.seeds,
             report.distinct_interleavings,
@@ -493,6 +503,7 @@ fn main() {
             report.crashes_injected,
             report.recoveries + report.entry_retries,
             report.audit_flags,
+            report.hb_flags,
             report.violations.len()
         );
         for v in report.violations {
@@ -520,6 +531,6 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "# all sweeps passed the exactly-once / durable-linearizability / linearization oracles (0 violations, 0 audit flags)"
+        "# all sweeps passed the exactly-once / durable-linearizability / linearization oracles (0 violations, 0 audit flags, 0 hb flags)"
     );
 }

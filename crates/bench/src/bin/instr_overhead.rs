@@ -19,6 +19,9 @@
 //! armed (so the crash-point check cannot be short-circuited) but never fires —
 //! measuring what crash-torture runs pay. The `disarmed` rows use the default
 //! [`CrashPolicy::Never`], the configuration of every throughput benchmark.
+//! The `hb` rows arm the [`pmem::HbAnalyzer`] (what `DF_HB=1` runs pay);
+//! the `disarmed` rows are the production configuration either way and
+//! `benchmarks/regress.py` gates them at 0% regression.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -75,8 +78,21 @@ fn main() {
     println!("{:<20} {:>12} {:>10}", "loop", "Mops/s", "ns/op");
 
     let mut rows = Vec::new();
-    for armed in [false, true] {
-        let sfx = if armed { "armed" } else { "disarmed" };
+    // `false` twice: the first pass is the plain disarmed baseline, the second
+    // re-runs it with the happens-before analyzer armed (`run` creates a fresh
+    // thread handle per row, so arming between passes takes effect).
+    for (armed, hb) in [(false, false), (true, false), (false, true)] {
+        let sfx = if hb {
+            mem.hb().arm();
+            "hb"
+        } else {
+            mem.hb().disarm();
+            if armed {
+                "armed"
+            } else {
+                "disarmed"
+            }
+        };
         rows.push(run(&mem, &format!("read/{sfx}"), iters, armed, |t, a, _| {
             black_box(t.read(a));
         }));

@@ -436,7 +436,12 @@ fn replay(
     pmem::install_quiet_crash_hook();
     let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
     mem.flush_auditor().arm();
+    // The happens-before analyzer rides every replay too (handles created
+    // below pick the armed bit up at construction): every crash point is also
+    // checked for synchronization- and persist-order discipline.
+    mem.hb().arm();
     let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
+    let hb_of = |mem: &PMem| (mem.hb().flags(), mem.hb().take_reports());
     // Every drain below is bounded: `bound + 1` dequeues is enough to prove a
     // corrupted (cyclic) chain without ever spinning on it.
     let bound = drain_bound(workload);
@@ -478,6 +483,7 @@ fn replay(
             t.disarm_crashes();
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
+            let (hb_flags, hb_reports) = hb_of(&mem);
             ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
@@ -491,6 +497,8 @@ fn replay(
                 demotions: 0,
                 audit_flags,
                 audit_reports,
+                hb_flags,
+                hb_reports,
             }
         }
         SweepVariant::General
@@ -579,6 +587,7 @@ fn replay(
             let drained = h.drain_up_to(bound + 1);
             let metrics = h.metrics();
             let (audit_flags, audit_reports) = audit_of(&mem);
+            let (hb_flags, hb_reports) = hb_of(&mem);
             ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
@@ -592,6 +601,8 @@ fn replay(
                 demotions: metrics.demotions - metrics_before.demotions,
                 audit_flags,
                 audit_reports,
+                hb_flags,
+                hb_reports,
             }
         }
         SweepVariant::LogQueue => {
@@ -627,6 +638,7 @@ fn replay(
             t.disarm_crashes();
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
+            let (hb_flags, hb_reports) = hb_of(&mem);
             ReplayRecord {
                 outcomes,
                 drain_overflow: drained.len() > bound,
@@ -640,6 +652,8 @@ fn replay(
                 demotions: 0,
                 audit_flags,
                 audit_reports,
+                hb_flags,
+                hb_reports,
             }
         }
     }
@@ -770,6 +784,12 @@ pub fn conc_replay(
     let helper = threads;
     let nprocs = threads + 1;
     let mem = PMem::new(MemConfig::new(nprocs).mode(Mode::SharedCache));
+    // Unlike the flush auditor (disarmed below — its reader discipline is
+    // single-threaded-only, see the comment), the happens-before analyzer
+    // stays armed in scheduled replays: its model is schedule-aware (baton
+    // handovers draw no edges, crashes are barriers), so the interleaved
+    // sweeps double as race checks over every enumerated interleaving.
+    mem.hb().arm();
     // The flush auditor encodes the Izraelevitz flush-before-publish reader
     // discipline, which only cross-pid reads can violate — and every swept
     // variant legitimately departs from it once real concurrency is in play.
@@ -1065,6 +1085,8 @@ pub fn conc_replay(
         demotions: outs.iter().map(|o| o.demotions).sum(),
         audit_flags: 0,
         audit_reports: Vec::new(),
+        hb_flags: mem.hb().flags(),
+        hb_reports: mem.hb().take_reports(),
     }
 }
 
@@ -1134,7 +1156,21 @@ fn sweep_interleaved_with_workers(
 
 #[cfg(test)]
 mod tests {
+
     use super::*;
+
+    /// A slow-path enqueue under a full-system crash that lands between the
+    /// E_LINK boundary's flush and its fence — the window where the compact
+    /// frame could persist without the node it references. This was a real
+    /// flag the analyzer raised against the `-Opt` fence elision (the node
+    /// persist preceded a *boundary*, not a CAS); pinned here against the
+    /// fixed discipline.
+    #[test]
+    fn generalopt_slow_path_boundary_crash_runs_hb_clean() {
+        let w = Workload::pair().slow_path();
+        let r = replay(SweepVariant::GeneralOpt, &w, &CrashPlan::once(15), true);
+        assert_eq!(r.hb_flags, 0, "{:?}", r.hb_reports);
+    }
 
     #[test]
     fn baseline_pair_history_is_consistent() {
@@ -1197,6 +1233,8 @@ mod tests {
             demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
+            hb_flags: 0,
+            hb_reports: Vec::new(),
         };
         check_history(&w, &base).unwrap();
         let mut not_applied = base.clone();
@@ -1256,6 +1294,8 @@ mod tests {
             demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
+            hb_flags: 0,
+            hb_reports: Vec::new(),
         };
         let err = check_history(&w, &r).unwrap_err();
         assert!(err.contains("cyclic"), "diagnosis missing from: {err}");
@@ -1311,6 +1351,7 @@ mod tests {
         assert_eq!(seq.entry_retries, par.entry_retries);
         assert_eq!(seq.recovery_crashes, par.recovery_crashes);
         assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.hb_flags, par.hb_flags);
         assert_eq!(seq.violations, par.violations);
         assert!(seq.passed());
     }
@@ -1368,6 +1409,7 @@ mod tests {
         assert_eq!(seq.entry_retries, par.entry_retries);
         assert_eq!(seq.recovery_crashes, par.recovery_crashes);
         assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.hb_flags, par.hb_flags);
         assert_eq!(seq.distinct_interleavings, par.distinct_interleavings);
         assert_eq!(seq.violations, par.violations);
         assert!(seq.passed(), "{:?}", seq.violations);

@@ -443,7 +443,10 @@ fn replay(
     pmem::install_quiet_crash_hook();
     let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
     mem.flush_auditor().arm();
+    // The happens-before analyzer rides every structure replay too.
+    mem.hb().arm();
     let audit_of = |mem: &PMem| (mem.flush_auditor().flags(), mem.flush_auditor().take_reports());
+    let hb_of = |mem: &PMem| (mem.hb().flags(), mem.hb().take_reports());
     let bound = drain_bound(workload);
     match variant {
         StructVariant::StackIzraelevitz
@@ -495,6 +498,7 @@ fn replay(
             // hits the node cap without collecting an over-long key list.
             let drained = h.drain_up_to(bound + 1);
             let (audit_flags, audit_reports) = audit_of(&mem);
+            let (hb_flags, hb_reports) = hb_of(&mem);
             ReplayRecord {
                 outcomes,
                 drain_overflow: drained.truncated || drained.items.len() > bound,
@@ -508,6 +512,8 @@ fn replay(
                 demotions: 0,
                 audit_flags,
                 audit_reports,
+                hb_flags,
+                hb_reports,
             }
         }
         StructVariant::StackGeneral
@@ -612,6 +618,7 @@ fn replay(
             let drained = h.as_dyn().drain_up_to(bound + 1);
             let metrics = h.metrics();
             let (audit_flags, audit_reports) = audit_of(&mem);
+            let (hb_flags, hb_reports) = hb_of(&mem);
             ReplayRecord {
                 outcomes,
                 drain_overflow: drained.truncated || drained.items.len() > bound,
@@ -625,6 +632,8 @@ fn replay(
                 demotions: metrics.demotions - metrics_before.demotions,
                 audit_flags,
                 audit_reports,
+                hb_flags,
+                hb_reports,
             }
         }
     }
@@ -741,6 +750,9 @@ pub fn conc_replay(
     let helper = threads;
     let nprocs = threads + 1;
     let mem = PMem::new(MemConfig::new(nprocs).mode(Mode::SharedCache));
+    // The happens-before analyzer stays armed even in scheduled replays (its
+    // ordering model is schedule-aware), unlike the flush auditor below.
+    mem.hb().arm();
     // The flush auditor stays disarmed in scheduled replays for the same
     // reason as [`crate::dfck::conc_replay`]: the capsule/rcas discipline
     // flushes the CAS target *after* publishing (announcements before), so a
@@ -891,6 +903,7 @@ pub fn conc_replay(
         (d.items, d.truncated)
     };
     let (audit_flags, audit_reports) = (0, Vec::new());
+    let (hb_flags, hb_reports) = (mem.hb().flags(), mem.hb().take_reports());
     sweep::ConcReplayRecord {
         history: outs.iter().flat_map(|o| o.history.iter().copied()).collect(),
         drain_overflow: truncated || drained.len() > bound,
@@ -908,6 +921,8 @@ pub fn conc_replay(
         demotions: outs.iter().map(|o| o.demotions).sum(),
         audit_flags,
         audit_reports,
+        hb_flags,
+        hb_reports,
     }
 }
 
@@ -1063,6 +1078,8 @@ mod tests {
             demotions: 0,
             audit_flags: 0,
             audit_reports: Vec::new(),
+            hb_flags: 0,
+            hb_reports: Vec::new(),
         };
         check_history(&w, &base).unwrap();
         let mut not_applied = base.clone();
@@ -1101,6 +1118,7 @@ mod tests {
         assert_eq!(seq.entry_retries, par.entry_retries);
         assert_eq!(seq.recovery_crashes, par.recovery_crashes);
         assert_eq!(seq.audit_flags, par.audit_flags);
+        assert_eq!(seq.hb_flags, par.hb_flags);
         assert_eq!(seq.violations, par.violations);
         assert!(seq.passed());
     }

@@ -72,6 +72,11 @@ pub struct ReplayRecord {
     pub audit_flags: u64,
     /// The auditor's human-readable reports for those flags.
     pub audit_reports: Vec<String>,
+    /// Happens-before violations (data races + cross-failure races) the armed
+    /// [`pmem::HbAnalyzer`] flagged.
+    pub hb_flags: u64,
+    /// The analyzer's human-readable reports for those flags.
+    pub hb_reports: Vec<String>,
 }
 
 /// Aggregate result of sweeping one (variant, workload) combination. `V` is
@@ -112,6 +117,9 @@ pub struct Report<V> {
     /// Flush-order violations the armed auditor flagged across all replays
     /// (also folded into `violations`). Must be zero.
     pub audit_flags: u64,
+    /// Happens-before violations the armed analyzer flagged across all
+    /// replays (also folded into `violations`). Must be zero.
+    pub hb_flags: u64,
     /// Oracle violations, as human-readable descriptions. Must be empty.
     pub violations: Vec<String>,
 }
@@ -236,6 +244,7 @@ pub fn run_sweep<V: Copy>(
         fast_ops: baseline.fast_ops,
         demotions: baseline.demotions,
         audit_flags: baseline.audit_flags,
+        hb_flags: baseline.hb_flags,
         violations: Vec::new(),
     };
     if let Err(e) = check(&baseline) {
@@ -247,6 +256,12 @@ pub fn run_sweep<V: Copy>(
         report.violations.push(format!(
             "baseline (crash-free): {} flush-audit flag(s): {:?}",
             baseline.audit_flags, baseline.audit_reports
+        ));
+    }
+    if baseline.hb_flags > 0 {
+        report.violations.push(format!(
+            "baseline (crash-free): {} happens-before flag(s): {:?}",
+            baseline.hb_flags, baseline.hb_reports
         ));
     }
     // One source of truth for the scripted schedule shape: `CrashPlan::nested`
@@ -273,10 +288,17 @@ pub fn run_sweep<V: Copy>(
         report.fast_ops += r.fast_ops;
         report.demotions += r.demotions;
         report.audit_flags += r.audit_flags;
+        report.hb_flags += r.hb_flags;
         if r.audit_flags > 0 {
             report.violations.push(format!(
                 "k={k} gaps={gaps:?}: {} flush-audit flag(s): {:?}",
                 r.audit_flags, r.audit_reports
+            ));
+        }
+        if r.hb_flags > 0 {
+            report.violations.push(format!(
+                "k={k} gaps={gaps:?}: {} happens-before flag(s): {:?}",
+                r.hb_flags, r.hb_reports
             ));
         }
         if r.crashes == 0 {
@@ -706,6 +728,12 @@ pub struct ConcReplayRecord<O> {
     pub audit_flags: u64,
     /// The auditor's reports for those flags.
     pub audit_reports: Vec<String>,
+    /// Happens-before violations the armed [`pmem::HbAnalyzer`] flagged.
+    /// Unlike the auditor, the analyzer stays armed in scheduled replays: its
+    /// ordering model is schedule-aware (baton handovers draw no edges).
+    pub hb_flags: u64,
+    /// The analyzer's reports for those flags.
+    pub hb_reports: Vec<String>,
 }
 
 /// Aggregate result of an interleaved sweep: one (variant, workload,
@@ -753,6 +781,8 @@ pub struct ConcReport<V> {
     pub demotions: u64,
     /// Flush-order auditor flags (also folded into `violations`).
     pub audit_flags: u64,
+    /// Happens-before analyzer flags (also folded into `violations`).
+    pub hb_flags: u64,
     /// Oracle violations. Must be empty.
     pub violations: Vec<String>,
 }
@@ -825,6 +855,7 @@ where
         fast_ops: 0,
         demotions: 0,
         audit_flags: 0,
+        hb_flags: 0,
         violations: Vec::new(),
     };
     let mut fingerprints = BTreeSet::new();
@@ -836,6 +867,7 @@ where
         report.fast_ops += baseline.fast_ops;
         report.demotions += baseline.demotions;
         report.audit_flags += baseline.audit_flags;
+        report.hb_flags += baseline.hb_flags;
         fingerprints.insert(baseline.fingerprint);
         let base_tag = format!("seed={seed} victim={victim}");
         if baseline.drain_overflow {
@@ -851,6 +883,12 @@ where
             report.violations.push(format!(
                 "{base_tag} baseline: {} flush-audit flag(s): {:?}",
                 baseline.audit_flags, baseline.audit_reports
+            ));
+        }
+        if baseline.hb_flags > 0 {
+            report.violations.push(format!(
+                "{base_tag} baseline: {} happens-before flag(s): {:?}",
+                baseline.hb_flags, baseline.hb_reports
             ));
         }
         let covictim = (victim + 1) % threads;
@@ -875,11 +913,18 @@ where
                 report.fast_ops += cal.fast_ops;
                 report.demotions += cal.demotions;
                 report.audit_flags += cal.audit_flags;
+                report.hb_flags += cal.hb_flags;
                 let cal_tag = format!("{base_tag} calibration covictim={covictim} gap={gap}");
                 if cal.audit_flags > 0 {
                     report.violations.push(format!(
                         "{cal_tag}: {} flush-audit flag(s): {:?}",
                         cal.audit_flags, cal.audit_reports
+                    ));
+                }
+                if cal.hb_flags > 0 {
+                    report.violations.push(format!(
+                        "{cal_tag}: {} happens-before flag(s): {:?}",
+                        cal.hb_flags, cal.hb_reports
                     ));
                 }
                 if cal.drain_overflow {
@@ -936,10 +981,17 @@ where
             report.fast_ops += r.fast_ops;
             report.demotions += r.demotions;
             report.audit_flags += r.audit_flags;
+            report.hb_flags += r.hb_flags;
             if r.audit_flags > 0 {
                 report.violations.push(format!(
                     "{tag}: {} flush-audit flag(s): {:?}",
                     r.audit_flags, r.audit_reports
+                ));
+            }
+            if r.hb_flags > 0 {
+                report.violations.push(format!(
+                    "{tag}: {} happens-before flag(s): {:?}",
+                    r.hb_flags, r.hb_reports
                 ));
             }
             if r.victim_crashes == 0 {

@@ -199,9 +199,11 @@ impl Frame {
             }
             thread.fence();
         }
-        // Atomically publish: new pc + flipped validity bits in one word.
+        // Atomically publish: new pc + flipped validity bits in one word. A
+        // release store: the slot copies flushed above are ordered under the
+        // control word, which is what recovery's reads rely on.
         let new_control = ((pc as u64) << 32) | mask;
-        thread.write(self.control_addr(), new_control);
+        thread.write_release(self.control_addr(), new_control);
         thread.persist(self.control_addr());
     }
 
@@ -221,8 +223,9 @@ impl Frame {
         let seq = seq.unwrap_or_else(|| thread.read(self.control_addr()) & MAX_COMPACT_SEQ);
         // The control word (pc + seq) is written last; within one cache line, stores
         // persist in order, so a crash can never persist the new pc without the new
-        // locals, and the pc/seq pair is updated atomically.
-        thread.write(self.control_addr(), ((pc as u64) << 48) | seq);
+        // locals, and the pc/seq pair is updated atomically. Written as a
+        // release store: the slot stores above are publication payload.
+        thread.write_release(self.control_addr(), ((pc as u64) << 48) | seq);
         thread.persist(self.control_addr());
     }
 

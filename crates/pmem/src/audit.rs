@@ -84,9 +84,12 @@ fn pid_bit(pid: usize) -> u64 {
 
 #[derive(Default)]
 struct AuditInner {
-    /// Line base (word index of the first word of the line) → state. Only lines
-    /// with unflushed stores appear; a flush removes the entry.
-    lines: HashMap<u64, LineState>,
+    /// `(arena identity, line base)` → state. Only lines with unflushed stores
+    /// appear; a flush removes the entry. Keyed by arena so that per-line state
+    /// can never leak across [`PMem::swap_arena`](crate::PMem::swap_arena) /
+    /// [`PMem::with_arena`](crate::PMem::with_arena) — the same hazard class as
+    /// the `PThread` segment cache, which is likewise keyed by arena identity.
+    lines: HashMap<(u64, u64), LineState>,
     /// Human-readable descriptions of the first [`MAX_REPORTS`] violations.
     reports: Vec<String>,
 }
@@ -116,21 +119,27 @@ impl FlushAuditor {
     /// until [`PThread::refresh_flush_audit`](crate::PThread::refresh_flush_audit)
     /// is called; handles created afterwards pick the armed state up on creation.
     pub fn arm(&self) {
+        // SeqCst: arming must be globally ordered against every hook's armed
+        // check so no thread keeps auditing against a half-visible toggle.
         self.armed.store(true, Ordering::SeqCst);
     }
 
     /// Disarm the auditor (state and past flags are retained).
     pub fn disarm(&self) {
+        // SeqCst: pairs with `arm` — one total order over arm/disarm toggles.
         self.armed.store(false, Ordering::SeqCst);
     }
 
     /// Whether the auditor is armed.
     pub fn is_armed(&self) -> bool {
+        // SeqCst: reads the same total order the arm/disarm stores write.
         self.armed.load(Ordering::SeqCst)
     }
 
     /// Total violations flagged so far on this machine.
     pub fn flags(&self) -> u64 {
+        // SeqCst: a reader that observed a violating replay finish must also
+        // observe its flag — the count gates CI exit codes.
         self.flags.load(Ordering::SeqCst)
     }
 
@@ -140,27 +149,30 @@ impl FlushAuditor {
         std::mem::take(&mut self.inner.lock().reports)
     }
 
-    /// Forget all per-line state (used when the harness declares everything
-    /// durable, e.g. [`PMem::persist_everything`](crate::PMem::persist_everything)).
-    /// Past flags and reports are retained.
-    pub(crate) fn clear_state(&self) {
-        self.inner.lock().lines.clear();
+    /// Forget the per-line state of one arena (used when the harness declares
+    /// everything on that medium durable, e.g.
+    /// [`PMem::persist_everything`](crate::PMem::persist_everything)). Other
+    /// arenas' state — and past flags and reports — are retained.
+    pub(crate) fn clear_state(&self, arena: u64) {
+        self.inner.lock().lines.retain(|(a, _), _| *a != arena);
     }
 
     fn report(inner: &mut AuditInner, flags: &AtomicU64, msg: String) {
+        // SeqCst: flag publication is ordered before any later `flags()`
+        // read on any thread (the sweep harness reads from its parent).
         flags.fetch_add(1, Ordering::SeqCst);
         if inner.reports.len() < MAX_REPORTS {
             inner.reports.push(msg);
         }
     }
 
-    /// A store by `pid` landed on the line at `line_base` (shared-cache mode:
-    /// the line is now dirty until flushed).
-    pub(crate) fn note_store(&self, pid: usize, line_base: u64) {
+    /// A store by `pid` landed on the line at `line_base` of `arena`
+    /// (shared-cache mode: the line is now dirty until flushed).
+    pub(crate) fn note_store(&self, pid: usize, arena: u64, line_base: u64) {
         let mut inner = self.inner.lock();
         inner
             .lines
-            .entry(line_base)
+            .entry((arena, line_base))
             .or_insert(LineState {
                 dirty_mask: 0,
                 exposed_by: None,
@@ -171,17 +183,23 @@ impl FlushAuditor {
     /// A successful CAS by `pid` landed on the line at `line_base`: every *other*
     /// line `pid` dirtied and has not flushed becomes exposed (published while
     /// unflushed), and the CAS's own line becomes dirty.
-    pub(crate) fn note_publish(&self, pid: usize, line_base: u64) {
+    pub(crate) fn note_publish(&self, pid: usize, arena: u64, line_base: u64) {
         let mut inner = self.inner.lock();
         let bit = pid_bit(pid);
-        for (&line, state) in inner.lines.iter_mut() {
-            if line != line_base && state.dirty_mask & bit != 0 && state.exposed_by.is_none() {
+        for (&(a, line), state) in inner.lines.iter_mut() {
+            // Exposure is scoped to the publishing arena: a CAS on one medium
+            // cannot make another medium's unflushed lines reachable.
+            if a == arena
+                && line != line_base
+                && state.dirty_mask & bit != 0
+                && state.exposed_by.is_none()
+            {
                 state.exposed_by = Some(pid);
             }
         }
         inner
             .lines
-            .entry(line_base)
+            .entry((arena, line_base))
             .or_insert(LineState {
                 dirty_mask: 0,
                 exposed_by: None,
@@ -193,9 +211,9 @@ impl FlushAuditor {
     /// report) if the line is exposed-unflushed by a *different* process — the
     /// reader is consuming state whose durability was never ordered before its
     /// reachability.
-    pub(crate) fn note_read(&self, pid: usize, line_base: u64, step: u64) -> bool {
+    pub(crate) fn note_read(&self, pid: usize, arena: u64, line_base: u64, step: u64) -> bool {
         let mut inner = self.inner.lock();
-        let Some(state) = inner.lines.get(&line_base) else {
+        let Some(state) = inner.lines.get(&(arena, line_base)) else {
             return false;
         };
         match state.exposed_by {
@@ -211,20 +229,27 @@ impl FlushAuditor {
         }
     }
 
-    /// The line at `line_base` was flushed: it is durable, clear its state.
-    pub(crate) fn note_flush(&self, line_base: u64) {
-        self.inner.lock().lines.remove(&line_base);
+    /// The line at `line_base` of `arena` was flushed: it is durable, clear its
+    /// state.
+    pub(crate) fn note_flush(&self, arena: u64, line_base: u64) {
+        self.inner.lock().lines.remove(&(arena, line_base));
     }
 
-    /// A full-system crash is rolling every unflushed line back: any line still
-    /// exposed-unflushed is a violation (a durable pointer may reference the
-    /// state the rollback just destroyed). All per-line state is then cleared —
-    /// after the rollback nothing is dirty. Returns the number of lines flagged.
-    pub(crate) fn note_system_crash(&self) -> u64 {
+    /// A full-system crash is rolling every unflushed line of `arena` back: any
+    /// such line still exposed-unflushed is a violation (a durable pointer may
+    /// reference the state the rollback just destroyed). That arena's per-line
+    /// state is then cleared — after the rollback nothing on it is dirty; other
+    /// arenas (other shards' media) are untouched. Returns the number of lines
+    /// flagged.
+    pub(crate) fn note_system_crash(&self, arena: u64) -> u64 {
         let mut inner = self.inner.lock();
         let lines = std::mem::take(&mut inner.lines);
         let mut flagged = 0;
-        for (line, state) in lines {
+        for ((a, line), state) in lines {
+            if a != arena {
+                inner.lines.insert((a, line), state);
+                continue;
+            }
             if let Some(exposer) = state.exposed_by {
                 flagged += 1;
                 let msg = format!(
@@ -252,15 +277,19 @@ impl std::fmt::Debug for FlushAuditor {
 mod tests {
     use super::*;
 
+    /// Arena identity used by most tests (any fixed value works: the auditor
+    /// only compares identities).
+    const AR: u64 = 1;
+
     #[test]
     fn publish_then_cross_thread_read_is_flagged_once_per_read() {
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        a.note_publish(0, 128); // CAS on another line: 64 becomes exposed
-        assert!(!a.note_read(0, 64, 1), "the exposer's own reads are fine");
-        assert!(a.note_read(1, 64, 2), "cross-thread read must flag");
-        assert!(a.note_read(2, 64, 3));
+        a.note_store(0, AR, 64);
+        a.note_publish(0, AR, 128); // CAS on another line: 64 becomes exposed
+        assert!(!a.note_read(0, AR, 64, 1), "the exposer's own reads are fine");
+        assert!(a.note_read(1, AR, 64, 2), "cross-thread read must flag");
+        assert!(a.note_read(2, AR, 64, 3));
         assert_eq!(a.flags(), 2);
         let reports = a.take_reports();
         assert_eq!(reports.len(), 2);
@@ -271,10 +300,10 @@ mod tests {
     fn flush_before_publish_is_clean() {
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        a.note_flush(64); // the discipline: flush before the CAS
-        a.note_publish(0, 128);
-        assert!(!a.note_read(1, 64, 1));
+        a.note_store(0, AR, 64);
+        a.note_flush(AR, 64); // the discipline: flush before the CAS
+        a.note_publish(0, AR, 128);
+        assert!(!a.note_read(1, AR, 64, 1));
         assert_eq!(a.flags(), 0);
     }
 
@@ -282,25 +311,25 @@ mod tests {
     fn flush_after_exposure_clears_the_hazard() {
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        a.note_publish(0, 128);
-        a.note_flush(64); // late, but durable before anyone read it
-        assert!(!a.note_read(1, 64, 1));
-        assert_eq!(a.note_system_crash(), 0);
+        a.note_store(0, AR, 64);
+        a.note_publish(0, AR, 128);
+        a.note_flush(AR, 64); // late, but durable before anyone read it
+        assert!(!a.note_read(1, AR, 64, 1));
+        assert_eq!(a.note_system_crash(AR), 0);
     }
 
     #[test]
     fn system_crash_flags_exposed_lines_and_clears_state() {
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        a.note_store(0, 192);
-        a.note_publish(0, 128);
-        assert_eq!(a.note_system_crash(), 2);
+        a.note_store(0, AR, 64);
+        a.note_store(0, AR, 192);
+        a.note_publish(0, AR, 128);
+        assert_eq!(a.note_system_crash(AR), 2);
         assert_eq!(a.flags(), 2);
         // Rolled back: nothing dirty any more.
-        assert!(!a.note_read(1, 64, 9));
-        assert_eq!(a.note_system_crash(), 0);
+        assert!(!a.note_read(1, AR, 64, 9));
+        assert_eq!(a.note_system_crash(AR), 0);
     }
 
     #[test]
@@ -311,11 +340,11 @@ mod tests {
         // line to pid 1 and missed it.
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        a.note_publish(1, 64); // pid 1's CAS lands on the dirty line itself
-        a.note_publish(0, 128); // pid 0 publishes elsewhere: 64 must expose
-        assert!(a.note_read(2, 64, 1), "pid 0's unflushed data was published");
-        assert_eq!(a.note_system_crash(), 1);
+        a.note_store(0, AR, 64);
+        a.note_publish(1, AR, 64); // pid 1's CAS lands on the dirty line itself
+        a.note_publish(0, AR, 128); // pid 0 publishes elsewhere: 64 must expose
+        assert!(a.note_read(2, AR, 64, 1), "pid 0's unflushed data was published");
+        assert_eq!(a.note_system_crash(AR), 1);
     }
 
     #[test]
@@ -323,8 +352,8 @@ mod tests {
         // Private scratch that was never followed by a CAS is allowed to be lost.
         let a = FlushAuditor::new();
         a.arm();
-        a.note_store(0, 64);
-        assert_eq!(a.note_system_crash(), 0);
+        a.note_store(0, AR, 64);
+        assert_eq!(a.note_system_crash(AR), 0);
         assert_eq!(a.flags(), 0);
     }
 
@@ -334,8 +363,38 @@ mod tests {
         // responsibility; a crash before it simply un-publishes.
         let a = FlushAuditor::new();
         a.arm();
-        a.note_publish(0, 128);
-        assert!(!a.note_read(1, 128, 1));
-        assert_eq!(a.note_system_crash(), 0);
+        a.note_publish(0, AR, 128);
+        assert!(!a.note_read(1, AR, 128, 1));
+        assert_eq!(a.note_system_crash(AR), 0);
+    }
+
+    #[test]
+    fn state_is_scoped_to_the_arena() {
+        // The swap-arena leak shape: the same line base exists on two media.
+        // Dirt on one arena must not flag reads — or crashes — on the other,
+        // and exposure must not cross arenas via a publish.
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, AR, 64);
+        a.note_publish(0, AR + 1, 128); // publish on arena 2: no exposure on 1
+        assert!(!a.note_read(1, AR, 64, 1));
+        a.note_publish(0, AR, 128); // now 64 on arena 1 is exposed
+        assert!(!a.note_read(1, AR + 1, 64, 2), "same line base, other arena");
+        assert_eq!(a.note_system_crash(AR + 1), 0, "other arena's crash is clean");
+        assert!(a.note_read(1, AR, 64, 3), "arena 1's exposure must survive");
+        assert_eq!(a.note_system_crash(AR), 1);
+    }
+
+    #[test]
+    fn clear_state_only_clears_the_given_arena() {
+        let a = FlushAuditor::new();
+        a.arm();
+        a.note_store(0, AR, 64);
+        a.note_store(0, AR + 1, 64);
+        a.note_publish(0, AR, 128);
+        a.note_publish(0, AR + 1, 128);
+        a.clear_state(AR + 1);
+        assert!(!a.note_read(1, AR + 1, 64, 1), "cleared arena is clean");
+        assert!(a.note_read(1, AR, 64, 2), "other arena keeps its exposure");
     }
 }

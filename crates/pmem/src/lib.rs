@@ -69,6 +69,7 @@ pub mod align;
 pub mod arena;
 pub mod audit;
 pub mod crash;
+pub mod hb;
 pub mod mem;
 pub mod mode;
 pub mod sched;
@@ -78,6 +79,7 @@ pub mod typed;
 pub use addr::PAddr;
 pub use align::{CacheAligned, CACHE_LINE_BYTES};
 pub use audit::FlushAuditor;
+pub use hb::HbAnalyzer;
 pub use crash::{
     catch_crash, install_quiet_crash_hook, raise_crash, CrashPlan, CrashPolicy, CrashSchedule,
     CrashSignal, Crashed,

@@ -20,6 +20,7 @@ use crate::align::CacheAligned;
 use crate::arena::{Arena, Word, SEGMENT_WORDS};
 use crate::audit::FlushAuditor;
 use crate::crash::{raise_crash, ArmedPolicy, CrashPolicy, CrashSchedule};
+use crate::hb::HbAnalyzer;
 use crate::mode::Mode;
 use crate::sched::{SchedAction, ThreadScheduler};
 use crate::stats::{StatCells, Stats};
@@ -98,6 +99,9 @@ pub struct PMem {
     restart_base: PAddr,
     crash_events: AtomicU64,
     auditor: FlushAuditor,
+    /// The happens-before analyzer (`DF_HB`): vector-clock data-race and
+    /// persist-order checking over the instruction stream, disarmed by default.
+    hb: HbAnalyzer,
     /// Whether thread handles elide provably no-op duplicate flushes
     /// (`DF_COALESCE`, default on; shared-cache model only — the private-cache
     /// model has no flush work to elide).
@@ -151,6 +155,7 @@ impl PMem {
             restart_base,
             crash_events: AtomicU64::new(0),
             auditor: FlushAuditor::new(),
+            hb: HbAnalyzer::new(),
             // `DF_COALESCE=0` disables per-line flush coalescing (the "before"
             // measurement mode: duplicate flushes are still *counted*, just not
             // elided). Anything else — including unset — leaves it on.
@@ -165,6 +170,15 @@ impl PMem {
             if let Some(v) = std::env::var_os("DF_FLUSH_AUDIT") {
                 if v != "0" && !v.is_empty() {
                     mem.auditor.arm();
+                }
+            }
+            // `DF_HB=1` arms the happens-before analyzer the same way — the
+            // switch behind the CI hb-armed tier-1 run and the dfck jobs.
+            // Shared-cache only: the private-cache model has no flush/fence
+            // ordering, and its per-process crashes never roll memory back.
+            if let Some(v) = std::env::var_os("DF_HB") {
+                if v != "0" && !v.is_empty() {
+                    mem.hb.arm();
                 }
             }
         }
@@ -196,6 +210,8 @@ impl PMem {
         let mut cur = self.arena.write();
         let old = std::mem::replace(&mut *cur, arena);
         self.retired.lock().push(old.clone());
+        // SeqCst: the id must be globally ordered after the arena swap above
+        // so auditor/analyzer hooks never key state under the old arena's id.
         self.arena_id.store(cur.id(), Ordering::SeqCst);
         old
     }
@@ -218,6 +234,14 @@ impl PMem {
     /// Obtain the instruction handle for process `pid` with explicit options.
     pub fn thread_with(&self, pid: usize, opts: ThreadOptions) -> PThread<'_> {
         assert!(pid < self.threads, "pid {pid} out of range (machine has {} processes)", self.threads);
+        let hb_armed = self.mode == Mode::SharedCache && self.hb.is_armed();
+        if hb_armed {
+            // Handle creation is a happens-before edge: everything every pid
+            // executed so far precedes what this handle does next (handles are
+            // `!Send`, so the handle's thread really is downstream of a host
+            // synchronization edge from wherever that history was produced).
+            self.hb.locked().on_thread(pid);
+        }
         PThread {
             mem: self,
             pid,
@@ -225,7 +249,7 @@ impl PMem {
             opts,
             stats: CacheAligned::new(StatCells::default()),
             schedule: RefCell::new(Box::new(ArmedPolicy::arm(CrashPolicy::Never, pid))),
-            hot_armed: Cell::new(0),
+            hot_armed: Cell::new(if hb_armed { PThread::ARMED_HB } else { 0 }),
             audit_armed: Cell::new(self.mode == Mode::SharedCache && self.auditor.is_armed()),
             scheduler: RefCell::new(None),
             killed: Cell::new(false),
@@ -247,6 +271,13 @@ impl PMem {
         &self.auditor
     }
 
+    /// The machine's happens-before analyzer ([`HbAnalyzer`]). Arm it *before*
+    /// creating thread handles (or call [`PThread::refresh_hb`] on existing
+    /// ones) so the per-thread packed fast flag picks the armed state up.
+    pub fn hb(&self) -> &HbAnalyzer {
+        &self.hb
+    }
+
     /// The persistent word holding process `pid`'s restart pointer (§2.1). The
     /// capsule runtime stores the address of the active persistent stack frame here.
     pub fn restart_word(&self, pid: usize) -> PAddr {
@@ -263,17 +294,31 @@ impl PMem {
     /// [`CrashSignal`](crate::CrashSignal) before the harness calls this).
     pub fn crash_all(&self) {
         if self.mode == Mode::SharedCache {
+            // SeqCst: pairs with the `swap_arena` store — the crash must be
+            // attributed to the arena every quiesced thread last wrote.
+            let arena_id = self.arena_id.load(Ordering::SeqCst);
             if self.auditor.is_armed() {
                 // Any line still published-but-unflushed at this instant is
                 // about to be destroyed while a durable pointer may reference
                 // it — the deterministic form of the descriptor flush gap.
-                self.auditor.note_system_crash();
+                self.auditor.note_system_crash(arena_id);
+            }
+            if self.hb.is_armed() {
+                // The crash is a happens-before barrier (recovery is ordered
+                // after everything pre-crash), and exposures whose publisher
+                // may have persisted become cross-failure hazards: their words
+                // are flagged at the first post-crash read.
+                self.hb.locked().note_system_crash(arena_id);
             }
             self.arena().rollback_all();
         }
         for flag in &self.crashed {
+            // SeqCst: the crashed flags and the event counter below form one
+            // total order with the rollback — `take_crashed` on any thread
+            // must not observe the count without its flag.
             flag.store(true, Ordering::SeqCst);
         }
+        // SeqCst: see the flag stores above.
         self.crash_events.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -282,23 +327,30 @@ impl PMem {
     /// untouched, and its crashed flag is set so `crashed()` reports the fault.
     pub fn crash_thread(&self, pid: usize) {
         assert!(pid < self.threads);
+        // SeqCst: as in `crash_all` — flag and counter stay in one total
+        // order so observers cannot see the event without the flag.
         self.crashed[pid].store(true, Ordering::SeqCst);
+        // SeqCst: see the flag store above.
         self.crash_events.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The `crashed()` system call of §2.1: returns whether process `pid` has
     /// crashed since the last call, and resets the flag.
     pub fn take_crashed(&self, pid: usize) -> bool {
+        // SeqCst: the crashed() syscall of the model — consuming the flag is
+        // ordered against the injecting store so a crash is seen exactly once.
         self.crashed[pid].swap(false, Ordering::SeqCst)
     }
 
     /// Peek at the crashed flag without resetting it.
     pub fn peek_crashed(&self, pid: usize) -> bool {
+        // SeqCst: same total order as `take_crashed`, minus the reset.
         self.crashed[pid].load(Ordering::SeqCst)
     }
 
     /// Total number of crash events (system-wide or per-process) injected so far.
     pub fn crash_events(&self) -> u64 {
+        // SeqCst: reads the injection sites' total order (see `crash_all`).
         self.crash_events.load(Ordering::SeqCst)
     }
 
@@ -325,8 +377,11 @@ impl PMem {
     /// crashes exercise only the algorithm under test.
     pub fn persist_everything(&self) {
         self.arena().persist_all();
+        // SeqCst: pairs with the `swap_arena` store, as in `crash_all`.
+        let arena_id = self.arena_id.load(Ordering::SeqCst);
         // Everything is durable: no line is dirty (or exposed) any more.
-        self.auditor.clear_state();
+        self.auditor.clear_state(arena_id);
+        self.hb.locked().note_persist_all(arena_id);
     }
 
     pub(crate) fn arena(&self) -> Arc<Arena> {
@@ -438,6 +493,10 @@ impl<'m> PThread<'m> {
     const ARMED_CRASH: u8 = 1;
     /// `hot_armed` bit: a [`ThreadScheduler`] is installed.
     const ARMED_SCHED: u8 = 2;
+    /// `hot_armed` bit: the machine's [`HbAnalyzer`] is armed for this handle.
+    /// Unlike the other two bits this one guards the instruction *bodies*
+    /// (each access runs under the analyzer lock), not the `bump` step.
+    const ARMED_HB: u8 = 4;
 
     /// Set or clear one `hot_armed` bit.
     #[inline]
@@ -490,6 +549,18 @@ impl<'m> PThread<'m> {
     pub fn refresh_flush_audit(&self) {
         self.audit_armed
             .set(self.mode == Mode::SharedCache && self.mem.auditor.is_armed());
+    }
+
+    /// Re-mirror the machine's [`HbAnalyzer`] armed state into this handle's
+    /// packed fast-flag byte (for handles created before the analyzer was
+    /// armed/disarmed). Arming re-draws the handle-creation edge: everything
+    /// executed so far happens-before this handle's next instruction.
+    pub fn refresh_hb(&self) {
+        let on = self.mode == Mode::SharedCache && self.mem.hb.is_armed();
+        if on {
+            self.mem.hb.locked().on_thread(self.pid);
+        }
+        self.set_hot(Self::ARMED_HB, on);
     }
 
     /// Snapshot of this thread's statistics. The `crash_points` field is sourced
@@ -651,6 +722,14 @@ impl<'m> PThread<'m> {
     /// this thread once it is done.
     pub fn set_thread_scheduler(&self, sched: Arc<ThreadScheduler>) {
         sched.register(self.pid);
+        if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            // Scheduler registration is the worker's entry into a scheduled
+            // window: the harness set-up that preceded it happens-before this
+            // pid's scheduled instructions. Baton handovers *between* yield
+            // points deliberately draw no edges — races in the scheduled
+            // program must stay visible to the analyzer.
+            self.mem.hb.locked().on_thread(self.pid);
+        }
         *self.scheduler.borrow_mut() = Some(sched);
         self.set_hot(Self::ARMED_SCHED, true);
     }
@@ -749,32 +828,126 @@ impl<'m> PThread<'m> {
         self.step.get()
     }
 
+    /// The current arena's identity, for keying auditor/analyzer state.
+    #[inline]
+    fn arena_key(&self) -> u64 {
+        // Relaxed: swaps happen only at quiescent points (no handle mid-op),
+        // and the key is only compared for equality, never dereferenced.
+        self.mem.arena_id.load(Ordering::Relaxed)
+    }
+
     // ----- flush-order auditor hooks (behind the `audit_armed` fast flag) -----
 
     #[cold]
     fn audit_read(&self, addr: PAddr) {
-        if self
-            .mem
-            .auditor
-            .note_read(self.pid, addr.line_base().0, self.step.get())
-        {
+        if self.mem.auditor.note_read(
+            self.pid,
+            self.arena_key(),
+            addr.line_base().0,
+            self.step.get(),
+        ) {
             StatCells::add(&self.stats.audit_flags, 1);
         }
     }
 
     #[cold]
     fn audit_store(&self, addr: PAddr) {
-        self.mem.auditor.note_store(self.pid, addr.line_base().0);
+        self.mem
+            .auditor
+            .note_store(self.pid, self.arena_key(), addr.line_base().0);
     }
 
     #[cold]
     fn audit_publish(&self, addr: PAddr) {
-        self.mem.auditor.note_publish(self.pid, addr.line_base().0);
+        self.mem
+            .auditor
+            .note_publish(self.pid, self.arena_key(), addr.line_base().0);
     }
 
     #[cold]
     fn audit_flush(&self, addr: PAddr) {
-        self.mem.auditor.note_flush(addr.line_base().0);
+        self.mem
+            .auditor
+            .note_flush(self.arena_key(), addr.line_base().0);
+    }
+
+    // ----- happens-before analyzer hooks (behind the `ARMED_HB` fast bit) -----
+    //
+    // Each hook takes the analyzer lock *around* the actual memory access, so
+    // armed-mode accesses are linearized exactly where the analyzer observes
+    // them. `bump` — which may block at a scheduler yield point or unwind at a
+    // crash point — always runs before the lock is taken.
+
+    #[cold]
+    fn hb_read(&self, addr: PAddr) -> u64 {
+        let word = self.word_at(addr);
+        let mut hb = self.mem.hb.locked();
+        let v = word.load();
+        let flags = hb.note_read(self.arena_key(), addr, self.pid, self.step.get());
+        drop(hb);
+        StatCells::add(&self.stats.hb_flags, flags);
+        v
+    }
+
+    #[cold]
+    fn hb_write(&self, addr: PAddr, value: u64, release: bool) {
+        let word = self.word_at(addr);
+        let mut hb = self.mem.hb.locked();
+        word.store(value);
+        if self.mode == Mode::PrivateCache {
+            word.persist_now();
+        }
+        let flags = hb.note_write(self.arena_key(), addr, self.pid, self.step.get(), release);
+        drop(hb);
+        StatCells::add(&self.stats.hb_flags, flags);
+    }
+
+    #[cold]
+    fn hb_cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        let word = self.word_at(addr);
+        let mut hb = self.mem.hb.locked();
+        let result = word.compare_exchange(expected, new);
+        if result.is_ok() && self.mode == Mode::PrivateCache {
+            word.persist_now();
+        }
+        let flags = if result.is_ok() {
+            hb.note_sync_write(self.arena_key(), addr, self.pid, self.step.get())
+        } else {
+            // A failed CAS still read the word: acquire its release clock (the
+            // witnessed value flows into this thread's subsequent decisions).
+            hb.note_sync_read(self.arena_key(), addr, self.pid, self.step.get())
+        };
+        drop(hb);
+        StatCells::add(&self.stats.hb_flags, flags);
+        result
+    }
+
+    #[cold]
+    fn hb_fetch_add(&self, addr: PAddr, delta: u64) -> u64 {
+        let word = self.word_at(addr);
+        let mut hb = self.mem.hb.locked();
+        let prev = word.fetch_add(delta);
+        if self.mode == Mode::PrivateCache {
+            word.persist_now();
+        }
+        let flags = hb.note_sync_write(self.arena_key(), addr, self.pid, self.step.get());
+        drop(hb);
+        StatCells::add(&self.stats.hb_flags, flags);
+        prev
+    }
+
+    #[cold]
+    fn hb_flush(&self, addr: PAddr, line: &[Word]) {
+        let mut hb = self.mem.hb.locked();
+        for word in line {
+            word.persist_now();
+        }
+        hb.note_flush(self.arena_key(), addr, self.pid);
+    }
+
+    #[cold]
+    fn hb_fence(&self) {
+        self.mem.hb.locked().note_fence(self.pid);
     }
 
     // ----- shared-memory instructions ---------------------------------------
@@ -783,12 +956,47 @@ impl<'m> PThread<'m> {
     #[inline]
     pub fn read(&self, addr: PAddr) -> u64 {
         self.bump(&self.stats.reads);
-        let v = self.word_at(addr).load();
+        let v = if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            self.hb_read(addr)
+        } else {
+            self.word_at(addr).load()
+        };
         if self.audit_armed.get() {
             self.audit_read(addr);
         }
         if self.opts.izraelevitz {
             // The automatic construction flushes the line after every access.
+            self.flush(addr);
+        }
+        v
+    }
+
+    /// Atomic read annotated as an acquire of `addr`'s release clock.
+    ///
+    /// Under the happens-before analyzer every plain read of a synchronization
+    /// word (one that has been CASed, fetch-added or release-written) already
+    /// acquires; this alias exists so that call sites relying on that edge are
+    /// greppable. Identical to [`PThread::read`] in every other respect.
+    #[inline]
+    pub fn read_acquire(&self, addr: PAddr) -> u64 {
+        self.read(addr)
+    }
+
+    /// Atomic read annotated as intentionally racy: exempt from happens-before
+    /// race *and* cross-failure checks (the auditor and instruction counters
+    /// still see it).
+    ///
+    /// For protocol-level scans whose tolerance of stale or torn context is
+    /// argued separately — e.g. the helping path reading a peer's evidence
+    /// words, where the algorithm re-validates via CAS before acting.
+    #[inline]
+    pub fn read_racy(&self, addr: PAddr) -> u64 {
+        self.bump(&self.stats.reads);
+        let v = self.word_at(addr).load();
+        if self.audit_armed.get() {
+            self.audit_read(addr);
+        }
+        if self.opts.izraelevitz {
             self.flush(addr);
         }
         v
@@ -800,11 +1008,32 @@ impl<'m> PThread<'m> {
     /// shared-cache model it stays in the (volatile) cache until flushed.
     #[inline]
     pub fn write(&self, addr: PAddr, value: u64) {
+        self.write_impl(addr, value, false);
+    }
+
+    /// Atomic write annotated as a release store: under the happens-before
+    /// analyzer it transfers this thread's clock to `addr` like a successful
+    /// CAS does (and marks the word as a synchronization word). Identical to
+    /// [`PThread::write`] when the analyzer is disarmed.
+    ///
+    /// Use at plain-store publication sites whose readers are ordered by the
+    /// store itself (announcement words, capsule control words).
+    #[inline]
+    pub fn write_release(&self, addr: PAddr, value: u64) {
+        self.write_impl(addr, value, true);
+    }
+
+    #[inline]
+    fn write_impl(&self, addr: PAddr, value: u64, release: bool) {
         self.bump(&self.stats.writes);
-        let word = self.word_at(addr);
-        word.store(value);
-        if self.mode == Mode::PrivateCache {
-            word.persist_now();
+        if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            self.hb_write(addr, value, release);
+        } else {
+            let word = self.word_at(addr);
+            word.store(value);
+            if self.mode == Mode::PrivateCache {
+                word.persist_now();
+            }
         }
         self.coalesce_invalidate(addr);
         if self.audit_armed.get() {
@@ -827,14 +1056,19 @@ impl<'m> PThread<'m> {
     #[inline]
     pub fn cas_full(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
         self.bump(&self.stats.cas);
-        let word = self.word_at(addr);
-        let result = word.compare_exchange(expected, new);
+        let result = if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            self.hb_cas(addr, expected, new)
+        } else {
+            let word = self.word_at(addr);
+            let result = word.compare_exchange(expected, new);
+            if result.is_ok() && self.mode == Mode::PrivateCache {
+                word.persist_now();
+            }
+            result
+        };
         // Single, branchless accounting step for the attempt's outcome (the CAS
         // counter itself was bumped at the crash point above).
         StatCells::add(&self.stats.cas_success, result.is_ok() as u64);
-        if result.is_ok() && self.mode == Mode::PrivateCache {
-            word.persist_now();
-        }
         if result.is_ok() {
             self.coalesce_invalidate(addr);
         }
@@ -857,11 +1091,16 @@ impl<'m> PThread<'m> {
     pub fn fetch_add(&self, addr: PAddr, delta: u64) -> u64 {
         self.bump(&self.stats.cas);
         StatCells::add(&self.stats.cas_success, 1);
-        let word = self.word_at(addr);
-        let prev = word.fetch_add(delta);
-        if self.mode == Mode::PrivateCache {
-            word.persist_now();
-        }
+        let prev = if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            self.hb_fetch_add(addr, delta)
+        } else {
+            let word = self.word_at(addr);
+            let prev = word.fetch_add(delta);
+            if self.mode == Mode::PrivateCache {
+                word.persist_now();
+            }
+            prev
+        };
         self.coalesce_invalidate(addr);
         if self.audit_armed.get() {
             self.audit_publish(addr);
@@ -898,18 +1137,26 @@ impl<'m> PThread<'m> {
             let tracked = (0..len).any(|i| self.pending_lines[i].get() == base);
             if tracked && line.iter().all(Word::is_clean) {
                 StatCells::add(&self.stats.duplicate_flushes, 1);
-                if self.coalesce.get() {
+                if self.coalesce.get() && self.hot_armed.get() & Self::ARMED_HB == 0 {
                     // The first flush of this window already ran `audit_flush`
                     // for the line and nothing re-dirtied it, so the auditor's
-                    // per-line state needs no update either.
+                    // per-line state needs no update either. Armed hb runs
+                    // never take this exit: a peer may have flushed the line
+                    // clean, and the analyzer's flushed-pid mask must record
+                    // *this* pid's flush too. The walk below is idempotent, so
+                    // the durable image stays bit-identical either way.
                     return;
                 }
             } else if !tracked && len < COALESCE_LINES {
                 self.pending_lines[len].set(base);
                 self.pending_len.set(len + 1);
             }
-            for word in line {
-                word.persist_now();
+            if self.hot_armed.get() & Self::ARMED_HB != 0 {
+                self.hb_flush(addr, line);
+            } else {
+                for word in line {
+                    word.persist_now();
+                }
             }
             if self.audit_armed.get() {
                 self.audit_flush(addr);
@@ -949,6 +1196,12 @@ impl<'m> PThread<'m> {
     pub fn fence(&self) {
         self.bump(&self.stats.fences);
         self.pending_len.set(0);
+        if self.hot_armed.get() & Self::ARMED_HB != 0 {
+            self.hb_fence();
+        }
+        // SeqCst: the modelled sfence orders this thread's flushes before its
+        // later stores; the strongest fence keeps the simulation's host-level
+        // ordering at least as strict as the machine being modelled.
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -1449,6 +1702,162 @@ mod tests {
         assert!(t.cas(b, 0, 1)); // every store is already durable: no exposure
         mem.crash_all();
         assert_eq!(mem.flush_auditor().flags(), 0);
+    }
+
+    #[test]
+    fn flush_auditor_state_does_not_leak_across_arena_swaps() {
+        // Same hazard class as the per-thread segment cache: auditor state
+        // recorded against one arena must not fire (or be cleared) by events
+        // on another after `swap_arena`.
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        mem.flush_auditor().arm();
+        let t = mem.thread(0);
+        let rec = t.alloc(LINE_WORDS);
+        let ptr = t.alloc(LINE_WORDS);
+        t.write(rec, 7);
+        assert!(t.cas(ptr, 0, rec.to_raw())); // exposure in the first arena
+
+        let donor = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        let d = donor.thread(0);
+        d.alloc(2 * LINE_WORDS);
+        drop(d);
+        let old = mem.swap_arena(donor.arena_handle());
+        mem.crash_all();
+        assert_eq!(
+            mem.flush_auditor().flags(),
+            0,
+            "a crash of the swapped-in arena must not flag the retired arena's exposure: {:?}",
+            mem.flush_auditor().take_reports()
+        );
+
+        // Swapping the original arena back in, the recorded exposure is still
+        // live — and the next crash flags it.
+        let _donor_arena = mem.swap_arena(old);
+        mem.crash_all();
+        assert_eq!(mem.flush_auditor().flags(), 1, "the retired arena's state must survive the round trip");
+    }
+
+    #[test]
+    fn hb_flags_an_unsynchronized_cross_thread_race() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.hb().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let a = t0.alloc(1);
+        t0.write(a, 7); // plain store, no release annotation
+        let _ = t1.read(a); // no happens-before path from the store
+        assert_eq!(t1.stats().hb_flags, 1, "{:?}", mem.hb().take_reports());
+        let reports = mem.hb().take_reports();
+        assert!(reports[0].contains("data race"), "{reports:?}");
+    }
+
+    #[test]
+    fn hb_accepts_a_cas_handoff_and_a_release_handoff() {
+        let mem = PMem::new(MemConfig::new(3).mode(Mode::SharedCache));
+        mem.hb().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let t2 = mem.thread(2);
+        let data = t0.alloc(LINE_WORDS);
+        let flag = t0.alloc(LINE_WORDS);
+        // CAS publication: the successful CAS releases t0's clock; t1's plain
+        // read of the CASed word acquires it, ordering the data read.
+        t0.write(data, 7);
+        assert!(t0.cas(flag, 0, 1));
+        assert_eq!(t1.read(flag), 1);
+        assert_eq!(t1.read(data), 7);
+        // Release-store publication: same edge without a CAS.
+        t1.write(data.offset(1), 8);
+        t1.write_release(flag.offset(1), 1);
+        assert_eq!(t2.read_acquire(flag.offset(1)), 1);
+        assert_eq!(t2.read(data.offset(1)), 8);
+        assert_eq!(mem.hb().flags(), 0, "{:?}", mem.hb().take_reports());
+    }
+
+    #[test]
+    fn hb_flags_a_post_crash_read_of_an_unordered_publication() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        mem.hb().arm();
+        let t = mem.thread(0);
+        let ann = t.alloc(LINE_WORDS);
+        let x = t.alloc(LINE_WORDS);
+        t.write(ann, 7); // never flushed before the publication below
+        assert!(t.cas(x, 0, ann.to_raw()));
+        t.persist(x); // the pointer is durably ordered; the payload is not
+        mem.crash_all();
+        let _ = t.read(ann); // recovery consumes the unordered word
+        assert_eq!(t.stats().hb_flags, 1, "{:?}", mem.hb().take_reports());
+        let reports = mem.hb().take_reports();
+        assert!(reports[0].contains("cross-failure race"), "{reports:?}");
+    }
+
+    #[test]
+    fn hb_accepts_flush_fence_before_publish_across_a_crash() {
+        let mem = PMem::new(MemConfig::new(1).mode(Mode::SharedCache));
+        mem.hb().arm();
+        let t = mem.thread(0);
+        let ann = t.alloc(LINE_WORDS);
+        let x = t.alloc(LINE_WORDS);
+        t.write(ann, 7);
+        t.persist(ann); // discipline: ordered durable before reachable
+        assert!(t.cas(x, 0, ann.to_raw()));
+        t.persist(x);
+        mem.crash_all();
+        assert_eq!(t.read(ann), 7);
+        assert_eq!(t.read(x), ann.to_raw());
+        assert_eq!(mem.hb().flags(), 0, "{:?}", mem.hb().take_reports());
+    }
+
+    #[test]
+    fn hb_read_racy_is_exempt_from_both_flag_classes() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.hb().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let a = t0.alloc(LINE_WORDS);
+        let x = t0.alloc(LINE_WORDS);
+        t0.write(a, 7);
+        let _ = t1.read_racy(a); // annotated scan: no data-race flag
+        assert!(t0.cas(x, 0, 1));
+        t0.persist(x);
+        mem.crash_all();
+        let _ = t0.read_racy(a); // annotated recovery probe: no cross-failure flag
+        assert_eq!(mem.hb().flags(), 0, "{:?}", mem.hb().take_reports());
+    }
+
+    #[test]
+    fn hb_disarmed_or_refreshed_handles_track_arming() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::SharedCache));
+        mem.hb().disarm(); // DF_HB=1 may have armed it at construction
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let a = t0.alloc(1);
+        mem.hb().arm();
+        t0.write(a, 7);
+        let _ = t1.read(a);
+        assert_eq!(mem.hb().flags(), 0, "stale handles must not analyze");
+        t0.refresh_hb();
+        t1.refresh_hb();
+        // The refresh re-draws the creation edge, so only accesses *after* it
+        // can race: a fresh unsynchronized pair still flags.
+        t0.write(a, 8);
+        let _ = t1.read(a);
+        assert_eq!(mem.hb().flags(), 1, "{:?}", mem.hb().take_reports());
+    }
+
+    #[test]
+    fn hb_is_inert_in_the_private_cache_model() {
+        let mem = PMem::new(MemConfig::new(2).mode(Mode::PrivateCache));
+        mem.hb().arm();
+        let t0 = mem.thread(0);
+        let t1 = mem.thread(1);
+        let a = t0.alloc(1);
+        t0.write(a, 7);
+        let _ = t1.read(a);
+        t0.refresh_hb(); // also inert: the fast bit stays off in this model
+        t0.write(a, 8);
+        let _ = t1.read(a);
+        assert_eq!(mem.hb().flags(), 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub(crate) struct StatCells {
     pub(crate) recovery_steps: Cell<u64>,
     pub(crate) crashes: Cell<u64>,
     pub(crate) audit_flags: Cell<u64>,
+    pub(crate) hb_flags: Cell<u64>,
     pub(crate) seg_resolves: Cell<u64>,
 }
 
@@ -57,6 +58,7 @@ impl StatCells {
             recovery_steps: self.recovery_steps.get(),
             crashes: self.crashes.get(),
             audit_flags: self.audit_flags.get(),
+            hb_flags: self.hb_flags.get(),
             seg_resolves: self.seg_resolves.get(),
         }
     }
@@ -75,6 +77,7 @@ impl StatCells {
         self.recovery_steps.set(0);
         self.crashes.set(0);
         self.audit_flags.set(0);
+        self.hb_flags.set(0);
         self.seg_resolves.set(0);
         snap
     }
@@ -118,6 +121,11 @@ pub struct Stats {
     /// [`FlushAuditor`](crate::FlushAuditor) (zero unless the auditor is armed;
     /// crash-time flags are machine-level and counted on the auditor itself).
     pub audit_flags: u64,
+    /// Happens-before violations flagged against this thread's accesses by the
+    /// [`HbAnalyzer`](crate::HbAnalyzer) — data races and cross-failure races,
+    /// attributed to the later (observing) access. Zero unless `DF_HB` armed
+    /// the analyzer; machine-level totals live on the analyzer itself.
+    pub hb_flags: u64,
     /// Slow-path segment-table resolutions: per-thread segment-cache misses,
     /// including every identity-key invalidation after an arena swap. Stays
     /// tiny on single-arena runs (one per segment touched); a multi-arena
@@ -141,6 +149,7 @@ impl Stats {
             recovery_steps: 0,
             crashes: 0,
             audit_flags: 0,
+            hb_flags: 0,
             seg_resolves: 0,
         }
     }
@@ -183,6 +192,7 @@ impl Stats {
             recovery_steps: self.recovery_steps + other.recovery_steps,
             crashes: self.crashes + other.crashes,
             audit_flags: self.audit_flags + other.audit_flags,
+            hb_flags: self.hb_flags + other.hb_flags,
             seg_resolves: self.seg_resolves + other.seg_resolves,
         }
     }
@@ -206,6 +216,7 @@ impl Stats {
             recovery_steps: self.recovery_steps.saturating_sub(earlier.recovery_steps),
             crashes: self.crashes.saturating_sub(earlier.crashes),
             audit_flags: self.audit_flags.saturating_sub(earlier.audit_flags),
+            hb_flags: self.hb_flags.saturating_sub(earlier.hb_flags),
             seg_resolves: self.seg_resolves.saturating_sub(earlier.seg_resolves),
         }
     }
@@ -256,7 +267,7 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} writes={} cas={} (ok={}) flushes={} (dup={}) fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={} seg_resolves={}",
+            "reads={} writes={} cas={} (ok={}) flushes={} (dup={}) fences={} alloc_words={} recovery_steps={} crashes={} crash_points={} audit_flags={} hb_flags={} seg_resolves={}",
             self.reads,
             self.writes,
             self.cas,
@@ -269,6 +280,7 @@ impl std::fmt::Display for Stats {
             self.crashes,
             self.crash_points,
             self.audit_flags,
+            self.hb_flags,
             self.seg_resolves
         )
     }
@@ -292,6 +304,7 @@ mod tests {
             recovery_steps: 1,
             crashes: 1,
             audit_flags: 2,
+            hb_flags: 1,
             seg_resolves: 3,
         }
     }
@@ -352,5 +365,6 @@ mod tests {
         assert!(text.contains("crashes=1"));
         assert!(text.contains("crash_points=24"));
         assert!(text.contains("audit_flags=2"));
+        assert!(text.contains("hb_flags=1"));
     }
 }

@@ -177,11 +177,29 @@ impl GeneralQueue {
             return;
         }
         thread.flush(addr);
-        // The -Opt variants omit fences that are immediately followed by a CAS or by
-        // a capsule boundary (which fences anyway).
+        // The -Opt variants omit fences that are immediately followed by a CAS:
+        // the lock prefix orders the pending flush just like the fence would
+        // (Px86). A capsule *boundary* does not qualify — see
+        // [`persist_line_before_boundary`](Self::persist_line_before_boundary).
         if !self.optimised() {
             thread.fence();
         }
+    }
+
+    /// Flush + fence a line unconditionally (under the manual discipline): for
+    /// persists whose next publication is a capsule boundary rather than a CAS.
+    /// The compact boundary publishes its control word with a release *store* —
+    /// a plain `mov` on x86, which (unlike a locked CAS) does not order earlier
+    /// `clflushopt`s — so a crash between the boundary's own flush and its
+    /// trailing fence could persist the frame without the node it references.
+    /// Recovery would then resume from the boundary and link a node whose
+    /// contents never became durable.
+    fn persist_line_before_boundary(&self, thread: &PThread<'_>, addr: PAddr) {
+        if !self.durability.manual() {
+            return;
+        }
+        thread.flush(addr);
+        thread.fence();
     }
 }
 
@@ -311,7 +329,9 @@ impl<'q, 't, 'm> GeneralQueueHandle<'q, 't, 'm> {
                     let node = t.alloc(NODE_WORDS);
                     t.write(value_addr(node), value);
                     space.init_word(t, next_addr(node), 0);
-                    queue.persist_line(t, node);
+                    // The E_LINK boundary (not a CAS) publishes the node pointer
+                    // next, so the fence cannot be elided here.
+                    queue.persist_line_before_boundary(t, node);
                     let last = PAddr::from_raw(space.read(t, queue.tail));
                     let next = space.read(t, next_addr(last));
                     rt.set_local_addr(L_AUX, node);

@@ -372,8 +372,10 @@ impl RcasSpace {
             thread.write(ann.offset(EVIDENCE_EXPECTED), expected);
             thread.write(ann.offset(EVIDENCE_AUX), aux);
         }
-        // Announce our own attempt: ⟨seq, 0⟩.
-        thread.write(
+        // Announce our own attempt: ⟨seq, 0⟩. A release store: helpers read
+        // this word plainly (`help_group`) before it has ever been CASed, and
+        // the evidence written above must be happens-before-ordered under it.
+        thread.write_release(
             ann,
             RecoverResult {
                 seq,
@@ -444,10 +446,14 @@ impl RcasSpace {
             if r.seq == 0 || r.flag {
                 continue; // nothing announced, or already notified
             }
-            if thread.read(ann.offset(EVIDENCE_SEQ)) != r.seq {
+            // Intentionally racy scans: the owner may be overwriting its
+            // evidence concurrently. Torn context is benign — the seq check
+            // rejects stale evidence, and `notify` re-reads `x` and CASes, so
+            // a misread here can only skip help the owner will redo itself.
+            if thread.read_racy(ann.offset(EVIDENCE_SEQ)) != r.seq {
                 continue; // evidence-free attempt: its owner recovers via its frame
             }
-            let x = PAddr::from_raw(thread.read(ann.offset(EVIDENCE_X)));
+            let x = PAddr::from_raw(thread.read_racy(ann.offset(EVIDENCE_X)));
             if x.is_null() {
                 continue;
             }

@@ -299,6 +299,8 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
                 }
             }
         }
+        // SeqCst: clients poll this flag against the shard lifecycle's
+        // total order; they must not outlive the drills they interleave with.
         drills_done.store(true, Ordering::SeqCst);
         let router_stats = clients.into_iter().fold(RouterStats::default(), |mut acc, c| {
             let st = c.join().expect("client panicked");

@@ -124,6 +124,9 @@ impl ShardShared {
 
     /// Current lifecycle state (one of the `STATE_*` constants).
     pub fn state(&self) -> u8 {
+        // SeqCst: lifecycle reads join the single total order the transition
+        // stores write — routers must never see SERVING after a kill's
+        // DRAINING became visible to any other observer.
         self.state.load(Ordering::SeqCst)
     }
 
@@ -144,12 +147,19 @@ impl ShardShared {
     pub fn request_kill(&self) -> bool {
         if self
             .state
+            // SeqCst (both orderings): the SERVING -> DRAINING transition
+            // is the linearization point of a kill; it must be totally
+            // ordered against every `state()` read and rival kill request.
             .compare_exchange(STATE_SERVING, STATE_DRAINING, Ordering::SeqCst, Ordering::SeqCst)
             .is_err()
         {
             return false;
         }
+        // SeqCst: the timestamp must be visible before the kill flag in the
+        // one total order workers poll, so `last_recovery` never reads a
+        // cycle whose start time is still zero.
         self.kill_at_ns.store(self.now_ns(), Ordering::SeqCst);
+        // SeqCst: ordered after the timestamp store above.
         self.kill.store(true, Ordering::SeqCst);
         // Wake parked workers so idle shards detect the kill promptly.
         self.queue_cond.notify_all();
@@ -158,6 +168,8 @@ impl ShardShared {
 
     /// Begin graceful shutdown: workers drain the queue and exit.
     pub fn request_stop(&self) {
+        // SeqCst: stop joins the same total order as the kill/lifecycle
+        // flags so a worker cannot drain past a stop it already observed.
         self.stop.store(true, Ordering::SeqCst);
         self.queue_cond.notify_all();
     }
@@ -165,9 +177,12 @@ impl ShardShared {
     /// The detect / replay / total durations of the most recent completed kill
     /// cycle (kill → quiesced, quiesced → serving, kill → serving).
     pub fn last_recovery(&self) -> Option<(Duration, Duration, Duration)> {
+        // SeqCst: the drill engine reads the timestamps in the same total
+        // order the executor wrote them, so the monotonicity check below
+        // distinguishes a half-written cycle from a corrupt one.
         let kill = self.kill_at_ns.load(Ordering::SeqCst);
-        let quiesced = self.quiesced_at_ns.load(Ordering::SeqCst);
-        let ready = self.ready_at_ns.load(Ordering::SeqCst);
+        let quiesced = self.quiesced_at_ns.load(Ordering::SeqCst); // SeqCst: as above
+        let ready = self.ready_at_ns.load(Ordering::SeqCst); // SeqCst: as above
         if kill == 0 || quiesced < kill || ready < quiesced {
             return None;
         }
@@ -427,7 +442,11 @@ pub fn run_shard(shard: &ShardShared, workers: usize, drain_cap: usize) -> Shard
             ready.wait();
             // Every worker has recovered and armed its kill switch: open for
             // business and timestamp readiness for the drill engine.
+            // SeqCst: readiness timestamp first, then SERVING — in the
+            // lifecycle's single total order, so a router that sees SERVING
+            // finds the recovery timestamps already complete.
             shard.ready_at_ns.store(shard.now_ns(), Ordering::SeqCst);
+            // SeqCst: ordered after the timestamp store above.
             shard.state.store(STATE_SERVING, Ordering::SeqCst);
             handles
                 .into_iter()
@@ -439,14 +458,20 @@ pub fn run_shard(shard: &ShardShared, workers: usize, drain_cap: usize) -> Shard
             // All workers are joined: the machine is quiescent. Apply the
             // crash damage (unflushed lines roll back), tear the machine down,
             // and bring a fresh incarnation up over the surviving arena.
+            // SeqCst: quiescence timestamp, then RECOVERING — same total
+            // order as the SERVING transition above.
             shard.quiesced_at_ns.store(shard.now_ns(), Ordering::SeqCst);
+            // SeqCst: ordered after the timestamp store above.
             shard.state.store(STATE_RECOVERING, Ordering::SeqCst);
             mem.crash_all();
             drop(mem);
             mem = PMem::with_arena(MemConfig::new(workers).mode(Mode::SharedCache), Arc::clone(&arena));
+            // SeqCst: re-arms the kill switch in the lifecycle's total
+            // order, after the RECOVERING transition became visible.
             shard.kill.store(false, Ordering::SeqCst);
             continue;
         }
+        // SeqCst: final lifecycle transition, same total order as the rest.
         shard.state.store(STATE_STOPPED, Ordering::SeqCst);
         break;
     }
@@ -624,6 +649,7 @@ mod tests {
         };
         // Initial state is Recovering: down.
         assert_eq!(shard.try_enqueue(req), Err(EnqueueError::Down));
+        // SeqCst: tests drive the lifecycle through its usual total order.
         shard.state.store(STATE_SERVING, Ordering::SeqCst);
         assert_eq!(shard.try_enqueue(req), Ok(()));
         assert_eq!(shard.try_enqueue(req), Ok(()));

@@ -169,7 +169,8 @@ impl GeneralSet {
         count
     }
 
-    /// Flush + fence a line, per the manual-durability discipline.
+    /// Flush + fence a line, per the manual-durability discipline (the compact
+    /// style elides the fence before a CAS: the lock prefix orders the flush).
     fn persist_line(&self, thread: &PThread<'_>, addr: PAddr) {
         if !self.manual {
             return;
@@ -178,6 +179,17 @@ impl GeneralSet {
         if self.style != BoundaryStyle::Compact {
             thread.fence();
         }
+    }
+
+    /// Flush + fence unconditionally: for persists followed by a capsule
+    /// boundary, whose release-store control write (unlike a locked CAS) does
+    /// not order earlier flushes — the frame could persist without the node.
+    fn persist_line_before_boundary(&self, thread: &PThread<'_>, addr: PAddr) {
+        if !self.manual {
+            return;
+        }
+        thread.flush(addr);
+        thread.fence();
     }
 
     // ----- capsule bodies --------------------------------------------------------
@@ -204,7 +216,9 @@ impl GeneralSet {
                 let node = t.alloc(NODE_WORDS);
                 t.write(value_addr(node), k);
                 space.init_word(t, next_addr(node), w.pred_enc);
-                self.persist_line(t, node);
+                // The I_CAS boundary (not a CAS) publishes the node pointer
+                // next, so the fence cannot be elided here.
+                self.persist_line_before_boundary(t, node);
                 rt.set_local_addr(L_PRED_ADDR, w.pred_addr);
                 rt.set_local(L_PRED_ENC, w.pred_enc);
                 rt.set_local_addr(L_NODE, node);

@@ -101,7 +101,8 @@ impl GeneralStack {
     }
 
     /// Flush + fence a line, per the manual-durability discipline (compact-frame
-    /// handles elide the fence before a CAS/boundary, as the -Opt queues do).
+    /// handles elide the fence before a CAS, as the -Opt queues do: the lock
+    /// prefix orders the pending flush).
     fn persist_line(&self, thread: &PThread<'_>, addr: PAddr) {
         if !self.manual {
             return;
@@ -110,6 +111,17 @@ impl GeneralStack {
         if self.style != BoundaryStyle::Compact {
             thread.fence();
         }
+    }
+
+    /// Flush + fence unconditionally: for persists followed by a capsule
+    /// boundary, whose release-store control write (unlike a locked CAS) does
+    /// not order earlier flushes — the frame could persist without the node.
+    fn persist_line_before_boundary(&self, thread: &PThread<'_>, addr: PAddr) {
+        if !self.manual {
+            return;
+        }
+        thread.flush(addr);
+        thread.fence();
     }
 }
 
@@ -146,7 +158,9 @@ impl<'q, 't, 'm> GeneralStackHandle<'q, 't, 'm> {
                     t.write(value_addr(node), value);
                     let top = space.read(t, stack.top);
                     t.write(next_addr(node), top);
-                    stack.persist_line(t, node);
+                    // The S_CAS boundary (not a CAS) publishes the node pointer
+                    // next, so the fence cannot be elided here.
+                    stack.persist_line_before_boundary(t, node);
                     rt.set_local_addr(L_NODE, node);
                     rt.set_local(L_TOP, top);
                     rt.boundary(S_CAS);
